@@ -1,0 +1,93 @@
+// Command rheem-bench regenerates the paper's evaluation artifacts
+// (Figure 2, both sides of Figure 3) plus this reproduction's ablation
+// experiments (E4–E6). See DESIGN.md §2 for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	rheem-bench [-experiment all|fig2|fig3left|fig3right|iejoin|multiplatform|optimizer]
+//	            [-quick] [-clock sim|wall] [-csv DIR] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rheem"
+	"rheem/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment to run, or 'all'")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	clock := flag.String("clock", "sim", "reported clock: 'sim' (simulated cluster time) or 'wall'")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	verbose := flag.Bool("v", false, "log progress")
+	mappings := flag.Bool("mappings", false, "print the declarative operator-mapping table and exit")
+	flag.Parse()
+
+	if *mappings {
+		ctx, err := rheem.NewContext(rheem.Config{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rheem-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(ctx.Registry().DescribeMappings())
+		return
+	}
+
+	cfg := bench.Config{Quick: *quick}
+	switch *clock {
+	case "sim":
+	case "wall":
+		cfg.WallClock = true
+	default:
+		fmt.Fprintf(os.Stderr, "rheem-bench: unknown clock %q\n", *clock)
+		os.Exit(2)
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	names := bench.Experiments()
+	if *experiment != "all" {
+		names = []string{*experiment}
+	}
+	for _, name := range names {
+		tables, err := bench.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rheem-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for i, t := range tables {
+			t.Print(os.Stdout)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, name, i, t); err != nil {
+					fmt.Fprintf(os.Stderr, "rheem-bench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+func writeCSV(dir, name string, i int, t *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	suffix := ""
+	if i > 0 {
+		suffix = fmt.Sprintf("_%d", i)
+	}
+	path := filepath.Join(dir, strings.ReplaceAll(name, "/", "_")+suffix+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t.CSV(f)
+	return nil
+}

@@ -1,0 +1,262 @@
+// Command rheem-clean runs BigDansing-style data cleaning over a
+// typed-header CSV file: detect functional-dependency and inequality
+// denial-constraint violations, optionally repair, on the platform of
+// your choice (or the optimizer's).
+//
+// Usage:
+//
+//	rheem-clean -in data.csv [-fd id:zip->city,state] [-dc 'id:salary>salary,rate<rate:fix=rate']
+//	            [-platform java|spark|relational|auto] [-repair out.csv] [-demo n]
+//
+// Rule syntax:
+//
+//	-fd   idCol:lhs[,lhs...]->rhs[,rhs...]        (column names)
+//	-dc   idCol:col OP col[,col OP col...][:fix=col]   OP ∈ < <= > >=
+//
+// With -demo N, a synthetic dirty tax dataset of N rows is generated
+// instead of reading -in, with the canonical zip→city FD and
+// salary/rate DC applied.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rheem"
+	"rheem/internal/apps/cleaning"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+	"rheem/internal/data/datagen"
+	"rheem/internal/platform/javaengine"
+	"rheem/internal/platform/relengine"
+	"rheem/internal/platform/sparksim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "rheem-clean: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "input CSV with name:type header")
+	fdSpec := flag.String("fd", "", "functional dependency rule (idCol:lhs->rhs)")
+	dcSpec := flag.String("dc", "", "denial constraint rule (idCol:preds[:fix=col])")
+	platform := flag.String("platform", "auto", "java|spark|relational|auto")
+	repairOut := flag.String("repair", "", "write the repaired dataset to this CSV")
+	demo := flag.Int("demo", 0, "generate a synthetic dirty tax dataset of this size instead of -in")
+	flag.Parse()
+
+	var schema *data.Schema
+	var recs []data.Record
+	var rules []cleaning.Rule
+	switch {
+	case *demo > 0:
+		schema = datagen.TaxSchema
+		recs = datagen.Tax(datagen.TaxConfig{N: *demo, Zips: *demo/50 + 1, ErrorRate: 0.02, Seed: 1})
+		rules = append(rules,
+			cleaning.FD{RuleName: "zip->city", ID: datagen.TaxID,
+				LHS: []int{datagen.TaxZip}, RHS: []int{datagen.TaxCity}},
+			cleaning.DenialConstraint{RuleName: "salary-rate", ID: datagen.TaxID,
+				Preds: []cleaning.Pred{
+					{LeftField: datagen.TaxSalary, Op: plan.Greater, RightField: datagen.TaxSalary},
+					{LeftField: datagen.TaxRate, Op: plan.Less, RightField: datagen.TaxRate},
+				}, FixField: datagen.TaxRate},
+		)
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		schema, recs, err = data.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -in FILE or -demo N")
+	}
+
+	if *fdSpec != "" {
+		r, err := parseFD(*fdSpec, schema)
+		if err != nil {
+			return err
+		}
+		rules = append(rules, r)
+	}
+	if *dcSpec != "" {
+		r, err := parseDC(*dcSpec, schema)
+		if err != nil {
+			return err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return fmt.Errorf("no rules: pass -fd and/or -dc (or -demo)")
+	}
+	for _, r := range rules {
+		if err := cleaning.Validate(r, schema.Len()); err != nil {
+			return err
+		}
+	}
+
+	ctx, err := rheem.NewContext(rheem.Config{})
+	if err != nil {
+		return err
+	}
+	var opts []rheem.RunOption
+	switch *platform {
+	case "auto":
+	case "java":
+		opts = append(opts, rheem.OnPlatform(javaengine.ID))
+	case "spark":
+		opts = append(opts, rheem.OnPlatform(sparksim.ID))
+	case "relational":
+		opts = append(opts, rheem.OnPlatform(relengine.ID))
+	default:
+		return fmt.Errorf("unknown platform %q", *platform)
+	}
+
+	det, err := cleaning.NewDetector(ctx, rules...)
+	if err != nil {
+		return err
+	}
+	violations, rep, err := det.Detect(recs, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d records, %d violations (wall %v, simulated %v, %d jobs)\n",
+		len(recs), len(violations), rep.Metrics.Wall.Round(1e6), rep.Metrics.Sim.Round(1e6), rep.Metrics.Jobs)
+	for rule, n := range cleaning.CountByRule(violations) {
+		fmt.Printf("  rule %-20s %d violations\n", rule, n)
+	}
+	fmt.Printf("  %d distinct tuples involved\n", len(cleaning.ViolatingTuples(violations)))
+
+	if *repairOut != "" {
+		idField := idFieldOf(rules)
+		repaired, stats, err := cleaning.Repair(recs, violations, rules, idField)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("repair: %d cells changed, %d equivalence classes, %d greedy fixes\n",
+			stats.CellsChanged, stats.Classes, stats.GreedyApplied)
+		f, err := os.Create(*repairOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return data.WriteCSV(f, schema, repaired)
+	}
+	return nil
+}
+
+func idFieldOf(rules []cleaning.Rule) int {
+	switch r := rules[0].(type) {
+	case cleaning.FD:
+		return r.ID
+	case cleaning.DenialConstraint:
+		return r.ID
+	default:
+		return 0
+	}
+}
+
+// parseFD parses "idCol:lhs[,lhs]->rhs[,rhs]" with column names.
+func parseFD(spec string, schema *data.Schema) (cleaning.Rule, error) {
+	idPart, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("bad -fd %q: want idCol:lhs->rhs", spec)
+	}
+	lhsPart, rhsPart, ok := strings.Cut(rest, "->")
+	if !ok {
+		return nil, fmt.Errorf("bad -fd %q: missing ->", spec)
+	}
+	col := func(name string) (int, error) {
+		i := schema.IndexOf(strings.TrimSpace(name))
+		if i < 0 {
+			return 0, fmt.Errorf("unknown column %q", name)
+		}
+		return i, nil
+	}
+	id, err := col(idPart)
+	if err != nil {
+		return nil, err
+	}
+	var lhs, rhs []int
+	for _, n := range strings.Split(lhsPart, ",") {
+		i, err := col(n)
+		if err != nil {
+			return nil, err
+		}
+		lhs = append(lhs, i)
+	}
+	for _, n := range strings.Split(rhsPart, ",") {
+		i, err := col(n)
+		if err != nil {
+			return nil, err
+		}
+		rhs = append(rhs, i)
+	}
+	return cleaning.FD{RuleName: "fd:" + rest, ID: id, LHS: lhs, RHS: rhs}, nil
+}
+
+// parseDC parses "idCol:col OP col[,col OP col...][:fix=col]".
+func parseDC(spec string, schema *data.Schema) (cleaning.Rule, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("bad -dc %q: want idCol:preds[:fix=col]", spec)
+	}
+	col := func(name string) (int, error) {
+		i := schema.IndexOf(strings.TrimSpace(name))
+		if i < 0 {
+			return 0, fmt.Errorf("unknown column %q", name)
+		}
+		return i, nil
+	}
+	id, err := col(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	dc := cleaning.DenialConstraint{RuleName: "dc:" + parts[1], ID: id, FixField: -1}
+	for _, ps := range strings.Split(parts[1], ",") {
+		var opName string
+		var op plan.CompareOp
+		for _, cand := range []struct {
+			s  string
+			op plan.CompareOp
+		}{{"<=", plan.LessEq}, {">=", plan.GreaterEq}, {"<", plan.Less}, {">", plan.Greater}} {
+			if strings.Contains(ps, cand.s) {
+				opName, op = cand.s, cand.op
+				break
+			}
+		}
+		if opName == "" {
+			return nil, fmt.Errorf("bad predicate %q: no < <= > >=", ps)
+		}
+		l, r, _ := strings.Cut(ps, opName)
+		li, err := col(l)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := col(r)
+		if err != nil {
+			return nil, err
+		}
+		dc.Preds = append(dc.Preds, cleaning.Pred{LeftField: li, Op: op, RightField: ri})
+	}
+	if len(parts) > 2 {
+		fixSpec, ok := strings.CutPrefix(parts[2], "fix=")
+		if !ok {
+			return nil, fmt.Errorf("bad -dc trailer %q: want fix=col", parts[2])
+		}
+		fi, err := col(fixSpec)
+		if err != nil {
+			return nil, err
+		}
+		dc.FixField = fi
+	}
+	return dc, nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"testing"
+
+	"rheem/internal/apps/cleaning"
+	"rheem/internal/core/plan"
+	"rheem/internal/data/datagen"
+)
+
+func TestParseFD(t *testing.T) {
+	r, err := parseFD("id:zip->city,state", datagen.TaxSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, ok := r.(cleaning.FD)
+	if !ok {
+		t.Fatalf("got %T", r)
+	}
+	if fd.ID != datagen.TaxID || len(fd.LHS) != 1 || fd.LHS[0] != datagen.TaxZip {
+		t.Errorf("fd = %+v", fd)
+	}
+	if len(fd.RHS) != 2 || fd.RHS[0] != datagen.TaxCity || fd.RHS[1] != datagen.TaxState {
+		t.Errorf("rhs = %v", fd.RHS)
+	}
+	for _, bad := range []string{
+		"", "zip->city", "id:zipcity", "id:ghost->city", "id:zip->ghost", "ghost:zip->city",
+	} {
+		if _, err := parseFD(bad, datagen.TaxSchema); err == nil {
+			t.Errorf("parseFD(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseDC(t *testing.T) {
+	r, err := parseDC("id:salary>salary,rate<rate:fix=rate", datagen.TaxSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, ok := r.(cleaning.DenialConstraint)
+	if !ok {
+		t.Fatalf("got %T", r)
+	}
+	if len(dc.Preds) != 2 {
+		t.Fatalf("preds = %+v", dc.Preds)
+	}
+	if dc.Preds[0].Op != plan.Greater || dc.Preds[0].LeftField != datagen.TaxSalary {
+		t.Errorf("pred0 = %+v", dc.Preds[0])
+	}
+	if dc.Preds[1].Op != plan.Less || dc.Preds[1].RightField != datagen.TaxRate {
+		t.Errorf("pred1 = %+v", dc.Preds[1])
+	}
+	if dc.FixField != datagen.TaxRate {
+		t.Errorf("fix field = %d", dc.FixField)
+	}
+	// <= and >= parse before < and >.
+	r, err = parseDC("id:salary>=salary", datagen.TaxSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.(cleaning.DenialConstraint).Preds[0].Op != plan.GreaterEq {
+		t.Error(">= parsed as >")
+	}
+	// Without a fix trailer the rule proposes no repairs.
+	if r.(cleaning.DenialConstraint).FixField != -1 {
+		t.Error("fix field should default to -1")
+	}
+	for _, bad := range []string{
+		"", "salary>salary", "id:salary=salary", "id:ghost>salary",
+		"id:salary>ghost", "id:salary>salary:fixrate", "id:salary>salary:fix=ghost",
+	} {
+		if _, err := parseDC(bad, datagen.TaxSchema); err == nil {
+			t.Errorf("parseDC(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsedRulesDetect(t *testing.T) {
+	// End-to-end: CLI-parsed rules find the same FD violations the
+	// canonical rule finds.
+	fd, err := parseFD("id:zip->city", datagen.TaxSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := datagen.Tax(datagen.TaxConfig{N: 100, Zips: 5, ErrorRate: 0.2, Seed: 3})
+	scoped, ok := fd.Scope(recs[0])
+	if !ok || scoped.Len() != 3 {
+		t.Fatalf("scope = %v", scoped)
+	}
+	if err := cleaning.Validate(fd, datagen.TaxSchema.Len()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Command rheem-sql runs RheemQL queries (a SQL subset, see package
+// rheemql) over typed-header CSV files, on the optimizer-chosen
+// platform or a pinned one.
+//
+// Usage:
+//
+//	rheem-sql -table name=file.csv [-table name2=file2.csv]
+//	          [-platform auto|java|spark|relational] [-explain] 'SELECT ...'
+//
+// With -demo, a synthetic tax table named "tax" is registered instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rheem"
+	"rheem/internal/apps/rheemql"
+	"rheem/internal/data"
+	"rheem/internal/data/datagen"
+	"rheem/internal/platform/javaengine"
+	"rheem/internal/platform/relengine"
+	"rheem/internal/platform/sparksim"
+)
+
+type tableFlags []string
+
+func (t *tableFlags) String() string { return strings.Join(*t, ",") }
+func (t *tableFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "rheem-sql: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var tables tableFlags
+	flag.Var(&tables, "table", "name=file.csv (repeatable)")
+	platform := flag.String("platform", "auto", "auto|java|spark|relational")
+	explain := flag.Bool("explain", false, "print the execution plan instead of rows")
+	demo := flag.Int("demo", 0, "register a synthetic 'tax' table of this size")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("need exactly one query argument")
+	}
+	sql := flag.Arg(0)
+
+	cat := rheemql.NewCatalog()
+	if *demo > 0 {
+		recs := datagen.Tax(datagen.TaxConfig{N: *demo, Zips: *demo/50 + 1, ErrorRate: 0.02, Seed: 1})
+		if err := cat.Register("tax", datagen.TaxSchema, recs); err != nil {
+			return err
+		}
+	}
+	for _, spec := range tables {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -table %q: want name=file.csv", spec)
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		schema, recs, err := data.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := cat.Register(name, schema, recs); err != nil {
+			return err
+		}
+	}
+
+	ctx, err := rheem.NewContext(rheem.Config{})
+	if err != nil {
+		return err
+	}
+	var opts []rheem.RunOption
+	switch *platform {
+	case "auto":
+	case "java":
+		opts = append(opts, rheem.OnPlatform(javaengine.ID))
+	case "spark":
+		opts = append(opts, rheem.OnPlatform(sparksim.ID))
+	case "relational":
+		opts = append(opts, rheem.OnPlatform(relengine.ID))
+	default:
+		return fmt.Errorf("unknown platform %q", *platform)
+	}
+
+	if *explain {
+		q, err := rheemql.Parse(sql)
+		if err != nil {
+			return err
+		}
+		compiled, err := rheemql.Compile(q, cat)
+		if err != nil {
+			return err
+		}
+		out, err := ctx.Explain(compiled.Plan, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+
+	recs, schema, rep, err := rheemql.Run(ctx, cat, sql, opts...)
+	if err != nil {
+		return err
+	}
+	if err := data.WriteCSV(os.Stdout, schema, recs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d rows (wall %v, simulated %v, %d jobs)\n",
+		len(recs), rep.Metrics.Wall.Round(1e6), rep.Metrics.Sim.Round(1e6), rep.Metrics.Jobs)
+	return nil
+}

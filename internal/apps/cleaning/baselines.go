@@ -1,0 +1,135 @@
+package cleaning
+
+import (
+	"rheem"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+// This file implements the baselines of the paper's Figure 3 (see
+// DESIGN.md §3): detection approaches that do NOT use the five-operator
+// decomposition, and therefore cannot block or exploit fine-grained
+// parallelism. They are asymptotically quadratic in the dataset and
+// are what the paper's evaluation had to stop after 22 hours.
+
+// DetectMonolithic runs a rule as one opaque Detect UDF over the whole
+// dataset — the left baseline of Figure 3. The dataflow is a single
+// GroupBy on a constant key whose group function does the full
+// pairwise scan: structurally legal RHEEM, but the constant blocking
+// key serialises all comparison work into one task.
+func (d *Detector) DetectMonolithic(rule Rule, dataset []data.Record, opts ...rheem.RunOption) ([]Violation, *rheem.Report, error) {
+	job := d.ctx.NewJob("monolithic-" + rule.Name())
+	scoped := job.ReadCollection("data", dataset).
+		FlatMap(func(r data.Record) ([]data.Record, error) {
+			s, ok := rule.Scope(r)
+			if !ok {
+				return nil, nil
+			}
+			return []data.Record{s}, nil
+		})
+	violations := scoped.GroupBy(plan.ConstKey(),
+		func(_ data.Value, all []data.Record) ([]data.Record, error) {
+			var out []data.Record
+			for i := 0; i < len(all); i++ {
+				for j := 0; j < len(all); j++ {
+					if i == j {
+						continue
+					}
+					if rule.Detect(all[i], all[j]) {
+						out = append(out, violationRecord(rule.Name(),
+							all[i].Field(0).Int(), all[j].Field(0).Int()))
+					}
+				}
+			}
+			return out, nil
+		})
+	recs, rep, err := violations.Collect(opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dedupSymmetric(rule, dataset, decodeViolations(recs)), rep, nil
+}
+
+// DetectSelfJoin runs a rule as a declarative self-join — the
+// SQL-on-Spark baseline of Figure 3's right side. Without the rule's
+// Block knowledge the join has no equality key, so it lowers to a
+// ThetaJoin with an opaque predicate (no declarative conditions),
+// which every platform must execute as a nested loop over all pairs.
+func (d *Detector) DetectSelfJoin(rule Rule, dataset []data.Record, opts ...rheem.RunOption) ([]Violation, *rheem.Report, error) {
+	job := d.ctx.NewJob("selfjoin-" + rule.Name())
+	scope := func(r data.Record) ([]data.Record, error) {
+		s, ok := rule.Scope(r)
+		if !ok {
+			return nil, nil
+		}
+		return []data.Record{s}, nil
+	}
+	src := plan.Collection(dataset)
+	left := job.ReadSource("scan-l", src, int64(len(dataset))).ShareScan("dataset").FlatMap(scope)
+	right := job.ReadSource("scan-r", src, int64(len(dataset))).ShareScan("dataset").FlatMap(scope)
+	scopedLen := 0
+	if len(dataset) > 0 {
+		if s, ok := rule.Scope(dataset[0]); ok {
+			scopedLen = s.Len()
+		}
+	}
+	joined := left.ThetaJoin(right, func(a, b data.Record) (bool, error) {
+		if a.Field(0).Int() == b.Field(0).Int() {
+			return false, nil
+		}
+		return rule.Detect(a, b), nil
+	})
+	violations := joined.Map(func(r data.Record) (data.Record, error) {
+		return violationRecord(rule.Name(), r.Field(0).Int(), r.Field(scopedLen).Int()), nil
+	})
+	recs, rep, err := violations.Collect(opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dedupSymmetric(rule, dataset, decodeViolations(recs)), rep, nil
+}
+
+// dedupSymmetric canonicalises violations so baselines and the blocked
+// pipeline are comparable: for rules that flag both orientations of
+// the same pair (symmetric Detect, e.g. FDs), keep the (min,max)
+// orientation only. Asymmetric rules pass through.
+func dedupSymmetric(rule Rule, dataset []data.Record, vs []Violation) []Violation {
+	scopedOf := map[int64]data.Record{}
+	for _, r := range dataset {
+		if s, ok := rule.Scope(r); ok {
+			scopedOf[s.Field(0).Int()] = s
+		}
+	}
+	seen := map[[2]int64]bool{}
+	out := make([]Violation, 0, len(vs))
+	for _, v := range vs {
+		a, b := scopedOf[v.Left], scopedOf[v.Right]
+		symmetric := rule.Detect(a, b) && rule.Detect(b, a)
+		key := [2]int64{v.Left, v.Right}
+		if symmetric {
+			if v.Left > v.Right {
+				key = [2]int64{v.Right, v.Left}
+			}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Violation{Rule: v.Rule, Left: key[0], Right: key[1]})
+	}
+	return out
+}
+
+// StripConditions wraps an inequality rule so its declarative
+// conditions are hidden from the optimizer, forcing nested-loop
+// detection — the ablation baseline of experiment E4.
+func StripConditions(r Rule) Rule {
+	return UDFRule{
+		RuleName: r.Name(),
+		ScopeFn:  r.Scope,
+		BlockFn:  r.Block,
+		DetectFn: r.Detect,
+		GenFixFn: r.GenFix,
+		// CondsList deliberately nil.
+	}
+}

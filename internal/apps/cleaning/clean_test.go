@@ -1,0 +1,64 @@
+package cleaning
+
+import (
+	"testing"
+
+	"rheem/internal/data/datagen"
+)
+
+func TestCleanReachesFixpointOnFD(t *testing.T) {
+	recs := datagen.Tax(datagen.TaxConfig{N: 300, Zips: 10, ErrorRate: 0.08, Seed: 21})
+	ctx := testCtx(t)
+	fd := zipCityFD()
+	cleaned, res, err := Clean(ctx, recs, []Rule{fd}, datagen.TaxID, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialViolations == 0 {
+		t.Fatal("fixture has no violations")
+	}
+	if res.FinalViolations != 0 {
+		t.Errorf("fixpoint not reached: %d violations remain after %d rounds", res.FinalViolations, res.Rounds)
+	}
+	if res.Rounds < 1 || res.CellsChanged == 0 {
+		t.Errorf("implausible result: %+v", res)
+	}
+	if len(cleaned) != len(recs) {
+		t.Errorf("record count changed: %d → %d", len(recs), len(cleaned))
+	}
+}
+
+func TestCleanReducesDCViolations(t *testing.T) {
+	recs := datagen.Tax(datagen.TaxConfig{N: 300, Zips: 10, ErrorRate: 0.05, Seed: 22})
+	ctx := testCtx(t)
+	dc := salaryRateDC()
+	_, res, err := Clean(ctx, recs, []Rule{dc}, datagen.TaxID, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialViolations == 0 {
+		t.Skip("no DC violations at this seed")
+	}
+	if res.FinalViolations >= res.InitialViolations {
+		t.Errorf("cleaning did not reduce violations: %d → %d", res.InitialViolations, res.FinalViolations)
+	}
+}
+
+func TestCleanOnCleanDataIsNoop(t *testing.T) {
+	recs := datagen.Tax(datagen.TaxConfig{N: 200, Zips: 10, ErrorRate: 0, Seed: 23})
+	ctx := testCtx(t)
+	cleaned, res, err := Clean(ctx, recs, []Rule{zipCityFD(), salaryRateDC()}, datagen.TaxID, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.CellsChanged != 0 || res.FinalViolations != 0 {
+		t.Errorf("clean data modified: %+v", res)
+	}
+	for i := range recs {
+		if !recsEqual(cleaned[i], recs[i]) {
+			t.Fatalf("record %d changed", i)
+		}
+	}
+}
+
+func recsEqual(a, b interface{ String() string }) bool { return a.String() == b.String() }

@@ -1,0 +1,198 @@
+package cleaning
+
+import (
+	"fmt"
+	"sort"
+
+	"rheem/internal/data"
+)
+
+// RepairStats summarises a repair pass.
+type RepairStats struct {
+	ViolationsIn  int
+	CellsChanged  int
+	Classes       int // equivalence classes formed
+	GreedyApplied int // fixes applied outside equivalence classes
+}
+
+// Repair produces a repaired copy of the dataset from detected
+// violations — the GenFix consumer. Equality repairs (an FD's "these
+// two cells must agree") are solved with the classic equivalence-class
+// algorithm: all cells connected by must-equal fixes form a class, and
+// every cell in a class is assigned the class's most frequent current
+// value (ties broken by value order, so repair is deterministic).
+// Remaining fixes (inequality rules' value adjustments) are applied
+// greedily, first fix per cell.
+//
+// idField names the dataset attribute holding the tuple id that
+// violations reference.
+func Repair(dataset []data.Record, violations []Violation, rules []Rule, idField int) ([]data.Record, RepairStats, error) {
+	stats := RepairStats{ViolationsIn: len(violations)}
+	byName := map[string]Rule{}
+	for _, r := range rules {
+		byName[r.Name()] = r
+	}
+	byID := map[int64]int{} // tuple id → dataset position
+	for i, r := range dataset {
+		byID[r.Field(idField).Int()] = i
+	}
+	scopedCache := map[string]map[int64]data.Record{}
+	scopedFor := func(rule Rule, tuple int64) (data.Record, error) {
+		cache, ok := scopedCache[rule.Name()]
+		if !ok {
+			cache = map[int64]data.Record{}
+			scopedCache[rule.Name()] = cache
+		}
+		if s, ok := cache[tuple]; ok {
+			return s, nil
+		}
+		pos, ok := byID[tuple]
+		if !ok {
+			return data.Record{}, fmt.Errorf("cleaning: violation references unknown tuple %d", tuple)
+		}
+		s, _ := rule.Scope(dataset[pos])
+		cache[tuple] = s
+		return s, nil
+	}
+
+	// Gather fixes: pairs of fixes targeting the same field from one
+	// violation are "must equal" constraints (FD GenFix emits both
+	// directions); single fixes are greedy assignments.
+	dsu := newDSU()
+	var greedy []Fix
+	for _, v := range violations {
+		rule, ok := byName[v.Rule]
+		if !ok {
+			return nil, stats, fmt.Errorf("cleaning: violation for unknown rule %q", v.Rule)
+		}
+		a, err := scopedFor(rule, v.Left)
+		if err != nil {
+			return nil, stats, err
+		}
+		b, err := scopedFor(rule, v.Right)
+		if err != nil {
+			return nil, stats, err
+		}
+		fixes := rule.GenFix(a, b)
+		// Group fixes by field: two fixes on the same field targeting
+		// each other's tuples = equality constraint.
+		byField := map[int][]Fix{}
+		for _, f := range fixes {
+			byField[f.Cell.Field] = append(byField[f.Cell.Field], f)
+		}
+		for _, fs := range byField {
+			if len(fs) == 2 && fs[0].Cell.Tuple != fs[1].Cell.Tuple {
+				dsu.union(fs[0].Cell, fs[1].Cell)
+			} else {
+				greedy = append(greedy, fs...)
+			}
+		}
+	}
+
+	// Materialise the repaired dataset.
+	repaired := data.CloneRecords(dataset)
+	valueOf := func(c Cell) data.Value {
+		return repaired[byID[c.Tuple]].Field(c.Field)
+	}
+	setValue := func(c Cell, v data.Value) {
+		pos := byID[c.Tuple]
+		if !data.Equal(repaired[pos].Field(c.Field), v) {
+			repaired[pos] = repaired[pos].WithField(c.Field, v)
+			stats.CellsChanged++
+		}
+	}
+
+	// Equivalence classes: majority value wins.
+	classes := dsu.classes()
+	stats.Classes = len(classes)
+	for _, cells := range classes {
+		type freq struct {
+			v data.Value
+			n int
+		}
+		var counts []freq
+		for _, c := range cells {
+			v := valueOf(c)
+			found := false
+			for i := range counts {
+				if data.Equal(counts[i].v, v) {
+					counts[i].n++
+					found = true
+					break
+				}
+			}
+			if !found {
+				counts = append(counts, freq{v: v, n: 1})
+			}
+		}
+		sort.Slice(counts, func(i, j int) bool {
+			if counts[i].n != counts[j].n {
+				return counts[i].n > counts[j].n
+			}
+			return data.Compare(counts[i].v, counts[j].v) < 0
+		})
+		winner := counts[0].v
+		for _, c := range cells {
+			setValue(c, winner)
+		}
+	}
+
+	// Greedy fixes: a cell can receive many proposals (one per
+	// violating partner). Applying the extreme (largest) proposed
+	// value satisfies every partner that proposed a value at once for
+	// monotone constraints like the salary/rate rule — each proposal
+	// asks to pull the cell at least that far.
+	proposals := map[Cell]data.Value{}
+	for _, f := range greedy {
+		if cur, ok := proposals[f.Cell]; !ok || data.Compare(f.To, cur) > 0 {
+			proposals[f.Cell] = f.To
+		}
+	}
+	for cell, v := range proposals {
+		setValue(cell, v)
+		stats.GreedyApplied++
+	}
+	return repaired, stats, nil
+}
+
+// dsu is a union-find over cells.
+type dsu struct {
+	parent map[Cell]Cell
+}
+
+func newDSU() *dsu { return &dsu{parent: map[Cell]Cell{}} }
+
+func (d *dsu) find(c Cell) Cell {
+	p, ok := d.parent[c]
+	if !ok {
+		d.parent[c] = c
+		return c
+	}
+	if p == c {
+		return c
+	}
+	root := d.find(p)
+	d.parent[c] = root
+	return root
+}
+
+func (d *dsu) union(a, b Cell) {
+	ra, rb := d.find(a), d.find(b)
+	if ra != rb {
+		d.parent[rb] = ra
+	}
+}
+
+// classes returns the non-trivial equivalence classes.
+func (d *dsu) classes() map[Cell][]Cell {
+	out := map[Cell][]Cell{}
+	for c := range d.parent {
+		out[d.find(c)] = append(out[d.find(c)], c)
+	}
+	for root, cells := range out {
+		if len(cells) < 2 {
+			delete(out, root)
+		}
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+// Package cleaning is BIGDANSING, the data cleaning application the
+// paper builds on RHEEM as its proof of concept (§5.1). Data quality
+// rules are modelled with the paper's five logical operators:
+//
+//	Scope   isolates the attributes a rule needs,
+//	Block   groups records that could violate the rule together,
+//	Iterate enumerates candidate record pairs within a block,
+//	Detect  decides whether a candidate violates the rule,
+//	GenFix  proposes possible repairs for a violation.
+//
+// Rules are declarative values (FD, DenialConstraint, UDFRule); the
+// Detector lowers them onto RHEEM logical plans. Equality rules run
+// through the blocked Scope→Block→Iterate→Detect pipeline (GroupBy);
+// inequality rules run through a self theta-join whose declarative
+// conditions let the optimizer pick the IEJoin physical operator — the
+// paper's worked extensibility example. Baselines (the monolithic
+// single-Detect UDF and the SQL-style self-join) live in baselines.go
+// and reproduce the slow sides of Figure 3.
+package cleaning
+
+import (
+	"fmt"
+
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+// Cell addresses one attribute of one tuple.
+type Cell struct {
+	Tuple int64 // tuple id (the dataset's id attribute)
+	Field int   // field index in the dataset schema
+}
+
+// Fix is one proposed repair: write To into Cell.
+type Fix struct {
+	Cell Cell
+	To   data.Value
+}
+
+// Violation records that a rule flagged a tuple pair (Right = -1 for
+// single-tuple rules).
+type Violation struct {
+	Rule  string
+	Left  int64
+	Right int64
+}
+
+// Rule is a data quality rule in the five-operator model. Scoped
+// records must carry the tuple id in field 0; the remaining fields are
+// rule-defined.
+type Rule interface {
+	// Name identifies the rule in violations.
+	Name() string
+	// Scope projects the fields the rule needs (id first); records the
+	// rule can never flag may be dropped (ok=false).
+	Scope(r data.Record) (scoped data.Record, ok bool)
+	// Block returns the blocking key: only records sharing a key can
+	// violate the rule together. Rules that cannot block (inequality
+	// rules) return a constant.
+	Block(scoped data.Record) data.Value
+	// Detect reports whether the ordered pair of scoped records
+	// violates the rule.
+	Detect(a, b data.Record) bool
+	// Conditions returns declarative inequality conditions over scoped
+	// records (field indices refer to the scoped layout); non-empty
+	// conditions make the rule eligible for IEJoin-based detection.
+	Conditions() []plan.IECondition
+	// GenFix proposes repairs for a violating scoped pair.
+	GenFix(a, b data.Record) []Fix
+}
+
+// FD is a functional dependency LHS → RHS over dataset field indices,
+// e.g. zip → city. Clean data has, for every LHS value, a single RHS
+// value.
+type FD struct {
+	RuleName string
+	ID       int   // field index of the tuple id
+	LHS      []int // determinant fields
+	RHS      []int // dependent fields
+}
+
+// Name implements Rule.
+func (f FD) Name() string { return f.RuleName }
+
+// Scope implements Rule: (id, lhs..., rhs...).
+func (f FD) Scope(r data.Record) (data.Record, bool) {
+	idx := make([]int, 0, 1+len(f.LHS)+len(f.RHS))
+	idx = append(idx, f.ID)
+	idx = append(idx, f.LHS...)
+	idx = append(idx, f.RHS...)
+	return r.Project(idx...), true
+}
+
+// Block implements Rule: records agreeing on LHS share a block. For a
+// single determinant the value itself is the key; composites hash.
+func (f FD) Block(scoped data.Record) data.Value {
+	if len(f.LHS) == 1 {
+		return scoped.Field(1)
+	}
+	h := uint64(0)
+	for i := range f.LHS {
+		h = h*1099511628211 ^ data.Hash(scoped.Field(1+i), 0)
+	}
+	return data.Int(int64(h))
+}
+
+// Detect implements Rule: same LHS (blocks may merge under hash
+// collisions, so LHS is rechecked), different RHS.
+func (f FD) Detect(a, b data.Record) bool {
+	for i := range f.LHS {
+		if !data.Equal(a.Field(1+i), b.Field(1+i)) {
+			return false
+		}
+	}
+	off := 1 + len(f.LHS)
+	for i := range f.RHS {
+		if !data.Equal(a.Field(off+i), b.Field(off+i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Conditions implements Rule: FDs are equality rules.
+func (FD) Conditions() []plan.IECondition { return nil }
+
+// GenFix implements Rule: equate each differing dependent cell, in both
+// directions — the repair algorithm picks by majority.
+func (f FD) GenFix(a, b data.Record) []Fix {
+	off := 1 + len(f.LHS)
+	var fixes []Fix
+	for i, rhsField := range f.RHS {
+		av, bv := a.Field(off+i), b.Field(off+i)
+		if data.Equal(av, bv) {
+			continue
+		}
+		fixes = append(fixes,
+			Fix{Cell: Cell{Tuple: a.Field(0).Int(), Field: rhsField}, To: bv},
+			Fix{Cell: Cell{Tuple: b.Field(0).Int(), Field: rhsField}, To: av},
+		)
+	}
+	return fixes
+}
+
+// Pred is one predicate of a denial constraint, comparing a field of
+// the first tuple with a field of the second (dataset field indices).
+type Pred struct {
+	LeftField  int
+	Op         plan.CompareOp
+	RightField int
+}
+
+// DenialConstraint forbids tuple pairs satisfying all predicates, e.g.
+// ¬(t1.salary > t2.salary ∧ t1.rate < t2.rate). Inequality predicates
+// make it IEJoin-eligible.
+type DenialConstraint struct {
+	RuleName string
+	ID       int // field index of the tuple id
+	Preds    []Pred
+
+	// FixField, when ≥ 0, names the dataset field GenFix adjusts on
+	// the left tuple (e.g. the rate); -1 proposes no fixes.
+	FixField int
+}
+
+// scopedFields returns the dataset fields the constraint touches, in
+// scoped order (stable, deduplicated).
+func (d DenialConstraint) scopedFields() []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(f int) {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	for _, p := range d.Preds {
+		add(p.LeftField)
+		add(p.RightField)
+	}
+	if d.FixField >= 0 {
+		add(d.FixField)
+	}
+	return out
+}
+
+func (d DenialConstraint) scopedIndex(datasetField int) int {
+	for i, f := range d.scopedFields() {
+		if f == datasetField {
+			return 1 + i
+		}
+	}
+	return -1
+}
+
+// Name implements Rule.
+func (d DenialConstraint) Name() string { return d.RuleName }
+
+// Scope implements Rule: (id, touched fields...).
+func (d DenialConstraint) Scope(r data.Record) (data.Record, bool) {
+	idx := append([]int{d.ID}, d.scopedFields()...)
+	return r.Project(idx...), true
+}
+
+// Block implements Rule: inequality constraints cannot block, so all
+// records share one block.
+func (DenialConstraint) Block(data.Record) data.Value { return data.Int(0) }
+
+// Detect implements Rule.
+func (d DenialConstraint) Detect(a, b data.Record) bool {
+	if a.Field(0).Int() == b.Field(0).Int() {
+		return false // a tuple does not violate with itself
+	}
+	for _, p := range d.Preds {
+		li, ri := d.scopedIndex(p.LeftField), d.scopedIndex(p.RightField)
+		if !p.Op.Eval(a.Field(li), b.Field(ri)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Conditions implements Rule: the predicates over scoped indices, the
+// declarative form the optimizer maps to IEJoin.
+func (d DenialConstraint) Conditions() []plan.IECondition {
+	out := make([]plan.IECondition, len(d.Preds))
+	for i, p := range d.Preds {
+		out[i] = plan.IECondition{
+			LeftField:  d.scopedIndex(p.LeftField),
+			Op:         p.Op,
+			RightField: d.scopedIndex(p.RightField),
+		}
+	}
+	return out
+}
+
+// GenFix implements Rule: pull the left tuple's fix field to the right
+// tuple's value, breaking the predicate conjunction minimally.
+func (d DenialConstraint) GenFix(a, b data.Record) []Fix {
+	if d.FixField < 0 {
+		return nil
+	}
+	si := d.scopedIndex(d.FixField)
+	return []Fix{{
+		Cell: Cell{Tuple: a.Field(0).Int(), Field: d.FixField},
+		To:   b.Field(si),
+	}}
+}
+
+// UDFRule wraps arbitrary user functions in the five-operator model —
+// the escape hatch for rules beyond FDs and DCs.
+type UDFRule struct {
+	RuleName  string
+	ScopeFn   func(data.Record) (data.Record, bool)
+	BlockFn   func(data.Record) data.Value
+	DetectFn  func(a, b data.Record) bool
+	GenFixFn  func(a, b data.Record) []Fix
+	CondsList []plan.IECondition
+}
+
+// Name implements Rule.
+func (u UDFRule) Name() string { return u.RuleName }
+
+// Scope implements Rule.
+func (u UDFRule) Scope(r data.Record) (data.Record, bool) {
+	if u.ScopeFn == nil {
+		return r, true
+	}
+	return u.ScopeFn(r)
+}
+
+// Block implements Rule.
+func (u UDFRule) Block(r data.Record) data.Value {
+	if u.BlockFn == nil {
+		return data.Int(0)
+	}
+	return u.BlockFn(r)
+}
+
+// Detect implements Rule.
+func (u UDFRule) Detect(a, b data.Record) bool { return u.DetectFn != nil && u.DetectFn(a, b) }
+
+// Conditions implements Rule.
+func (u UDFRule) Conditions() []plan.IECondition { return u.CondsList }
+
+// GenFix implements Rule.
+func (u UDFRule) GenFix(a, b data.Record) []Fix {
+	if u.GenFixFn == nil {
+		return nil
+	}
+	return u.GenFixFn(a, b)
+}
+
+// Validate sanity-checks a rule against a schema arity.
+func Validate(r Rule, schemaLen int) error {
+	switch rule := r.(type) {
+	case FD:
+		fields := append(append([]int{rule.ID}, rule.LHS...), rule.RHS...)
+		for _, f := range fields {
+			if f < 0 || f >= schemaLen {
+				return fmt.Errorf("cleaning: rule %s references field %d outside schema", r.Name(), f)
+			}
+		}
+		if len(rule.LHS) == 0 || len(rule.RHS) == 0 {
+			return fmt.Errorf("cleaning: rule %s needs determinant and dependent fields", r.Name())
+		}
+	case DenialConstraint:
+		if len(rule.Preds) == 0 {
+			return fmt.Errorf("cleaning: rule %s has no predicates", r.Name())
+		}
+		for _, p := range rule.Preds {
+			if p.LeftField < 0 || p.LeftField >= schemaLen || p.RightField < 0 || p.RightField >= schemaLen {
+				return fmt.Errorf("cleaning: rule %s references a field outside schema", r.Name())
+			}
+		}
+	}
+	return nil
+}

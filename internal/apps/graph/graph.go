@@ -1,0 +1,189 @@
+// Package graph is the graph processing application the paper lists as
+// in development on RHEEM (§5). It expresses the classic iterative
+// graph algorithms as RHEEM dataflows — joins for message passing over
+// edges, ReduceByKey for aggregation at the receiving vertex, Repeat /
+// DoWhile for the iteration — so they run unchanged on any registered
+// platform, and the optimizer decides where.
+//
+// Edges are (src Int, dst Int) records (datagen.EdgeSchema).
+package graph
+
+import (
+	"fmt"
+
+	"rheem"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+// nodesOf collects the distinct node ids of an edge list.
+func nodesOf(edges []data.Record) []int64 {
+	seen := map[int64]bool{}
+	var out []int64
+	for _, e := range edges {
+		for _, f := range []int64{e.Field(0).Int(), e.Field(1).Int()} {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// PageRankConfig parameterises PageRank.
+type PageRankConfig struct {
+	Iterations int     // default 10
+	Damping    float64 // default 0.85
+}
+
+// PageRank computes damped PageRank over a directed edge list.
+// Each iteration is one RHEEM loop body execution: ranks join the
+// out-degree-annotated edges at the source, contributions shuffle to
+// the destination, and a union with the teleport base re-seeds nodes
+// without in-edges. Mass from dangling nodes (no out-edges) is
+// dropped, the usual simplification; ranks are therefore relative, not
+// a strict probability distribution.
+func PageRank(ctx *rheem.Context, edges []data.Record, cfg PageRankConfig, opts ...rheem.RunOption) (map[int64]float64, *rheem.Report, error) {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 10
+	}
+	if cfg.Damping == 0 {
+		cfg.Damping = 0.85
+	}
+	if len(edges) == 0 {
+		return nil, nil, fmt.Errorf("graph: empty edge list")
+	}
+	nodes := nodesOf(edges)
+	n := float64(len(nodes))
+
+	// Annotate edges with the source's out-degree: (src, dst, outdeg).
+	outdeg := map[int64]int64{}
+	for _, e := range edges {
+		outdeg[e.Field(0).Int()]++
+	}
+	annotated := make([]data.Record, len(edges))
+	for i, e := range edges {
+		annotated[i] = data.NewRecord(e.Field(0), e.Field(1), data.Int(outdeg[e.Field(0).Int()]))
+	}
+	// Teleport base: (node, (1-d)/n).
+	base := make([]data.Record, len(nodes))
+	initRanks := make([]data.Record, len(nodes))
+	for i, node := range nodes {
+		base[i] = data.NewRecord(data.Int(node), data.Float((1-cfg.Damping)/n))
+		initRanks[i] = data.NewRecord(data.Int(node), data.Float(1/n))
+	}
+
+	job := ctx.NewJob("pagerank")
+	final := job.ReadCollection("ranks0", initRanks).
+		Repeat(cfg.Iterations, func(lb *rheem.LoopBody, ranks *rheem.DataQuanta) *rheem.DataQuanta {
+			es := lb.ReadCollection("edges", annotated)
+			contrib := ranks.
+				Join(es, plan.FieldKey(0), plan.FieldKey(0)).
+				// (node, rank, src, dst, outdeg) → (dst, d·rank/outdeg)
+				Map(func(r data.Record) (data.Record, error) {
+					rank := r.Field(1).Float()
+					deg := float64(r.Field(4).Int())
+					return data.NewRecord(r.Field(3), data.Float(cfg.Damping*rank/deg)), nil
+				})
+			seed := lb.ReadCollection("base", base)
+			return contrib.Union(seed).ReduceByKey(plan.FieldKey(0), plan.SumField(1))
+		})
+	recs, rep, err := final.Collect(opts...)
+	if err != nil {
+		return nil, rep, err
+	}
+	out := make(map[int64]float64, len(recs))
+	for _, r := range recs {
+		out[r.Field(0).Int()] = r.Field(1).Float()
+	}
+	return out, rep, nil
+}
+
+// ConnectedComponents labels every node of the undirected view of the
+// edge list with the smallest node id reachable from it, using
+// label propagation inside a DoWhile loop that stops at fixpoint.
+func ConnectedComponents(ctx *rheem.Context, edges []data.Record, maxIter int, opts ...rheem.RunOption) (map[int64]int64, *rheem.Report, error) {
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	if len(edges) == 0 {
+		return nil, nil, fmt.Errorf("graph: empty edge list")
+	}
+	nodes := nodesOf(edges)
+	init := make([]data.Record, len(nodes))
+	for i, node := range nodes {
+		init[i] = data.NewRecord(data.Int(node), data.Int(node))
+	}
+	// Undirected view: both orientations.
+	undirected := make([]data.Record, 0, 2*len(edges))
+	for _, e := range edges {
+		undirected = append(undirected, e, data.NewRecord(e.Field(1), e.Field(0)))
+	}
+
+	var prevSig uint64
+	cond := func(_ int, state []data.Record) (bool, error) {
+		var sig uint64
+		for _, r := range state {
+			sig ^= data.HashRecord(r, 42)
+		}
+		changed := sig != prevSig
+		prevSig = sig
+		return changed, nil
+	}
+
+	job := ctx.NewJob("connected-components")
+	final := job.ReadCollection("labels0", init).
+		DoWhile(cond, maxIter, func(lb *rheem.LoopBody, labels *rheem.DataQuanta) *rheem.DataQuanta {
+			es := lb.ReadCollection("edges", undirected)
+			propagated := labels.
+				Join(es, plan.FieldKey(0), plan.FieldKey(0)).
+				// (node, comp, src, dst) → (dst, comp)
+				Map(func(r data.Record) (data.Record, error) {
+					return data.NewRecord(r.Field(3), r.Field(1)), nil
+				})
+			return labels.Union(propagated).
+				ReduceByKey(plan.FieldKey(0), func(a, b data.Record) (data.Record, error) {
+					if a.Field(1).Int() <= b.Field(1).Int() {
+						return a, nil
+					}
+					return b, nil
+				})
+		})
+	recs, rep, err := final.Collect(opts...)
+	if err != nil {
+		return nil, rep, err
+	}
+	out := make(map[int64]int64, len(recs))
+	for _, r := range recs {
+		out[r.Field(0).Int()] = r.Field(1).Int()
+	}
+	return out, rep, nil
+}
+
+// Degrees computes (in, out) degree per node as a RHEEM job.
+func Degrees(ctx *rheem.Context, edges []data.Record, opts ...rheem.RunOption) (map[int64][2]int64, *rheem.Report, error) {
+	job := ctx.NewJob("degrees")
+	// (node, out, in) contributions from each edge endpoint.
+	contrib := job.ReadCollection("edges", edges).
+		FlatMap(func(e data.Record) ([]data.Record, error) {
+			return []data.Record{
+				data.NewRecord(e.Field(0), data.Int(1), data.Int(0)),
+				data.NewRecord(e.Field(1), data.Int(0), data.Int(1)),
+			}, nil
+		}).
+		ReduceByKey(plan.FieldKey(0), func(a, b data.Record) (data.Record, error) {
+			return data.NewRecord(a.Field(0),
+				data.Int(a.Field(1).Int()+b.Field(1).Int()),
+				data.Int(a.Field(2).Int()+b.Field(2).Int())), nil
+		})
+	recs, rep, err := contrib.Collect(opts...)
+	if err != nil {
+		return nil, rep, err
+	}
+	out := make(map[int64][2]int64, len(recs))
+	for _, r := range recs {
+		out[r.Field(0).Int()] = [2]int64{r.Field(2).Int(), r.Field(1).Int()} // [in, out]
+	}
+	return out, rep, nil
+}

@@ -1,0 +1,157 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"rheem"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+// KMeansConfig parameterises K-means clustering.
+type KMeansConfig struct {
+	K          int
+	Iterations int
+	Dim        int
+	// Tolerance, when positive, stops early once no centroid moves
+	// farther than this between iterations (via the Loop template's
+	// DoWhile form).
+	Tolerance float64
+}
+
+// KMeans builds a K-means trainer over (id, features) points using the
+// paper's K-means decomposition (§3.2): a GetCentroid step that tags
+// each point with its closest centroid, a GroupBy *enhancer* bridging
+// the signature gap, and a SetCentroids step computing new centroids
+// per group.
+//
+// The loop state is k records (centroidID Int, centroid Vec,
+// moved Float); `moved` carries each centroid's displacement so a
+// tolerance-based stopping condition can read it without extra plumbing.
+func KMeans(points []data.Record, cfg KMeansConfig) *Template {
+	if cfg.K <= 0 {
+		cfg.K = 4
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 20
+	}
+	if cfg.Dim <= 0 && len(points) > 0 {
+		cfg.Dim = len(points[0].Field(1).Vec())
+	}
+	t := &Template{
+		Name:       "kmeans",
+		Iterations: cfg.Iterations,
+		Initialize: func() ([]data.Record, error) {
+			if len(points) < cfg.K {
+				return nil, fmt.Errorf("kmeans: %d points for k=%d", len(points), cfg.K)
+			}
+			// Deterministic seeding: the first k points.
+			init := make([]data.Record, cfg.K)
+			for i := 0; i < cfg.K; i++ {
+				c := append([]float64(nil), points[i].Field(1).Vec()...)
+				init[i] = data.NewRecord(data.Int(int64(i)), data.Vec(c), data.Float(math.Inf(1)))
+			}
+			return init, nil
+		},
+		Process: func(lb *rheem.LoopBody, state *rheem.DataQuanta) *rheem.DataQuanta {
+			pts := lb.ReadCollection("points", points)
+			// GetCentroid: tag each point with its nearest centroid.
+			// points × centroids → keep min distance per point.
+			tagged := pts.Cartesian(state).
+				// (id, x, cid, c, moved) → (id, x, cid, dist)
+				Map(func(r data.Record) (data.Record, error) {
+					x, c := r.Field(1).Vec(), r.Field(3).Vec()
+					return data.NewRecord(r.Field(0), r.Field(1), r.Field(2), data.Float(dist2(x, c))), nil
+				}).
+				// per point, keep the closest centroid
+				ReduceByKey(plan.FieldKey(0), func(a, b data.Record) (data.Record, error) {
+					if a.Field(3).Float() <= b.Field(3).Float() {
+						return a, nil
+					}
+					return b, nil
+				})
+			// GroupBy enhancer + SetCentroids: average points per
+			// centroid. Old centroids are carried along (as a vector
+			// sum base of zero plus lookup via closure-free re-join is
+			// avoided by recomputing displacement in the group UDF
+			// against the tagged points' old assignment distance).
+			return tagged.GroupBy(plan.FieldKey(2), func(cid data.Value, grp []data.Record) ([]data.Record, error) {
+				sum := make([]float64, cfg.Dim)
+				for _, r := range grp {
+					sum = vecAdd(sum, r.Field(1).Vec())
+				}
+				mean := vecScale(sum, 1/float64(len(grp)))
+				// Displacement proxy: mean squared distance of members
+				// to the new centroid; it shrinks as clustering
+				// stabilises and serves the tolerance condition.
+				var spread float64
+				for _, r := range grp {
+					spread += dist2(r.Field(1).Vec(), mean)
+				}
+				spread /= float64(len(grp))
+				return []data.Record{data.NewRecord(cid, data.Vec(mean), data.Float(spread))}, nil
+			})
+		},
+	}
+	if cfg.Tolerance > 0 {
+		prev := map[int64][]float64{}
+		t.Converged = func(_ int, state []data.Record) (bool, error) {
+			maxMove := 0.0
+			for _, r := range state {
+				cid := r.Field(0).Int()
+				c := r.Field(1).Vec()
+				if p, ok := prev[cid]; ok {
+					if m := dist2(p, c); m > maxMove {
+						maxMove = m
+					}
+				} else {
+					maxMove = math.Inf(1)
+				}
+				prev[cid] = append([]float64(nil), c...)
+			}
+			return maxMove > cfg.Tolerance*cfg.Tolerance, nil
+		}
+	}
+	return t
+}
+
+// dist2 returns the squared euclidean distance.
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Centroids extracts (id, vector) pairs from a K-means final state.
+func Centroids(state []data.Record) map[int64][]float64 {
+	out := make(map[int64][]float64, len(state))
+	for _, r := range state {
+		out[r.Field(0).Int()] = r.Field(1).Vec()
+	}
+	return out
+}
+
+// Assign returns the nearest centroid id for a point.
+func Assign(centroids map[int64][]float64, x []float64) int64 {
+	best, bestD := int64(-1), math.Inf(1)
+	for id, c := range centroids {
+		if d := dist2(x, c); d < bestD {
+			best, bestD = id, d
+		}
+	}
+	return best
+}
+
+// IndexPoints converts (label, features) records into the (id,
+// features) shape K-means consumes.
+func IndexPoints(points []data.Record) []data.Record {
+	out := make([]data.Record, len(points))
+	for i, p := range points {
+		out[i] = data.NewRecord(data.Int(int64(i)), p.Field(1))
+	}
+	return out
+}

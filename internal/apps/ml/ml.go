@@ -1,0 +1,242 @@
+// Package ml is the machine-learning application of the paper's
+// Example 1: a developer exposes three logical operator templates —
+//
+//	Initialize  "for initializing algorithm-specific parameters"
+//	Process     "for the computations required by the ML algorithm"
+//	Loop        "for specifying the stopping condition"
+//
+// — and users implement SVM, K-means, and linear/logistic regression
+// with them. Template below is exactly that triple; the Train*
+// constructors instantiate it per algorithm. Everything executes
+// through the RHEEM core, so the same training job runs unchanged on
+// the single-node engine or the Spark simulator — the comparison the
+// paper's Figure 2 draws.
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"rheem"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+// Template is the ML application's operator triple (paper Example 1).
+type Template struct {
+	// Name labels the training job.
+	Name string
+	// Initialize produces the initial loop state (model parameters).
+	Initialize func() ([]data.Record, error)
+	// Process appends one iteration's dataflow to the loop body: given
+	// the state handle, return the next state handle.
+	Process func(lb *rheem.LoopBody, state *rheem.DataQuanta) *rheem.DataQuanta
+	// Iterations is the Loop stopping condition: a fixed iteration
+	// count (used when Converged is nil).
+	Iterations int
+	// Converged, when set, makes the loop a DoWhile: training continues
+	// while it returns true, bounded by Iterations.
+	Converged plan.CondFunc
+}
+
+// Run trains the template on a context and returns the final state.
+func (t *Template) Run(ctx *rheem.Context, opts ...rheem.RunOption) ([]data.Record, *rheem.Report, error) {
+	if t.Iterations <= 0 {
+		return nil, nil, fmt.Errorf("ml: %s: non-positive iteration bound", t.Name)
+	}
+	init, err := t.Initialize()
+	if err != nil {
+		return nil, nil, fmt.Errorf("ml: %s: initialize: %w", t.Name, err)
+	}
+	job := ctx.NewJob(t.Name)
+	state := job.ReadCollection("init", init)
+	var looped *rheem.DataQuanta
+	if t.Converged != nil {
+		looped = state.DoWhile(t.Converged, t.Iterations, t.Process)
+	} else {
+		looped = state.Repeat(t.Iterations, t.Process)
+	}
+	return looped.Collect(opts...)
+}
+
+// Vector helpers shared by the gradient-descent algorithms.
+
+// vecAdd returns a+b (allocating).
+func vecAdd(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// vecScale returns k·a (allocating).
+func vecScale(a []float64, k float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] * k
+	}
+	return out
+}
+
+// dot returns a·b.
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// sumVecField returns a ReduceFunc summing the vector in field i and
+// keeping the remaining fields of the first record — the aggregation
+// step of every batch gradient algorithm here.
+func sumVecField(i int) plan.ReduceFunc {
+	return func(a, b data.Record) (data.Record, error) {
+		return a.WithField(i, data.Vec(vecAdd(a.Field(i).Vec(), b.Field(i).Vec()))), nil
+	}
+}
+
+// GradientConfig parameterises the shared batch-gradient-descent
+// skeleton.
+type GradientConfig struct {
+	Iterations   int
+	LearningRate float64
+	// L2 is the ridge/regularisation strength (0 = none).
+	L2 float64
+	// Dim is the feature dimensionality.
+	Dim int
+}
+
+func (c *GradientConfig) defaults() {
+	if c.Iterations <= 0 {
+		c.Iterations = 100
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Dim <= 0 {
+		c.Dim = 10
+	}
+}
+
+// gradientTemplate builds the shared full-batch gradient-descent
+// dataflow. Points are (label Float, features Vec) records. The loop
+// state is one record (iteration Int, weights Vec). Each iteration:
+//
+//	points × state  →  per-point gradient contributions  →  Σ  →  step
+//
+// The Cartesian with the single-record state on the RIGHT is the
+// broadcast-join idiom: the big side stays partitioned and only the
+// tiny weights record is replicated to every worker. (Putting the
+// state on the left would serialise the whole dataset into one
+// partition on distributed platforms — the classic Spark mistake.)
+func gradientTemplate(name string, points []data.Record, cfg GradientConfig,
+	pointGrad func(w []float64, label float64, x []float64) []float64) *Template {
+	cfg.defaults()
+	n := float64(len(points))
+	return &Template{
+		Name:       name,
+		Iterations: cfg.Iterations,
+		Initialize: func() ([]data.Record, error) {
+			if len(points) == 0 {
+				return nil, fmt.Errorf("no training points")
+			}
+			return []data.Record{data.NewRecord(data.Int(0), data.Vec(make([]float64, cfg.Dim)))}, nil
+		},
+		Process: func(lb *rheem.LoopBody, state *rheem.DataQuanta) *rheem.DataQuanta {
+			pts := lb.ReadCollection("points", points)
+			// (label, x) × (iter, w) → (iter, w, grad)
+			contrib := pts.Cartesian(state).Map(func(r data.Record) (data.Record, error) {
+				label := r.Field(0).Float()
+				x := r.Field(1).Vec()
+				w := r.Field(3).Vec()
+				return data.NewRecord(r.Field(2), r.Field(3), data.Vec(pointGrad(w, label, x))), nil
+			})
+			summed := contrib.Reduce(sumVecField(2))
+			return summed.Map(func(r data.Record) (data.Record, error) {
+				iter := r.Field(0).Int()
+				w := r.Field(1).Vec()
+				grad := vecScale(r.Field(2).Vec(), 1/n)
+				// Learning-rate decay stabilises the hinge-loss step.
+				eta := cfg.LearningRate / (1 + 0.01*float64(iter))
+				next := make([]float64, len(w))
+				for i := range w {
+					next[i] = w[i]*(1-eta*cfg.L2) - eta*grad[i]
+				}
+				return data.NewRecord(data.Int(iter+1), data.Vec(next)), nil
+			})
+		},
+	}
+}
+
+// SVM builds a linear SVM trainer (hinge loss, L2 regularisation,
+// full-batch sub-gradient descent — the Pegasos objective) over
+// (label ±1, features) points. This is the workload of the paper's
+// Figure 2.
+func SVM(points []data.Record, cfg GradientConfig) *Template {
+	if cfg.L2 == 0 {
+		cfg.L2 = 0.01
+	}
+	return gradientTemplate("svm", points, cfg,
+		func(w []float64, label float64, x []float64) []float64 {
+			if label*dot(w, x) < 1 {
+				return vecScale(x, -label)
+			}
+			return make([]float64, len(x))
+		})
+}
+
+// LinearRegression builds a least-squares trainer over (target,
+// features) points.
+func LinearRegression(points []data.Record, cfg GradientConfig) *Template {
+	return gradientTemplate("linreg", points, cfg,
+		func(w []float64, y float64, x []float64) []float64 {
+			return vecScale(x, dot(w, x)-y)
+		})
+}
+
+// LogisticRegression builds a binary cross-entropy trainer over
+// (label 0/1 or ±1, features) points; ±1 labels are mapped to 0/1.
+func LogisticRegression(points []data.Record, cfg GradientConfig) *Template {
+	return gradientTemplate("logreg", points, cfg,
+		func(w []float64, label float64, x []float64) []float64 {
+			y := label
+			if y < 0 {
+				y = 0
+			}
+			p := 1 / (1 + math.Exp(-dot(w, x)))
+			return vecScale(x, p-y)
+		})
+}
+
+// Weights extracts the trained weight vector from a gradient
+// template's final state.
+func Weights(state []data.Record) ([]float64, error) {
+	if len(state) != 1 {
+		return nil, fmt.Errorf("ml: final state has %d records, want 1", len(state))
+	}
+	return state[0].Field(1).Vec(), nil
+}
+
+// PredictSign classifies a point with a linear model: sign(w·x).
+func PredictSign(w, x []float64) float64 {
+	if dot(w, x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Accuracy scores a linear classifier over (label ±1, features) points.
+func Accuracy(w []float64, points []data.Record) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, p := range points {
+		if PredictSign(w, p.Field(1).Vec()) == p.Field(0).Float() {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(points))
+}

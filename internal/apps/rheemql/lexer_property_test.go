@@ -1,0 +1,70 @@
+package rheemql
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// sqlishGen produces strings biased toward SQL-looking content plus
+// noise, to exercise the lexer's error paths without panics.
+type sqlishGen struct{ S string }
+
+func (sqlishGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	fragments := []string{
+		"SELECT", "FROM", "WHERE", " ", ",", "(", ")", "*", ".",
+		"tax", "zip", "42", "3.14", "'str'", "<=", ">=", "!=", "=",
+		"'unterminated", "@", "#", "a_b", "AND", "GROUP BY",
+	}
+	n := r.Intn(12)
+	s := ""
+	for i := 0; i < n; i++ {
+		s += fragments[r.Intn(len(fragments))]
+	}
+	return reflect.ValueOf(sqlishGen{S: s})
+}
+
+// TestQuickLexerTotal: for arbitrary input the lexer either errors or
+// returns a token stream terminated by exactly one EOF, never panics,
+// and every non-EOF token carries non-empty text.
+func TestQuickLexerTotal(t *testing.T) {
+	f := func(g sqlishGen) bool {
+		toks, err := lex(g.S)
+		if err != nil {
+			return true
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			return false
+		}
+		for _, tok := range toks[:len(toks)-1] {
+			if tok.kind == tokEOF {
+				return false // EOF mid-stream
+			}
+			if tok.text == "" && tok.kind != tokString {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParserNeverPanics: the parser returns an AST or an error for
+// arbitrary lexable input, never panicking.
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(g sqlishGen) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(g.S)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,506 @@
+package rheemql
+
+import (
+	"fmt"
+	"strings"
+
+	"rheem"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+// Catalog names the datasets queries can read.
+type Catalog struct {
+	tables map[string]*TableDef
+}
+
+// TableDef is one queryable dataset.
+type TableDef struct {
+	Schema  *data.Schema
+	Records []data.Record
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: map[string]*TableDef{}}
+}
+
+// Register adds a dataset.
+func (c *Catalog) Register(name string, schema *data.Schema, recs []data.Record) error {
+	if _, dup := c.tables[name]; dup {
+		return fmt.Errorf("rheemql: table %q already registered", name)
+	}
+	c.tables[name] = &TableDef{Schema: schema, Records: recs}
+	return nil
+}
+
+// Compiled is a query lowered to a logical plan.
+type Compiled struct {
+	Plan   *plan.Plan
+	Schema *data.Schema // output schema
+}
+
+// binding resolves column references against the (possibly joined)
+// row layout.
+type binding struct {
+	qualifier string // table alias
+	schema    *data.Schema
+	offset    int
+}
+
+type env struct{ binds []binding }
+
+func (e *env) resolve(ref ColumnRef) (int, data.Kind, error) {
+	var hits []int
+	var kind data.Kind
+	for _, b := range e.binds {
+		if ref.Table != "" && ref.Table != b.qualifier {
+			continue
+		}
+		if i := b.schema.IndexOf(ref.Column); i >= 0 {
+			hits = append(hits, b.offset+i)
+			kind = b.schema.Field(i).Type
+		}
+	}
+	switch len(hits) {
+	case 0:
+		return 0, 0, fmt.Errorf("rheemql: unknown column %s", ref)
+	case 1:
+		return hits[0], kind, nil
+	default:
+		return 0, 0, fmt.Errorf("rheemql: ambiguous column %s", ref)
+	}
+}
+
+// Compile lowers a parsed query onto a logical plan over the catalog.
+func Compile(q *Query, cat *Catalog) (*Compiled, error) {
+	b := plan.NewBuilder("rheemql")
+	e := &env{}
+
+	fromDef, ok := cat.tables[q.From.Name]
+	if !ok {
+		return nil, fmt.Errorf("rheemql: unknown table %q", q.From.Name)
+	}
+	cur := b.Source(q.From.Name, plan.Collection(fromDef.Records))
+	cur.CardHint = int64(len(fromDef.Records))
+	e.binds = append(e.binds, binding{qualifier: q.From.aliasOrName(), schema: fromDef.Schema})
+
+	if q.Join != nil {
+		joinDef, ok := cat.tables[q.Join.Table.Name]
+		if !ok {
+			return nil, fmt.Errorf("rheemql: unknown table %q", q.Join.Table.Name)
+		}
+		right := b.Source(q.Join.Table.Name, plan.Collection(joinDef.Records))
+		right.CardHint = int64(len(joinDef.Records))
+		rightBind := binding{qualifier: q.Join.Table.aliasOrName(), schema: joinDef.Schema, offset: fromDef.Schema.Len()}
+		// Resolve the ON columns against each side independently.
+		leftEnv := &env{binds: []binding{e.binds[0]}}
+		rightEnv := &env{binds: []binding{{qualifier: rightBind.qualifier, schema: joinDef.Schema}}}
+		li, _, err := leftEnv.resolve(q.Join.LeftCol)
+		if err != nil {
+			// The user may have written the sides in either order.
+			li, _, err = leftEnv.resolve(q.Join.RightCol)
+			if err != nil {
+				return nil, fmt.Errorf("rheemql: ON clause: %w", err)
+			}
+			q.Join.LeftCol, q.Join.RightCol = q.Join.RightCol, q.Join.LeftCol
+		}
+		ri, _, err := rightEnv.resolve(q.Join.RightCol)
+		if err != nil {
+			return nil, fmt.Errorf("rheemql: ON clause: %w", err)
+		}
+		cur = b.Join(cur, right, plan.FieldKey(li), plan.FieldKey(ri))
+		e.binds = append(e.binds, rightBind)
+	}
+
+	if len(q.Where) > 0 {
+		preds := make([]func(data.Record) (bool, error), 0, len(q.Where))
+		for _, cmp := range q.Where {
+			p, err := compilePredicate(cmp, e)
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, p)
+		}
+		f := b.Filter(cur, func(r data.Record) (bool, error) {
+			for _, p := range preds {
+				ok, err := p(r)
+				if err != nil || !ok {
+					return false, err
+				}
+			}
+			return true, nil
+		})
+		f.Selectivity = 0.3
+		cur = f
+	}
+
+	var outSchema *data.Schema
+	hasAgg := false
+	for _, it := range q.Select {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+
+	switch {
+	case hasAgg || len(q.GroupBy) > 0:
+		var err error
+		cur, outSchema, err = compileAggregate(b, cur, q, e)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		var err error
+		cur, outSchema, err = compileProjection(b, cur, q, e)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if len(q.Having) > 0 {
+		preds := make([]func(data.Record) (bool, error), 0, len(q.Having))
+		for _, cmp := range q.Having {
+			idx := outSchema.IndexOf(cmp.Left.Column)
+			if idx < 0 {
+				return nil, fmt.Errorf("rheemql: HAVING column %s is not in the output", cmp.Left)
+			}
+			lit, err := literalValue(*cmp.RightLit, outSchema.Field(idx).Type)
+			if err != nil {
+				return nil, err
+			}
+			op := cmp.Op
+			preds = append(preds, func(r data.Record) (bool, error) {
+				c := data.Compare(r.Field(idx), lit)
+				switch op {
+				case "=":
+					return c == 0, nil
+				case "!=":
+					return c != 0, nil
+				case "<":
+					return c < 0, nil
+				case "<=":
+					return c <= 0, nil
+				case ">":
+					return c > 0, nil
+				case ">=":
+					return c >= 0, nil
+				}
+				return false, fmt.Errorf("rheemql: unknown operator %q", op)
+			})
+		}
+		cur = b.Filter(cur, func(r data.Record) (bool, error) {
+			for _, p := range preds {
+				ok, err := p(r)
+				if err != nil || !ok {
+					return false, err
+				}
+			}
+			return true, nil
+		})
+	}
+
+	if q.OrderBy != nil {
+		idx := outSchema.IndexOf(q.OrderBy.Col.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("rheemql: ORDER BY column %s is not in the output", q.OrderBy.Col)
+		}
+		cur = b.Sort(cur, plan.FieldKey(idx), q.OrderBy.Desc)
+	}
+	if q.Limit >= 0 {
+		cur = b.Sample(cur, q.Limit)
+	}
+	b.Collect(cur)
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Plan: p, Schema: outSchema}, nil
+}
+
+// compilePredicate lowers one comparison to a filter function.
+func compilePredicate(cmp Comparison, e *env) (func(data.Record) (bool, error), error) {
+	li, kind, err := e.resolve(cmp.Left)
+	if err != nil {
+		return nil, err
+	}
+	var rightOf func(data.Record) data.Value
+	if cmp.RightCol != nil {
+		ri, _, err := e.resolve(*cmp.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		rightOf = func(r data.Record) data.Value { return r.Field(ri) }
+	} else {
+		lit, err := literalValue(*cmp.RightLit, kind)
+		if err != nil {
+			return nil, err
+		}
+		rightOf = func(data.Record) data.Value { return lit }
+	}
+	op := cmp.Op
+	return func(r data.Record) (bool, error) {
+		c := data.Compare(r.Field(li), rightOf(r))
+		switch op {
+		case "=":
+			return c == 0, nil
+		case "!=":
+			return c != 0, nil
+		case "<":
+			return c < 0, nil
+		case "<=":
+			return c <= 0, nil
+		case ">":
+			return c > 0, nil
+		case ">=":
+			return c >= 0, nil
+		}
+		return false, fmt.Errorf("rheemql: unknown operator %q", op)
+	}, nil
+}
+
+// literalValue coerces a literal to the compared column's kind.
+func literalValue(l Literal, kind data.Kind) (data.Value, error) {
+	switch {
+	case l.IsString:
+		return data.Str(l.Str), nil
+	case l.IsBool:
+		return data.Bool(l.Bool), nil
+	case kind == data.KindInt && l.IsInt:
+		return data.Int(l.Int), nil
+	default:
+		return data.Float(l.Num), nil
+	}
+}
+
+// compileProjection lowers a plain SELECT list.
+func compileProjection(b *plan.Builder, cur *plan.Operator, q *Query, e *env) (*plan.Operator, *data.Schema, error) {
+	if len(q.Select) == 1 && q.Select[0].Star {
+		// SELECT *: pass-through; output schema is the concatenation.
+		var fields []data.Field
+		for _, bind := range e.binds {
+			for _, f := range bind.schema.Fields() {
+				name := f.Name
+				for hasField(fields, name) {
+					name = bind.qualifier + "_" + name
+				}
+				fields = append(fields, data.Field{Name: name, Type: f.Type})
+			}
+		}
+		s, err := data.NewSchema(fields...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cur, s, nil
+	}
+	idx := make([]int, len(q.Select))
+	fields := make([]data.Field, len(q.Select))
+	for i, it := range q.Select {
+		if it.Star || it.Agg != "" {
+			return nil, nil, fmt.Errorf("rheemql: mixed star/aggregate projection")
+		}
+		pos, kind, err := e.resolve(it.Col)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx[i] = pos
+		name := it.Alias
+		if name == "" {
+			name = it.Col.Column
+		}
+		for hasField(fields[:i], name) {
+			name = "_" + name
+		}
+		fields[i] = data.Field{Name: name, Type: kind}
+	}
+	s, err := data.NewSchema(fields...)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := b.Map(cur, func(r data.Record) (data.Record, error) {
+		return r.Project(idx...), nil
+	})
+	return out, s, nil
+}
+
+func hasField(fields []data.Field, name string) bool {
+	for _, f := range fields {
+		if f.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// compileAggregate lowers GROUP BY / global aggregation.
+func compileAggregate(b *plan.Builder, cur *plan.Operator, q *Query, e *env) (*plan.Operator, *data.Schema, error) {
+	groupIdx := make([]int, len(q.GroupBy))
+	groupSet := map[string]int{} // column name → position in GroupBy
+	for i, col := range q.GroupBy {
+		pos, _, err := e.resolve(col)
+		if err != nil {
+			return nil, nil, err
+		}
+		groupIdx[i] = pos
+		groupSet[col.Column] = i
+	}
+
+	// Validate and type the select list.
+	type outCol struct {
+		groupPos int // ≥0: group column (position in groupIdx)
+		agg      AggFunc
+		argIdx   int // resolved field for the aggregate argument
+		argStar  bool
+		kind     data.Kind
+		name     string
+	}
+	outs := make([]outCol, len(q.Select))
+	for i, it := range q.Select {
+		switch {
+		case it.Star:
+			return nil, nil, fmt.Errorf("rheemql: SELECT * with aggregation")
+		case it.Agg == "":
+			gp, ok := groupSet[it.Col.Column]
+			if !ok {
+				return nil, nil, fmt.Errorf("rheemql: column %s is neither aggregated nor grouped", it.Col)
+			}
+			_, kind, err := e.resolve(it.Col)
+			if err != nil {
+				return nil, nil, err
+			}
+			name := it.Alias
+			if name == "" {
+				name = it.Col.Column
+			}
+			outs[i] = outCol{groupPos: gp, agg: "", kind: kind, name: name}
+		default:
+			oc := outCol{groupPos: -1, agg: it.Agg, kind: data.KindFloat}
+			if it.ArgStar {
+				oc.argStar = true
+				oc.kind = data.KindInt
+			} else {
+				pos, kind, err := e.resolve(it.Arg)
+				if err != nil {
+					return nil, nil, err
+				}
+				oc.argIdx = pos
+				switch it.Agg {
+				case AggCount:
+					oc.kind = data.KindInt
+				case AggMin, AggMax:
+					oc.kind = kind
+				}
+			}
+			oc.name = it.Alias
+			if oc.name == "" {
+				arg := "star"
+				if !oc.argStar {
+					arg = it.Arg.Column
+				}
+				oc.name = strings.ToLower(string(it.Agg)) + "_" + arg
+			}
+			outs[i] = oc
+		}
+	}
+	fields := make([]data.Field, len(outs))
+	for i, oc := range outs {
+		name := oc.name
+		for hasField(fields[:i], name) {
+			name = "_" + name
+		}
+		fields[i] = data.Field{Name: name, Type: oc.kind}
+	}
+	schema, err := data.NewSchema(fields...)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	key := func(r data.Record) (data.Value, error) {
+		if len(groupIdx) == 0 {
+			return data.Int(0), nil
+		}
+		if len(groupIdx) == 1 {
+			return r.Field(groupIdx[0]), nil
+		}
+		h := uint64(0)
+		for _, gi := range groupIdx {
+			h = h*1099511628211 ^ data.Hash(r.Field(gi), 0)
+		}
+		return data.Int(int64(h)), nil
+	}
+
+	grouped := b.GroupBy(cur, key, func(_ data.Value, group []data.Record) ([]data.Record, error) {
+		vals := make([]data.Value, len(outs))
+		for i, oc := range outs {
+			if oc.agg == "" {
+				vals[i] = group[0].Field(groupIdx[oc.groupPos])
+				continue
+			}
+			switch oc.agg {
+			case AggCount:
+				if oc.argStar {
+					vals[i] = data.Int(int64(len(group)))
+				} else {
+					n := int64(0)
+					for _, r := range group {
+						if !r.Field(oc.argIdx).IsNull() {
+							n++
+						}
+					}
+					vals[i] = data.Int(n)
+				}
+			case AggSum, AggAvg:
+				var sum float64
+				n := 0
+				for _, r := range group {
+					v := r.Field(oc.argIdx)
+					if v.IsNull() {
+						continue
+					}
+					sum += v.Float()
+					n++
+				}
+				if oc.agg == AggAvg && n > 0 {
+					sum /= float64(n)
+				}
+				vals[i] = data.Float(sum)
+			case AggMin, AggMax:
+				var best data.Value
+				for _, r := range group {
+					v := r.Field(oc.argIdx)
+					if v.IsNull() {
+						continue
+					}
+					if best.IsNull() ||
+						(oc.agg == AggMin && data.Compare(v, best) < 0) ||
+						(oc.agg == AggMax && data.Compare(v, best) > 0) {
+						best = v
+					}
+				}
+				vals[i] = best
+			}
+		}
+		return []data.Record{data.NewRecord(vals...)}, nil
+	})
+	if len(groupIdx) > 0 {
+		grouped.DistinctKeys = 0 // let the estimator guess
+	}
+	return grouped, schema, nil
+}
+
+// Run parses, compiles, and executes a query on a context.
+func Run(ctx *rheem.Context, cat *Catalog, sql string, opts ...rheem.RunOption) ([]data.Record, *data.Schema, *rheem.Report, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	compiled, err := Compile(q, cat)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	recs, rep, err := ctx.Execute(compiled.Plan, opts...)
+	if err != nil {
+		return nil, nil, rep, err
+	}
+	return recs, compiled.Schema, rep, nil
+}

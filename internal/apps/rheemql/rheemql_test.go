@@ -1,0 +1,357 @@
+package rheemql
+
+import (
+	"strings"
+	"testing"
+
+	"rheem"
+	"rheem/internal/data"
+	"rheem/internal/data/datagen"
+	"rheem/internal/platform/sparksim"
+)
+
+func testCtx(t *testing.T) *rheem.Context {
+	t.Helper()
+	ctx, err := rheem.NewContext(rheem.Config{
+		Spark: sparksim.Config{JobOverhead: 1e5, TaskOverhead: 1e4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func taxCatalog(t *testing.T, n int) *Catalog {
+	t.Helper()
+	cat := NewCatalog()
+	recs := datagen.Tax(datagen.TaxConfig{N: n, Zips: 10, ErrorRate: 0, Seed: 1})
+	if err := cat.Register("tax", datagen.TaxSchema, recs); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestLexer(t *testing.T) {
+	toks, err := lex("SELECT a, b FROM t WHERE x >= 1.5 AND y != 'hi'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+	}
+	if toks[0].text != "SELECT" || toks[0].kind != tokKeyword {
+		t.Errorf("first token %+v", toks[0])
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.kind == tokSymbol && tok.text == ">=" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error(">= not lexed as one token")
+	}
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("SELECT a ! b"); err == nil {
+		t.Error("lone ! accepted")
+	}
+	if _, err := lex("SELECT a ; b"); err == nil {
+		t.Error("stray rune accepted")
+	}
+	_ = kinds
+}
+
+func TestParseFullQuery(t *testing.T) {
+	q, err := Parse(`SELECT zip, COUNT(*) AS n, AVG(salary) FROM tax t
+		WHERE state = 'NY' AND salary > 50000
+		GROUP BY zip ORDER BY n DESC LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 3 || q.Select[1].Alias != "n" || q.Select[2].Agg != AggAvg {
+		t.Errorf("select = %+v", q.Select)
+	}
+	if q.From.Name != "tax" || q.From.Alias != "t" {
+		t.Errorf("from = %+v", q.From)
+	}
+	if len(q.Where) != 2 || q.Where[0].RightLit.Str != "NY" {
+		t.Errorf("where = %+v", q.Where)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Column != "zip" {
+		t.Errorf("group by = %+v", q.GroupBy)
+	}
+	if q.OrderBy == nil || !q.OrderBy.Desc {
+		t.Errorf("order by = %+v", q.OrderBy)
+	}
+	if q.Limit != 10 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	q, err := Parse("SELECT a.x, b.y FROM a JOIN b ON a.id = b.aid WHERE a.x < b.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Join == nil || q.Join.Table.Name != "b" {
+		t.Fatalf("join = %+v", q.Join)
+	}
+	if q.Join.LeftCol.String() != "a.id" || q.Join.RightCol.String() != "b.aid" {
+		t.Errorf("on = %s, %s", q.Join.LeftCol, q.Join.RightCol)
+	}
+	if q.Where[0].RightCol == nil {
+		t.Error("column-column comparison lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t LIMIT x",
+		"SELECT SUM(*) FROM t",
+		"SELECT a FROM t GROUP zip",
+		"SELECT a FROM t extra garbage (",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) accepted", q)
+		}
+	}
+}
+
+func TestSelectWhereProjection(t *testing.T) {
+	ctx := testCtx(t)
+	cat := taxCatalog(t, 500)
+	recs, schema, _, err := Run(ctx, cat, "SELECT id, salary FROM tax WHERE salary > 150000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Spec() != "id:int,salary:float" {
+		t.Errorf("schema = %s", schema)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range recs {
+		if r.Field(1).Float() <= 150000 {
+			t.Fatalf("filter failed: %s", r)
+		}
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	ctx := testCtx(t)
+	cat := taxCatalog(t, 50)
+	recs, schema, _, err := Run(ctx, cat, "SELECT * FROM tax LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || schema.Len() != datagen.TaxSchema.Len() {
+		t.Errorf("star: %d rows, schema %s", len(recs), schema)
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	ctx := testCtx(t)
+	cat := taxCatalog(t, 1000)
+	recs, schema, _, err := Run(ctx, cat,
+		"SELECT state, COUNT(*) AS n, AVG(salary) AS avg_sal, MAX(rate) AS maxr FROM tax GROUP BY state ORDER BY state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Spec() != "state:string,n:int,avg_sal:float,maxr:float" {
+		t.Errorf("schema = %s", schema)
+	}
+	var total int64
+	prev := ""
+	for _, r := range recs {
+		total += r.Field(1).Int()
+		if r.Field(2).Float() < 20000 || r.Field(2).Float() > 200000 {
+			t.Errorf("implausible avg: %s", r)
+		}
+		if r.Field(0).Str() < prev {
+			t.Error("ORDER BY state violated")
+		}
+		prev = r.Field(0).Str()
+	}
+	if total != 1000 {
+		t.Errorf("counts sum to %d", total)
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	ctx := testCtx(t)
+	cat := taxCatalog(t, 300)
+	recs, _, _, err := Run(ctx, cat, "SELECT COUNT(*), MIN(salary), MAX(salary) FROM tax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d rows for global aggregate", len(recs))
+	}
+	if recs[0].Field(0).Int() != 300 {
+		t.Errorf("count = %s", recs[0])
+	}
+	if recs[0].Field(1).Float() >= recs[0].Field(2).Float() {
+		t.Errorf("min >= max: %s", recs[0])
+	}
+}
+
+func TestJoinQuery(t *testing.T) {
+	ctx := testCtx(t)
+	cat := NewCatalog()
+	people := data.MustSchema(
+		data.Field{Name: "id", Type: data.KindInt},
+		data.Field{Name: "dept", Type: data.KindInt},
+		data.Field{Name: "name", Type: data.KindString},
+	)
+	depts := data.MustSchema(
+		data.Field{Name: "did", Type: data.KindInt},
+		data.Field{Name: "dname", Type: data.KindString},
+	)
+	if err := cat.Register("people", people, []data.Record{
+		data.NewRecord(data.Int(1), data.Int(10), data.Str("ann")),
+		data.NewRecord(data.Int(2), data.Int(20), data.Str("bob")),
+		data.NewRecord(data.Int(3), data.Int(10), data.Str("cyd")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register("depts", depts, []data.Record{
+		data.NewRecord(data.Int(10), data.Str("eng")),
+		data.NewRecord(data.Int(20), data.Str("ops")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recs, schema, _, err := Run(ctx, cat,
+		"SELECT name, dname FROM people p JOIN depts d ON p.dept = d.did WHERE dname = 'eng' ORDER BY name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Spec() != "name:string,dname:string" {
+		t.Errorf("schema = %s", schema)
+	}
+	if len(recs) != 2 || recs[0].Field(0).Str() != "ann" || recs[1].Field(0).Str() != "cyd" {
+		t.Errorf("join rows = %v", recs)
+	}
+	// Aggregation over a join.
+	recs, _, _, err = Run(ctx, cat,
+		"SELECT dname, COUNT(*) AS n FROM people p JOIN depts d ON p.dept = d.did GROUP BY dname ORDER BY n DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Field(1).Int() != 2 {
+		t.Errorf("join-aggregate rows = %v", recs)
+	}
+}
+
+func TestHaving(t *testing.T) {
+	ctx := testCtx(t)
+	cat := taxCatalog(t, 1000)
+	recs, schema, _, err := Run(ctx, cat,
+		"SELECT state, COUNT(*) AS n FROM tax GROUP BY state HAVING n >= 100 ORDER BY n DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Spec() != "state:string,n:int" {
+		t.Errorf("schema = %s", schema)
+	}
+	if len(recs) == 0 {
+		t.Fatal("HAVING filtered everything")
+	}
+	for _, r := range recs {
+		if r.Field(1).Int() < 100 {
+			t.Errorf("HAVING violated: %s", r)
+		}
+	}
+	// Sanity: without HAVING there are more groups.
+	all, _, _, err := Run(ctx, cat, "SELECT state, COUNT(*) AS n FROM tax GROUP BY state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) <= len(recs) {
+		t.Skip("all groups pass the threshold at this seed")
+	}
+}
+
+func TestHavingOnDerivedAggregateName(t *testing.T) {
+	ctx := testCtx(t)
+	cat := taxCatalog(t, 500)
+	recs, _, _, err := Run(ctx, cat,
+		"SELECT zip, AVG(salary) FROM tax GROUP BY zip HAVING avg_salary > 100000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Field(1).Float() <= 100000 {
+			t.Errorf("derived-name HAVING violated: %s", r)
+		}
+	}
+}
+
+func TestHavingErrors(t *testing.T) {
+	ctx := testCtx(t)
+	cat := taxCatalog(t, 10)
+	bad := []string{
+		"SELECT id FROM tax HAVING id > 1",                          // no aggregation
+		"SELECT state, COUNT(*) FROM tax GROUP BY state HAVING ghost > 1", // unknown output column
+		"SELECT state, COUNT(*) AS n FROM tax GROUP BY state HAVING n > salary", // column RHS
+	}
+	for _, q := range bad {
+		if _, _, _, err := Run(ctx, cat, q); err == nil {
+			t.Errorf("query %q accepted", q)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	ctx := testCtx(t)
+	cat := taxCatalog(t, 10)
+	bad := []string{
+		"SELECT nope FROM tax",
+		"SELECT id FROM ghost",
+		"SELECT id FROM tax ORDER BY salary", // not in output
+		"SELECT salary FROM tax GROUP BY zip",
+		"SELECT * , COUNT(*) FROM tax",
+		"SELECT t.id FROM tax x WHERE q.id = 1",
+	}
+	for _, q := range bad {
+		if _, _, _, err := Run(ctx, cat, q); err == nil {
+			t.Errorf("query %q accepted", q)
+		}
+	}
+	if err := cat.Register("tax", datagen.TaxSchema, nil); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestQueryRunsOnEveryPlatform(t *testing.T) {
+	ctx := testCtx(t)
+	cat := taxCatalog(t, 400)
+	const q = "SELECT zip, COUNT(*) AS n FROM tax GROUP BY zip ORDER BY zip"
+	var want string
+	for _, p := range ctx.Registry().Platforms() {
+		recs, _, _, err := Run(ctx, cat, q, rheem.OnPlatform(p.ID()))
+		if err != nil {
+			t.Fatalf("%s: %v", p.ID(), err)
+		}
+		var sb strings.Builder
+		for _, r := range recs {
+			sb.WriteString(r.String())
+		}
+		if want == "" {
+			want = sb.String()
+		} else if sb.String() != want {
+			t.Errorf("%s produced different rows", p.ID())
+		}
+	}
+	if want == "" {
+		t.Fatal("no platforms ran")
+	}
+}

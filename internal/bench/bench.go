@@ -1,0 +1,195 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation artifacts (DESIGN.md §2, EXPERIMENTS.md). Each experiment
+// builds the workload with datagen, runs the relevant RHEEM jobs, and
+// emits a Table whose rows mirror the series of the corresponding
+// figure. Experiments report the *simulated* cluster time by default —
+// deterministic and machine-independent — with measured wall time
+// alongside; see DESIGN.md §5 ("Real execution + virtual clock").
+//
+// Quadratic baselines are measured up to a size cap and extrapolated
+// beyond it, marked "est./stopped" the way the paper reports baselines
+// it stopped after 22 hours.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result: column headers plus formatted rows.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Print writes the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprint(w, esc(c))
+		}
+		fmt.Fprintln(w)
+	}
+	row(t.Columns)
+	for _, r := range t.Rows {
+		row(r)
+	}
+}
+
+// Dur formats a duration for table cells with stable precision.
+func Dur(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/1e6)
+	case d < time.Minute:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%.1fmin", d.Minutes())
+	}
+}
+
+// EstDur formats an extrapolated duration, marked the way the paper
+// marks baselines it had to stop.
+func EstDur(d time.Duration) string {
+	return "> " + Dur(d) + " (est., stopped)"
+}
+
+// Speedup formats a ratio like "12.3x"; ratios below 1 render the
+// reciprocal as a slowdown.
+func Speedup(base, other time.Duration) string {
+	if other <= 0 || base <= 0 {
+		return "-"
+	}
+	r := float64(base) / float64(other)
+	if r >= 1 {
+		return fmt.Sprintf("%.1fx", r)
+	}
+	return fmt.Sprintf("1/%.1fx", 1/r)
+}
+
+// Count formats a record count with thousands grouping.
+func Count(n int) string {
+	s := fmt.Sprintf("%d", n)
+	var out []string
+	for len(s) > 3 {
+		out = append([]string{s[len(s)-3:]}, out...)
+		s = s[:len(s)-3]
+	}
+	out = append([]string{s}, out...)
+	return strings.Join(out, ",")
+}
+
+// ExtrapolateQuadratic scales a measurement at size m to size n
+// assuming t ∝ n².
+func ExtrapolateQuadratic(measured time.Duration, m, n int) time.Duration {
+	if m <= 0 {
+		return 0
+	}
+	scale := (float64(n) / float64(m)) * (float64(n) / float64(m))
+	return time.Duration(float64(measured) * scale)
+}
+
+// Registry maps experiment names to their runners, filled by
+// experiments.go.
+type Runner func(cfg Config) ([]*Table, error)
+
+var experiments = map[string]Runner{}
+
+func register(name string, r Runner) { experiments[name] = r }
+
+// Experiments lists registered experiment names, sorted.
+func Experiments() []string {
+	out := make([]string, 0, len(experiments))
+	for n := range experiments {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by name.
+func Run(name string, cfg Config) ([]*Table, error) {
+	r, ok := experiments[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments())
+	}
+	return r(cfg)
+}
+
+// Config steers experiment scale.
+type Config struct {
+	// Quick shrinks sweeps for smoke runs (CI, tests).
+	Quick bool
+	// WallClock reports measured wall time instead of simulated
+	// cluster time (the fig2 ablation).
+	WallClock bool
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}

@@ -1,0 +1,503 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rheem"
+	"rheem/internal/apps/cleaning"
+	"rheem/internal/apps/ml"
+	"rheem/internal/core/engine"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+	"rheem/internal/data/datagen"
+	"rheem/internal/platform/javaengine"
+	"rheem/internal/platform/relengine"
+	"rheem/internal/platform/sparksim"
+)
+
+func init() {
+	register("fig2", fig2)
+	register("fig3left", fig3left)
+	register("fig3right", fig3right)
+	register("iejoin", iejoin)
+	register("multiplatform", multiplatform)
+	register("optimizer", optimizerChoice)
+}
+
+// newCtx builds the experiment context with the calibrated cluster:
+// 4 workers × 2 slots, 50 ms job overhead — the knobs behind the
+// Figure 2 crossover (see EXPERIMENTS.md "Calibration").
+func newCtx() (*rheem.Context, error) {
+	return rheem.NewContext(rheem.Config{})
+}
+
+// pick selects the reported clock.
+func pick(cfg Config, m engine.Metrics) time.Duration {
+	if cfg.WallClock {
+		return m.Wall
+	}
+	return m.Sim
+}
+
+// platformsUsed summarises which platforms an execution plan touched.
+func platformsUsed(rep *rheem.Report) string {
+	if rep == nil || rep.Plan == nil {
+		return "?"
+	}
+	ids := map[string]bool{}
+	for _, pl := range rep.Plan.Assignment {
+		ids[string(pl)] = true
+	}
+	for _, body := range rep.Plan.LoopBodies {
+		for _, pl := range body.Assignment {
+			ids[string(pl)] = true
+		}
+	}
+	out := make([]string, 0, len(ids))
+	for id := range ids {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	s := ""
+	for i, id := range out {
+		if i > 0 {
+			s += "+"
+		}
+		s += id
+	}
+	return s
+}
+
+// --- E1 / Figure 2: SVM on Spark and Java -------------------------------
+
+func fig2(cfg Config) ([]*Table, error) {
+	ctx, err := newCtx()
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{1_000, 10_000, 50_000, 100_000, 200_000, 500_000}
+	iters := 100
+	if cfg.Quick {
+		sizes = []int{500, 2_000, 10_000}
+		iters = 10
+	}
+	const dim = 10
+
+	clock := "simulated"
+	if cfg.WallClock {
+		clock = "wall"
+	}
+	t1 := &Table{
+		Title: fmt.Sprintf("Figure 2 — SVM (%d iterations, d=%d), Java vs Spark [%s time]", iters, dim, clock),
+		Note:  "Paper shape: plain Java wins by ~an order of magnitude on small inputs; Spark pays off only for big inputs.",
+		Columns: []string{"points", "java", "spark", "winner", "java/spark"},
+	}
+	run := func(pts []data.Record, iters int, platform engine.PlatformID) (time.Duration, error) {
+		tpl := ml.SVM(pts, ml.GradientConfig{Iterations: iters, Dim: dim})
+		_, rep, err := tpl.Run(ctx, rheem.OnPlatform(platform))
+		if err != nil {
+			return 0, err
+		}
+		return pick(cfg, rep.Metrics), nil
+	}
+	for _, n := range sizes {
+		cfg.logf("fig2: n=%d", n)
+		pts := datagen.Points(datagen.PointsConfig{N: n, Dim: dim, Noise: 0.05, Seed: uint64(n)})
+		tj, err := run(pts, iters, javaengine.ID)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := run(pts, iters, sparksim.ID)
+		if err != nil {
+			return nil, err
+		}
+		winner := "java"
+		if ts < tj {
+			winner = "spark"
+		}
+		t1.AddRow(Count(n), Dur(tj), Dur(ts), winner, Speedup(ts, tj))
+	}
+
+	// Second series: the gap grows with the number of iterations
+	// (paper: "this performance gap gets bigger with the number of
+	// iterations").
+	nFixed := 50_000
+	iterSweep := []int{10, 50, 100, 200}
+	if cfg.Quick {
+		nFixed = 2_000
+		iterSweep = []int{2, 5, 10}
+	}
+	t2 := &Table{
+		Title:   fmt.Sprintf("Figure 2 (inset) — iteration sweep at n=%s", Count(nFixed)),
+		Columns: []string{"iterations", "java", "spark", "spark-java gap"},
+	}
+	pts := datagen.Points(datagen.PointsConfig{N: nFixed, Dim: dim, Noise: 0.05, Seed: 99})
+	for _, it := range iterSweep {
+		cfg.logf("fig2 inset: iters=%d", it)
+		tj, err := run(pts, it, javaengine.ID)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := run(pts, it, sparksim.ID)
+		if err != nil {
+			return nil, err
+		}
+		t2.AddRow(fmt.Sprint(it), Dur(tj), Dur(ts), Dur(ts-tj))
+	}
+	return []*Table{t1, t2}, nil
+}
+
+// --- E2 / Figure 3 left: monolithic Detect UDF vs operator pipeline -----
+
+func zipCityFD() cleaning.FD {
+	return cleaning.FD{RuleName: "zip->city", ID: datagen.TaxID,
+		LHS: []int{datagen.TaxZip}, RHS: []int{datagen.TaxCity}}
+}
+
+func fig3left(cfg Config) ([]*Table, error) {
+	ctx, err := newCtx()
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{10_000, 20_000, 50_000, 100_000}
+	monoCap := 20_000
+	if cfg.Quick {
+		sizes = []int{2_000, 5_000}
+		monoCap = 2_000
+	}
+	t := &Table{
+		Title: "Figure 3 (left) — violation detection: single Detect UDF vs Scope/Block/Iterate/Detect pipeline [simulated time, spark]",
+		Note:  "Paper shape: the operator decomposition enables blocking + fine-grained distributed execution; the monolithic UDF degrades quadratically.",
+		Columns: []string{"rows", "single Detect UDF", "pipeline", "violations", "pipeline speedup"},
+	}
+	fd := zipCityFD()
+	det, err := cleaning.NewDetector(ctx, fd)
+	if err != nil {
+		return nil, err
+	}
+	var lastMono time.Duration
+	var lastMonoN int
+	for _, n := range sizes {
+		cfg.logf("fig3left: n=%d", n)
+		recs := datagen.Tax(datagen.TaxConfig{N: n, Zips: n / 50, ErrorRate: 0.01, Seed: uint64(n)})
+		vs, rep, err := det.Detect(recs, rheem.OnPlatform(sparksim.ID))
+		if err != nil {
+			return nil, err
+		}
+		pipe := pick(cfg, rep.Metrics)
+
+		var monoCell string
+		var mono time.Duration
+		if n <= monoCap {
+			_, mrep, err := det.DetectMonolithic(fd, recs, rheem.OnPlatform(sparksim.ID))
+			if err != nil {
+				return nil, err
+			}
+			mono = pick(cfg, mrep.Metrics)
+			lastMono, lastMonoN = mono, n
+			monoCell = Dur(mono)
+		} else {
+			mono = ExtrapolateQuadratic(lastMono, lastMonoN, n)
+			monoCell = EstDur(mono)
+		}
+		t.AddRow(Count(n), monoCell, Dur(pipe), Count(len(vs)), Speedup(mono, pipe))
+	}
+	return []*Table{t}, nil
+}
+
+// --- E3 / Figure 3 right: BigDansing vs baselines on Spark --------------
+
+func fig3right(cfg Config) ([]*Table, error) {
+	ctx, err := newCtx()
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{10_000, 20_000, 50_000, 100_000}
+	baseCap := 10_000
+	if cfg.Quick {
+		sizes = []int{2_000, 5_000}
+		baseCap = 2_000
+	}
+	t := &Table{
+		Title: "Figure 3 (right) — BigDansing vs baselines [simulated time]",
+		Note:  "Baselines: SQL-style self-join on spark; NADEEF-style single-node pairwise. Paper stopped its baselines after 22 h; ours are extrapolated past the cap.",
+		Columns: []string{"rows", "BigDansing (spark)", "self-join (spark)", "NADEEF-style (java)", "best-baseline/BigDansing"},
+	}
+	fd := zipCityFD()
+	det, err := cleaning.NewDetector(ctx, fd)
+	if err != nil {
+		return nil, err
+	}
+	var lastSelf, lastNadeef time.Duration
+	var lastN int
+	for _, n := range sizes {
+		cfg.logf("fig3right: n=%d", n)
+		recs := datagen.Tax(datagen.TaxConfig{N: n, Zips: n / 50, ErrorRate: 0.01, Seed: uint64(n)})
+		_, rep, err := det.Detect(recs, rheem.OnPlatform(sparksim.ID))
+		if err != nil {
+			return nil, err
+		}
+		bd := pick(cfg, rep.Metrics)
+
+		var selfCell, nadeefCell string
+		var selfT, nadeefT time.Duration
+		if n <= baseCap {
+			_, srep, err := det.DetectSelfJoin(fd, recs, rheem.OnPlatform(sparksim.ID))
+			if err != nil {
+				return nil, err
+			}
+			selfT = pick(cfg, srep.Metrics)
+			_, nrep, err := det.DetectMonolithic(fd, recs, rheem.OnPlatform(javaengine.ID))
+			if err != nil {
+				return nil, err
+			}
+			nadeefT = pick(cfg, nrep.Metrics)
+			lastSelf, lastNadeef, lastN = selfT, nadeefT, n
+			selfCell, nadeefCell = Dur(selfT), Dur(nadeefT)
+		} else {
+			selfT = ExtrapolateQuadratic(lastSelf, lastN, n)
+			nadeefT = ExtrapolateQuadratic(lastNadeef, lastN, n)
+			selfCell, nadeefCell = EstDur(selfT), EstDur(nadeefT)
+		}
+		best := selfT
+		if nadeefT < best {
+			best = nadeefT
+		}
+		t.AddRow(Count(n), Dur(bd), selfCell, nadeefCell, Speedup(best, bd))
+	}
+	return []*Table{t}, nil
+}
+
+// --- E4: IEJoin extensibility -------------------------------------------
+
+func salaryRateDC() cleaning.DenialConstraint {
+	return cleaning.DenialConstraint{RuleName: "salary-rate", ID: datagen.TaxID,
+		Preds: []cleaning.Pred{
+			{LeftField: datagen.TaxSalary, Op: plan.Greater, RightField: datagen.TaxSalary},
+			{LeftField: datagen.TaxRate, Op: plan.Less, RightField: datagen.TaxRate},
+		},
+		FixField: datagen.TaxRate,
+	}
+}
+
+func iejoin(cfg Config) ([]*Table, error) {
+	ctx, err := newCtx()
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{2_000, 5_000, 10_000, 20_000, 50_000}
+	nlCap := 10_000
+	if cfg.Quick {
+		sizes = []int{500, 2_000}
+		nlCap = 2_000
+	}
+	t := &Table{
+		Title: "E4 — inequality rule detection: IEJoin physical operator vs nested loop [simulated time, spark]",
+		Note:  "The paper's extensibility example (§5.1): IEJoin was added as a new physical operator to make inequality rules tractable.",
+		Columns: []string{"rows", "IEJoin", "nested loop", "violations", "IEJoin speedup"},
+	}
+	dc := salaryRateDC()
+	detIE, err := cleaning.NewDetector(ctx, dc)
+	if err != nil {
+		return nil, err
+	}
+	detNL, err := cleaning.NewDetector(ctx, cleaning.StripConditions(dc))
+	if err != nil {
+		return nil, err
+	}
+	var lastNL time.Duration
+	var lastN int
+	for _, n := range sizes {
+		cfg.logf("iejoin: n=%d", n)
+		recs := datagen.Tax(datagen.TaxConfig{N: n, Zips: 50, ErrorRate: 0.002, Seed: uint64(n)})
+		vs, rep, err := detIE.Detect(recs, rheem.OnPlatform(sparksim.ID))
+		if err != nil {
+			return nil, err
+		}
+		ie := pick(cfg, rep.Metrics)
+		var nlCell string
+		var nl time.Duration
+		if n <= nlCap {
+			_, nrep, err := detNL.Detect(recs, rheem.OnPlatform(sparksim.ID))
+			if err != nil {
+				return nil, err
+			}
+			nl = pick(cfg, nrep.Metrics)
+			lastNL, lastN = nl, n
+			nlCell = Dur(nl)
+		} else {
+			nl = ExtrapolateQuadratic(lastNL, lastN, n)
+			nlCell = EstDur(nl)
+		}
+		t.AddRow(Count(n), Dur(ie), nlCell, Count(len(vs)), Speedup(nl, ie))
+	}
+	return []*Table{t}, nil
+}
+
+// --- E5: the §1 multi-platform pipeline ----------------------------------
+
+// sensorPipeline is the oil-&-gas motivating pipeline: normalise raw
+// sensor quanta (opaque UDF), aggregate per well (relational
+// strength), emit per-well feature vectors.
+func sensorPipeline(ctx *rheem.Context, readings []data.Record, opts ...rheem.RunOption) ([]data.Record, *rheem.Report, error) {
+	job := ctx.NewJob("sensor-features")
+	q := job.ReadCollection("readings", readings).
+		// Normalise: psi→kPa-ish unit conversion plus clamping, an
+		// opaque per-quantum UDF.
+		Map(func(r data.Record) (data.Record, error) {
+			p := r.Field(2).Float() * 6.894
+			if p < 0 {
+				p = 0
+			}
+			return data.NewRecord(r.Field(0),
+				data.Float(p), data.Float(r.Field(3).Float()), data.Float(r.Field(4).Float()),
+				data.Int(1)), nil
+		}).
+		// Aggregate per well: sums + count.
+		ReduceByKey(plan.FieldKey(0), func(a, b data.Record) (data.Record, error) {
+			return data.NewRecord(a.Field(0),
+				data.Float(a.Field(1).Float()+b.Field(1).Float()),
+				data.Float(a.Field(2).Float()+b.Field(2).Float()),
+				data.Float(a.Field(3).Float()+b.Field(3).Float()),
+				data.Int(a.Field(4).Int()+b.Field(4).Int())), nil
+		}).
+		// Feature vector per well.
+		Map(func(r data.Record) (data.Record, error) {
+			n := float64(r.Field(4).Int())
+			return data.NewRecord(r.Field(0), data.Vec([]float64{
+				r.Field(1).Float() / n, r.Field(2).Float() / n, r.Field(3).Float() / n,
+			})), nil
+		}).
+		Sort(plan.FieldKey(0), false)
+	return q.Collect(opts...)
+}
+
+func multiplatform(cfg Config) ([]*Table, error) {
+	ctx, err := newCtx()
+	if err != nil {
+		return nil, err
+	}
+	n := 200_000
+	if cfg.Quick {
+		n = 10_000
+	}
+	readings := datagen.Sensors(datagen.SensorConfig{N: n, Wells: 32, Seed: 7})
+	t := &Table{
+		Title: fmt.Sprintf("E5 — §1 pipeline (normalise → aggregate per well → features), %s readings [simulated time]", Count(n)),
+		Note:  "Free optimizer choice vs each platform pinned end-to-end; the optimizer may split the plan across platforms.",
+		Columns: []string{"configuration", "time", "platforms used", "atoms"},
+	}
+	type option struct {
+		name string
+		opts []rheem.RunOption
+	}
+	options := []option{
+		{"optimizer (free)", nil},
+		{"pinned java", []rheem.RunOption{rheem.OnPlatform(javaengine.ID)}},
+		{"pinned spark", []rheem.RunOption{rheem.OnPlatform(sparksim.ID)}},
+		{"pinned relational", []rheem.RunOption{rheem.OnPlatform(relengine.ID)}},
+	}
+	var free, bestPinned time.Duration
+	for i, opt := range options {
+		cfg.logf("multiplatform: %s", opt.name)
+		wells, rep, err := sensorPipeline(ctx, readings, opt.opts...)
+		if err != nil {
+			return nil, err
+		}
+		if len(wells) != 32 {
+			return nil, fmt.Errorf("bench: pipeline produced %d wells", len(wells))
+		}
+		d := pick(cfg, rep.Metrics)
+		if i == 0 {
+			free = d
+		} else if bestPinned == 0 || d < bestPinned {
+			bestPinned = d
+		}
+		t.AddRow(opt.name, Dur(d), platformsUsed(rep), fmt.Sprint(len(rep.Plan.Atoms)))
+	}
+	t.Note += fmt.Sprintf(" Free-choice vs best pinned: %s.", Speedup(bestPinned, free))
+
+	// Downstream ML step on the aggregated wells: k-means over 32 tiny
+	// feature vectors — firmly single-node territory.
+	wells, _, err := sensorPipeline(ctx, readings)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]data.Record, len(wells))
+	for i, w := range wells {
+		pts[i] = data.NewRecord(data.Int(int64(i)), w.Field(1))
+	}
+	iters := 10
+	if cfg.Quick {
+		iters = 3
+	}
+	tpl := ml.KMeans(pts, ml.KMeansConfig{K: 4, Iterations: iters, Dim: 3})
+	state, rep, err := tpl.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	t2 := &Table{
+		Title:   "E5 (cont.) — k-means over aggregated wells, optimizer choice",
+		Columns: []string{"k", "iterations", "time", "platforms used", "clusters"},
+	}
+	t2.AddRow("4", fmt.Sprint(iters), Dur(pick(cfg, rep.Metrics)), platformsUsed(rep), fmt.Sprint(len(state)))
+	return []*Table{t, t2}, nil
+}
+
+// --- E6: optimizer choice vs oracle over the Figure 2 sweep --------------
+
+func optimizerChoice(cfg Config) ([]*Table, error) {
+	ctx, err := newCtx()
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{1_000, 10_000, 50_000, 100_000, 200_000, 500_000}
+	iters := 100
+	if cfg.Quick {
+		sizes = []int{500, 2_000, 10_000}
+		iters = 10
+	}
+	const dim = 10
+	t := &Table{
+		Title: "E6 — optimizer platform choice vs oracle (SVM sweep) [simulated time]",
+		Note:  "Regret = optimizer time − best fixed platform time. The §2 claim: the system should 'select the best available platform ... for a different input'.",
+		Columns: []string{"points", "java", "spark", "optimizer", "chosen", "regret"},
+	}
+	for _, n := range sizes {
+		cfg.logf("optimizer: n=%d", n)
+		pts := datagen.Points(datagen.PointsConfig{N: n, Dim: dim, Noise: 0.05, Seed: uint64(n)})
+		times := map[string]time.Duration{}
+		var chosen string
+		for _, opt := range []struct {
+			name string
+			opts []rheem.RunOption
+		}{
+			{"java", []rheem.RunOption{rheem.OnPlatform(javaengine.ID)}},
+			{"spark", []rheem.RunOption{rheem.OnPlatform(sparksim.ID)}},
+			{"optimizer", nil},
+		} {
+			tpl := ml.SVM(pts, ml.GradientConfig{Iterations: iters, Dim: dim})
+			_, rep, err := tpl.Run(ctx, opt.opts...)
+			if err != nil {
+				return nil, err
+			}
+			times[opt.name] = pick(cfg, rep.Metrics)
+			if opt.name == "optimizer" {
+				chosen = platformsUsed(rep)
+			}
+		}
+		oracle := times["java"]
+		if times["spark"] < oracle {
+			oracle = times["spark"]
+		}
+		regret := times["optimizer"] - oracle
+		if regret < 0 {
+			regret = 0
+		}
+		t.AddRow(Count(n), Dur(times["java"]), Dur(times["spark"]),
+			Dur(times["optimizer"]), chosen, Dur(regret))
+	}
+	return []*Table{t}, nil
+}

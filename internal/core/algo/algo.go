@@ -1,0 +1,285 @@
+// Package algo provides the platform-neutral algorithm kernels behind
+// RHEEM's physical operators. Execution operators on every platform
+// delegate to these kernels: the single-node engine calls them on whole
+// datasets, the Spark simulator calls them per partition (after
+// shuffling), and the relational engine calls them on table row sets.
+// Keeping the kernels in one place means an algorithmic decision
+// (HashGroupBy vs SortGroupBy, HashJoin vs SortMergeJoin vs IEJoin) has
+// exactly one implementation to test, and adding a physical operator —
+// the paper's extensibility story (§5.2, IEJoin) — means adding one
+// kernel plus declarative mappings.
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+// Group is one key group produced by a grouping kernel.
+type Group struct {
+	Key     data.Value
+	Records []data.Record
+}
+
+// hashBuckets is an open hash table from Value keys to groups, chaining
+// on hash collisions with data.Equal as the tie-breaker. Values are not
+// Go-comparable (vectors), so the built-in map cannot key them directly.
+type hashBuckets struct {
+	m map[uint64][]*Group
+	n int
+}
+
+func newHashBuckets(capacity int) *hashBuckets {
+	return &hashBuckets{m: make(map[uint64][]*Group, capacity)}
+}
+
+func (h *hashBuckets) get(key data.Value) *Group {
+	hv := data.Hash(key, 0)
+	for _, g := range h.m[hv] {
+		if data.Equal(g.Key, key) {
+			return g
+		}
+	}
+	g := &Group{Key: key}
+	h.m[hv] = append(h.m[hv], g)
+	h.n++
+	return g
+}
+
+func (h *hashBuckets) groups() []Group {
+	out := make([]Group, 0, h.n)
+	for _, chain := range h.m {
+		for _, g := range chain {
+			out = append(out, *g)
+		}
+	}
+	return out
+}
+
+// HashGroup groups records by key using hashing. Group order is
+// unspecified; callers needing determinism sort the result.
+func HashGroup(recs []data.Record, key plan.KeyFunc) ([]Group, error) {
+	h := newHashBuckets(len(recs) / 4)
+	for _, r := range recs {
+		k, err := key(r)
+		if err != nil {
+			return nil, fmt.Errorf("algo: group key: %w", err)
+		}
+		g := h.get(k)
+		g.Records = append(g.Records, r)
+	}
+	return h.groups(), nil
+}
+
+// SortGroup groups records by key using a stable sort; groups come out
+// in ascending key order and records keep their input order within a
+// group.
+func SortGroup(recs []data.Record, key plan.KeyFunc) ([]Group, error) {
+	type keyed struct {
+		k data.Value
+		r data.Record
+	}
+	ks := make([]keyed, len(recs))
+	for i, r := range recs {
+		k, err := key(r)
+		if err != nil {
+			return nil, fmt.Errorf("algo: group key: %w", err)
+		}
+		ks[i] = keyed{k, r}
+	}
+	sort.SliceStable(ks, func(i, j int) bool { return data.Compare(ks[i].k, ks[j].k) < 0 })
+	var out []Group
+	for i := 0; i < len(ks); {
+		j := i
+		for j < len(ks) && data.Compare(ks[i].k, ks[j].k) == 0 {
+			j++
+		}
+		g := Group{Key: ks[i].k, Records: make([]data.Record, 0, j-i)}
+		for _, kr := range ks[i:j] {
+			g.Records = append(g.Records, kr.r)
+		}
+		out = append(out, g)
+		i = j
+	}
+	return out, nil
+}
+
+// ReduceGroups folds each group pairwise with f, returning one record
+// per group.
+func ReduceGroups(groups []Group, f plan.ReduceFunc) ([]data.Record, error) {
+	out := make([]data.Record, 0, len(groups))
+	for _, g := range groups {
+		acc := g.Records[0]
+		var err error
+		for _, r := range g.Records[1:] {
+			acc, err = f(acc, r)
+			if err != nil {
+				return nil, fmt.Errorf("algo: reduce: %w", err)
+			}
+		}
+		out = append(out, acc)
+	}
+	return out, nil
+}
+
+// Reduce folds an entire dataset pairwise. An empty input yields an
+// empty output (no identity element is assumed).
+func Reduce(recs []data.Record, f plan.ReduceFunc) ([]data.Record, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	acc := recs[0]
+	var err error
+	for _, r := range recs[1:] {
+		acc, err = f(acc, r)
+		if err != nil {
+			return nil, fmt.Errorf("algo: reduce: %w", err)
+		}
+	}
+	return []data.Record{acc}, nil
+}
+
+// SortBy orders records by key. The sort is stable.
+func SortBy(recs []data.Record, key plan.KeyFunc, desc bool) ([]data.Record, error) {
+	type keyed struct {
+		k data.Value
+		r data.Record
+	}
+	ks := make([]keyed, len(recs))
+	for i, r := range recs {
+		k, err := key(r)
+		if err != nil {
+			return nil, fmt.Errorf("algo: sort key: %w", err)
+		}
+		ks[i] = keyed{k, r}
+	}
+	sort.SliceStable(ks, func(i, j int) bool {
+		c := data.Compare(ks[i].k, ks[j].k)
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	out := make([]data.Record, len(ks))
+	for i, kr := range ks {
+		out[i] = kr.r
+	}
+	return out, nil
+}
+
+// Distinct removes duplicate records (under data.EqualRecords) keeping
+// first occurrences in input order.
+func Distinct(recs []data.Record) []data.Record {
+	seen := make(map[uint64][]data.Record, len(recs)/2)
+	out := make([]data.Record, 0, len(recs))
+outer:
+	for _, r := range recs {
+		h := data.HashRecord(r, 0)
+		for _, prev := range seen[h] {
+			if data.EqualRecords(prev, r) {
+				continue outer
+			}
+		}
+		seen[h] = append(seen[h], r)
+		out = append(out, r)
+	}
+	return out
+}
+
+// HashJoin equi-joins two datasets, building a hash table on the right
+// input and probing with the left. Output records are Concat(l, r) in
+// left-input order.
+func HashJoin(l, r []data.Record, lkey, rkey plan.KeyFunc) ([]data.Record, error) {
+	build := newHashBuckets(len(r) / 2)
+	for _, rr := range r {
+		k, err := rkey(rr)
+		if err != nil {
+			return nil, fmt.Errorf("algo: join build key: %w", err)
+		}
+		g := build.get(k)
+		g.Records = append(g.Records, rr)
+	}
+	var out []data.Record
+	for _, lr := range l {
+		k, err := lkey(lr)
+		if err != nil {
+			return nil, fmt.Errorf("algo: join probe key: %w", err)
+		}
+		hv := data.Hash(k, 0)
+		for _, g := range build.m[hv] {
+			if !data.Equal(g.Key, k) {
+				continue
+			}
+			for _, rr := range g.Records {
+				out = append(out, data.Concat(lr, rr))
+			}
+		}
+	}
+	return out, nil
+}
+
+// SortMergeJoin equi-joins two datasets by sorting both sides on their
+// keys and merging. Output order is ascending key order.
+func SortMergeJoin(l, r []data.Record, lkey, rkey plan.KeyFunc) ([]data.Record, error) {
+	lg, err := SortGroup(l, lkey)
+	if err != nil {
+		return nil, err
+	}
+	rg, err := SortGroup(r, rkey)
+	if err != nil {
+		return nil, err
+	}
+	var out []data.Record
+	i, j := 0, 0
+	for i < len(lg) && j < len(rg) {
+		c := data.Compare(lg[i].Key, rg[j].Key)
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			for _, lr := range lg[i].Records {
+				for _, rr := range rg[j].Records {
+					out = append(out, data.Concat(lr, rr))
+				}
+			}
+			i++
+			j++
+		}
+	}
+	return out, nil
+}
+
+// NestedLoopJoin joins two datasets on an arbitrary predicate by
+// comparing every pair — the baseline theta-join the paper's IEJoin
+// experiment improves on.
+func NestedLoopJoin(l, r []data.Record, pred plan.PredFunc) ([]data.Record, error) {
+	var out []data.Record
+	for _, lr := range l {
+		for _, rr := range r {
+			ok, err := pred(lr, rr)
+			if err != nil {
+				return nil, fmt.Errorf("algo: theta predicate: %w", err)
+			}
+			if ok {
+				out = append(out, data.Concat(lr, rr))
+			}
+		}
+	}
+	return out, nil
+}
+
+// Cartesian emits the cross product of two datasets.
+func Cartesian(l, r []data.Record) []data.Record {
+	out := make([]data.Record, 0, len(l)*len(r))
+	for _, lr := range l {
+		for _, rr := range r {
+			out = append(out, data.Concat(lr, rr))
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package algo
+
+import "math/bits"
+
+// bitset is the dense bit array at the heart of IEJoin: positions of
+// already-visited tuples in the first sort order. Scanning runs of set
+// bits word-by-word is what gives IEJoin its small constants compared
+// to a nested loop.
+type bitset struct {
+	words []uint64
+	n     int
+}
+
+func newBitset(n int) *bitset {
+	return &bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// set marks bit i.
+func (b *bitset) set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// get reports bit i.
+func (b *bitset) get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// scanRange calls visit for every set bit in [from, to), in ascending
+// order. visit returning a non-nil error aborts the scan.
+func (b *bitset) scanRange(from, to int, visit func(i int) error) error {
+	if from < 0 {
+		from = 0
+	}
+	if to > b.n {
+		to = b.n
+	}
+	if from >= to {
+		return nil
+	}
+	firstWord, lastWord := from>>6, (to-1)>>6
+	for w := firstWord; w <= lastWord; w++ {
+		word := b.words[w]
+		if word == 0 {
+			continue
+		}
+		// Mask off bits below `from` in the first word and at/above
+		// `to` in the last word.
+		if w == firstWord {
+			word &= ^uint64(0) << (uint(from) & 63)
+		}
+		if w == lastWord && (to&63) != 0 {
+			word &= (1 << (uint(to) & 63)) - 1
+		}
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			if err := visit(i); err != nil {
+				return err
+			}
+			word &= word - 1
+		}
+	}
+	return nil
+}
+
+// count returns the number of set bits in [0, n).
+func (b *bitset) count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

@@ -1,0 +1,272 @@
+package algo
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+// xyRecs builds records with two int fields (x, y).
+func xyRecs(pairs ...int64) []data.Record {
+	out := make([]data.Record, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, data.NewRecord(data.Int(pairs[i]), data.Int(pairs[i+1])))
+	}
+	return out
+}
+
+// nestedLoopIE is the oracle: evaluate the conjunction of conditions
+// pairwise.
+func nestedLoopIE(l, r []data.Record, conds []plan.IECondition) []string {
+	var out []string
+	for _, lr := range l {
+		for _, rr := range r {
+			ok := true
+			for _, c := range conds {
+				if !c.Op.Eval(lr.Field(c.LeftField), rr.Field(c.RightField)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, data.Concat(lr, rr).String())
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runIEJoin(t *testing.T, l, r []data.Record, conds []plan.IECondition) []string {
+	t.Helper()
+	got, err := IEJoinRecords(l, r, conds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(got))
+	for i, rec := range got {
+		out[i] = rec.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertSame(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("IEJoin %d pairs, oracle %d\n got: %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIEJoinSmallKnown(t *testing.T) {
+	// Classic salary/tax example: l.salary > r.salary AND l.rate < r.rate.
+	l := xyRecs(100, 5, 200, 3, 300, 8)
+	r := xyRecs(150, 6, 250, 4, 50, 1)
+	conds := []plan.IECondition{
+		{LeftField: 0, Op: plan.Greater, RightField: 0},
+		{LeftField: 1, Op: plan.Less, RightField: 1},
+	}
+	assertSame(t, runIEJoin(t, l, r, conds), nestedLoopIE(l, r, conds))
+}
+
+func TestIEJoinAllOpCombos(t *testing.T) {
+	ops := []plan.CompareOp{plan.Less, plan.LessEq, plan.Greater, plan.GreaterEq}
+	rng := rand.New(rand.NewSource(42))
+	l := make([]data.Record, 30)
+	r := make([]data.Record, 25)
+	for i := range l {
+		l[i] = data.NewRecord(data.Int(int64(rng.Intn(10))), data.Int(int64(rng.Intn(10))))
+	}
+	for i := range r {
+		r[i] = data.NewRecord(data.Int(int64(rng.Intn(10))), data.Int(int64(rng.Intn(10))))
+	}
+	for _, op1 := range ops {
+		for _, op2 := range ops {
+			conds := []plan.IECondition{
+				{LeftField: 0, Op: op1, RightField: 0},
+				{LeftField: 1, Op: op2, RightField: 1},
+			}
+			got := runIEJoin(t, l, r, conds)
+			want := nestedLoopIE(l, r, conds)
+			if len(got) != len(want) {
+				t.Fatalf("ops (%s,%s): got %d pairs, want %d", op1, op2, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("ops (%s,%s): pair %d differs", op1, op2, i)
+				}
+			}
+		}
+	}
+}
+
+func TestIEJoinDuplicatesAndTies(t *testing.T) {
+	// Heavy ties stress the strict/non-strict group marking.
+	l := xyRecs(1, 1, 1, 1, 2, 2, 2, 2)
+	r := xyRecs(1, 1, 2, 2, 1, 2, 2, 1)
+	for _, op1 := range []plan.CompareOp{plan.LessEq, plan.GreaterEq} {
+		for _, op2 := range []plan.CompareOp{plan.Less, plan.Greater} {
+			conds := []plan.IECondition{
+				{LeftField: 0, Op: op1, RightField: 0},
+				{LeftField: 1, Op: op2, RightField: 1},
+			}
+			assertSame(t, runIEJoin(t, l, r, conds), nestedLoopIE(l, r, conds))
+		}
+	}
+}
+
+func TestIEJoinEmptyInputs(t *testing.T) {
+	conds := []plan.IECondition{
+		{LeftField: 0, Op: plan.Less, RightField: 0},
+		{LeftField: 1, Op: plan.Greater, RightField: 1},
+	}
+	if got := runIEJoin(t, nil, xyRecs(1, 1), conds); len(got) != 0 {
+		t.Error("empty left produced pairs")
+	}
+	if got := runIEJoin(t, xyRecs(1, 1), nil, conds); len(got) != 0 {
+		t.Error("empty right produced pairs")
+	}
+}
+
+func TestIEJoinSingleCondition(t *testing.T) {
+	l := xyRecs(1, 0, 5, 0, 3, 0)
+	r := xyRecs(2, 0, 4, 0, 6, 0)
+	for _, op := range []plan.CompareOp{plan.Less, plan.LessEq, plan.Greater, plan.GreaterEq} {
+		conds := []plan.IECondition{{LeftField: 0, Op: op, RightField: 0}}
+		assertSame(t, runIEJoin(t, l, r, conds), nestedLoopIE(l, r, conds))
+	}
+}
+
+func TestIEJoinThreeConditionsViaResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func(n int) []data.Record {
+		out := make([]data.Record, n)
+		for i := range out {
+			out[i] = data.NewRecord(
+				data.Int(int64(rng.Intn(8))),
+				data.Int(int64(rng.Intn(8))),
+				data.Int(int64(rng.Intn(8))))
+		}
+		return out
+	}
+	l, r := mk(20), mk(20)
+	conds := []plan.IECondition{
+		{LeftField: 0, Op: plan.Less, RightField: 0},
+		{LeftField: 1, Op: plan.Greater, RightField: 1},
+		{LeftField: 2, Op: plan.LessEq, RightField: 2},
+	}
+	assertSame(t, runIEJoin(t, l, r, conds), nestedLoopIE(l, r, conds))
+}
+
+func TestIEJoinResidualPredicate(t *testing.T) {
+	l := xyRecs(1, 5, 2, 6)
+	r := xyRecs(3, 1, 4, 2)
+	conds := []plan.IECondition{
+		{LeftField: 0, Op: plan.Less, RightField: 0},
+		{LeftField: 1, Op: plan.Greater, RightField: 1},
+	}
+	// Residual keeps only pairs where right x is even.
+	got, err := IEJoinRecords(l, r, conds, func(_, rr data.Record) (bool, error) {
+		return rr.Field(0).Int()%2 == 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range got {
+		if rec.Field(2).Int()%2 != 0 {
+			t.Errorf("residual not applied: %s", rec)
+		}
+	}
+	if len(got) == 0 {
+		t.Error("residual filtered everything (expected some pairs)")
+	}
+}
+
+func TestIEJoinNoConditions(t *testing.T) {
+	if _, err := IEJoinRecords(xyRecs(1, 1), xyRecs(2, 2), nil, nil); err == nil {
+		t.Error("IEJoinRecords without conditions accepted")
+	}
+}
+
+// iePair is a quick generator of small-domain (x, y) tuples; small
+// domains maximise ties, the hard case.
+type iePair struct{ X, Y int8 }
+
+func TestQuickIEJoinMatchesNestedLoop(t *testing.T) {
+	f := func(ls, rs []iePair, op1i, op2i uint8) bool {
+		ops := []plan.CompareOp{plan.Less, plan.LessEq, plan.Greater, plan.GreaterEq}
+		op1 := ops[int(op1i)%4]
+		op2 := ops[int(op2i)%4]
+		toRecs := func(ps []iePair) []data.Record {
+			out := make([]data.Record, len(ps))
+			for i, p := range ps {
+				out[i] = data.NewRecord(data.Int(int64(p.X%8)), data.Int(int64(p.Y%8)))
+			}
+			return out
+		}
+		l, r := toRecs(ls), toRecs(rs)
+		conds := []plan.IECondition{
+			{LeftField: 0, Op: op1, RightField: 0},
+			{LeftField: 1, Op: op2, RightField: 1},
+		}
+		got, err := IEJoinRecords(l, r, conds, nil)
+		if err != nil {
+			return false
+		}
+		gs := make([]string, len(got))
+		for i, rec := range got {
+			gs[i] = rec.String()
+		}
+		sort.Strings(gs)
+		return reflect.DeepEqual(gs, append([]string{}, nestedLoopIE(l, r, conds)...)) ||
+			(len(gs) == 0 && len(nestedLoopIE(l, r, conds)) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIEJoinVsNestedLoop(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	mk := func() []data.Record {
+		out := make([]data.Record, n)
+		for i := range out {
+			out[i] = data.NewRecord(data.Int(rng.Int63n(1e6)), data.Int(rng.Int63n(1e6)))
+		}
+		return out
+	}
+	l, r := mk(), mk()
+	conds := []plan.IECondition{
+		{LeftField: 0, Op: plan.Greater, RightField: 0},
+		{LeftField: 1, Op: plan.Less, RightField: 1},
+	}
+	b.Run("iejoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := IEJoin(l, r, conds[0], conds[1], func(_, _ data.Record) error { n++; return nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nestedloop", func(b *testing.B) {
+		pred := func(a, c data.Record) (bool, error) {
+			return conds[0].Op.Eval(a.Field(0), c.Field(0)) && conds[1].Op.Eval(a.Field(1), c.Field(1)), nil
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := NestedLoopJoin(l[:200], r[:200], pred); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,195 @@
+// Package channel models data movement between processing platforms
+// and storage engines — the paper's "inter-platform cost model ...
+// [capturing] the cost of transferring and transforming data from one
+// processing platform to another" (§4.2, third requirement).
+//
+// A Channel is a handle to a dataset in some platform- or
+// storage-native representation (Format). Platforms consume and
+// produce channels in their native format; when an execution plan
+// places adjacent task atoms on platforms with different native
+// formats, the executor asks the conversion Registry for the cheapest
+// chain of registered Converters and the optimizer charges that chain's
+// cost to the plan. Conversion is therefore both *priced* (for the
+// optimizer) and *performed* (for the executor) by the same graph,
+// which keeps the two honest with each other.
+package channel
+
+import (
+	"fmt"
+	"time"
+
+	"rheem/internal/data"
+)
+
+// Format names a native data representation. Formats are an open set:
+// platforms and storage engines register theirs along with converters.
+type Format string
+
+// The built-in formats of the bundled platforms and stores.
+const (
+	// Collection is a []data.Record in driver memory — the hub format
+	// every platform can convert to and from.
+	Collection Format = "collection"
+	// Partitioned is a [][]data.Record, the Spark simulator's RDD-like
+	// native format.
+	Partitioned Format = "partitioned"
+	// Table is a relational-engine table reference.
+	Table Format = "table"
+	// CSVFile is a typed-header CSV file on the local filesystem.
+	CSVFile Format = "csvfile"
+	// DFSFile is a file in the simulated distributed filesystem.
+	DFSFile Format = "dfs"
+)
+
+// Channel is a dataset handle in a specific format. Records and Bytes
+// carry cardinality metadata when known (-1 otherwise) so converters
+// and the virtual clock can account volume without materialising.
+type Channel struct {
+	Format  Format
+	Payload any
+	Records int64
+	Bytes   int64
+}
+
+// NewCollection wraps records in a Collection channel.
+func NewCollection(recs []data.Record) *Channel {
+	return &Channel{
+		Format:  Collection,
+		Payload: recs,
+		Records: int64(len(recs)),
+		Bytes:   data.TotalBytes(recs),
+	}
+}
+
+// AsCollection returns the record slice of a Collection channel.
+func (c *Channel) AsCollection() ([]data.Record, error) {
+	if c.Format != Collection {
+		return nil, fmt.Errorf("channel: %s channel is not a collection", c.Format)
+	}
+	recs, ok := c.Payload.([]data.Record)
+	if !ok {
+		return nil, fmt.Errorf("channel: collection channel holds %T", c.Payload)
+	}
+	return recs, nil
+}
+
+// Converter is one edge of the conversion graph: it transforms a
+// channel from one format to another at a modelled cost of
+// Fixed + Bytes·PerByteNS nanoseconds.
+type Converter struct {
+	From, To  Format
+	Fixed     time.Duration
+	PerByteNS float64
+	Convert   func(*Channel) (*Channel, error)
+}
+
+// cost prices moving the given byte volume through this converter.
+func (c Converter) cost(bytes int64) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	return c.Fixed + time.Duration(float64(bytes)*c.PerByteNS)
+}
+
+// Registry is the conversion graph. Platforms and stores register
+// converters for their formats at startup; the optimizer prices paths
+// and the executor executes them.
+type Registry struct {
+	edges map[Format][]Converter
+}
+
+// NewRegistry returns an empty conversion graph.
+func NewRegistry() *Registry {
+	return &Registry{edges: make(map[Format][]Converter)}
+}
+
+// Register adds a converter edge.
+func (r *Registry) Register(c Converter) {
+	r.edges[c.From] = append(r.edges[c.From], c)
+}
+
+// PathCost returns the cost of the cheapest conversion chain from one
+// format to another for the given byte volume, and whether a path
+// exists. Same-format queries cost zero.
+func (r *Registry) PathCost(from, to Format, bytes int64) (time.Duration, bool) {
+	path, cost, ok := r.shortestPath(from, to, bytes)
+	_ = path
+	return cost, ok
+}
+
+// Convert transforms ch into the requested format along the cheapest
+// chain, returning the converted channel, the modelled movement cost,
+// and the number of conversion steps taken.
+func (r *Registry) Convert(ch *Channel, to Format) (*Channel, time.Duration, int, error) {
+	if ch.Format == to {
+		return ch, 0, 0, nil
+	}
+	path, cost, ok := r.shortestPath(ch.Format, to, ch.Bytes)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("channel: no conversion path %s → %s", ch.Format, to)
+	}
+	cur := ch
+	for _, conv := range path {
+		next, err := conv.Convert(cur)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("channel: converting %s → %s: %w", conv.From, conv.To, err)
+		}
+		if next.Format != conv.To {
+			return nil, 0, 0, fmt.Errorf("channel: converter %s → %s produced %s", conv.From, conv.To, next.Format)
+		}
+		cur = next
+	}
+	return cur, cost, len(path), nil
+}
+
+// shortestPath runs Dijkstra over the (tiny) format graph. The volume
+// is assumed preserved along the chain, which is accurate enough for
+// pricing.
+func (r *Registry) shortestPath(from, to Format, bytes int64) ([]Converter, time.Duration, bool) {
+	type state struct {
+		cost time.Duration
+		via  []Converter
+		done bool
+	}
+	states := map[Format]*state{from: {}}
+	for {
+		// Pick the cheapest unfinished node (linear scan; the graph
+		// has a handful of formats).
+		var cur Format
+		var curState *state
+		for f, s := range states {
+			if s.done {
+				continue
+			}
+			if curState == nil || s.cost < curState.cost {
+				cur, curState = f, s
+			}
+		}
+		if curState == nil {
+			return nil, 0, false
+		}
+		if cur == to {
+			return curState.via, curState.cost, true
+		}
+		curState.done = true
+		for _, e := range r.edges[cur] {
+			nc := curState.cost + e.cost(bytes)
+			if s, ok := states[e.To]; !ok || (!s.done && nc < s.cost) {
+				via := make([]Converter, len(curState.via)+1)
+				copy(via, curState.via)
+				via[len(via)-1] = e
+				states[e.To] = &state{cost: nc, via: via}
+			}
+		}
+	}
+}
+
+// Formats returns all formats reachable as sources of converter edges,
+// for diagnostics.
+func (r *Registry) Formats() []Format {
+	out := make([]Format, 0, len(r.edges))
+	for f := range r.edges {
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package channel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"rheem/internal/data"
+)
+
+func TestNewCollectionAndAsCollection(t *testing.T) {
+	recs := []data.Record{data.NewRecord(data.Int(1)), data.NewRecord(data.Int(2))}
+	ch := NewCollection(recs)
+	if ch.Format != Collection || ch.Records != 2 {
+		t.Errorf("channel = %+v", ch)
+	}
+	if ch.Bytes <= 0 {
+		t.Error("bytes not accounted")
+	}
+	got, err := ch.AsCollection()
+	if err != nil || len(got) != 2 {
+		t.Errorf("AsCollection = %v, %v", got, err)
+	}
+	bad := &Channel{Format: Table, Payload: 42}
+	if _, err := bad.AsCollection(); err == nil {
+		t.Error("AsCollection on table channel accepted")
+	}
+	corrupt := &Channel{Format: Collection, Payload: "nope"}
+	if _, err := corrupt.AsCollection(); err == nil {
+		t.Error("AsCollection on corrupt payload accepted")
+	}
+}
+
+// upper registers a converter that tags the payload string, for path
+// verification.
+func tagConv(from, to Format, fixed time.Duration, perByte float64) Converter {
+	return Converter{
+		From: from, To: to, Fixed: fixed, PerByteNS: perByte,
+		Convert: func(c *Channel) (*Channel, error) {
+			s, _ := c.Payload.(string)
+			return &Channel{Format: to, Payload: s + "→" + string(to), Records: c.Records, Bytes: c.Bytes}, nil
+		},
+	}
+}
+
+func TestConvertDirect(t *testing.T) {
+	r := NewRegistry()
+	r.Register(tagConv(Collection, Table, time.Millisecond, 0))
+	ch := &Channel{Format: Collection, Payload: "start", Bytes: 100}
+	out, cost, steps, err := r.Convert(ch, Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Format != Table || steps != 1 || cost != time.Millisecond {
+		t.Errorf("out=%+v cost=%v steps=%d", out, cost, steps)
+	}
+}
+
+func TestConvertSameFormatIsFree(t *testing.T) {
+	r := NewRegistry()
+	ch := &Channel{Format: Collection, Payload: "x"}
+	out, cost, steps, err := r.Convert(ch, Collection)
+	if err != nil || out != ch || cost != 0 || steps != 0 {
+		t.Errorf("same-format conversion not free: %v %v %d %v", out, cost, steps, err)
+	}
+}
+
+func TestConvertMultiHopCheapestPath(t *testing.T) {
+	r := NewRegistry()
+	// Expensive direct edge vs cheap two-hop path.
+	r.Register(tagConv(Collection, DFSFile, 10*time.Second, 0))
+	r.Register(tagConv(Collection, Partitioned, time.Millisecond, 0))
+	r.Register(tagConv(Partitioned, DFSFile, time.Millisecond, 0))
+	ch := &Channel{Format: Collection, Payload: "s", Bytes: 10}
+	out, cost, steps, err := r.Convert(ch, DFSFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 2 || cost != 2*time.Millisecond {
+		t.Errorf("took steps=%d cost=%v (wanted the 2-hop path)", steps, cost)
+	}
+	if s, _ := out.Payload.(string); !strings.Contains(s, "partitioned") {
+		t.Errorf("payload path %q does not go via partitioned", s)
+	}
+}
+
+func TestPerByteCostInfluencesPath(t *testing.T) {
+	r := NewRegistry()
+	// Edge A: no fixed cost but expensive per byte. Edge B: fixed cost,
+	// free per byte. Small payloads should take A, large payloads B.
+	r.Register(Converter{From: Collection, To: Table, Fixed: 0, PerByteNS: 1000,
+		Convert: func(c *Channel) (*Channel, error) {
+			return &Channel{Format: Table, Payload: "A"}, nil
+		}})
+	r.Register(Converter{From: Collection, To: CSVFile, Fixed: time.Millisecond,
+		Convert: func(c *Channel) (*Channel, error) {
+			return &Channel{Format: CSVFile, Payload: "B1"}, nil
+		}})
+	r.Register(Converter{From: CSVFile, To: Table, Fixed: 0,
+		Convert: func(c *Channel) (*Channel, error) {
+			return &Channel{Format: Table, Payload: "B2"}, nil
+		}})
+
+	small := &Channel{Format: Collection, Bytes: 10}
+	_, costSmall, stepsSmall, err := r.Convert(small, Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepsSmall != 1 {
+		t.Errorf("small payload took %d steps (cost %v)", stepsSmall, costSmall)
+	}
+	large := &Channel{Format: Collection, Bytes: 10_000_000}
+	_, _, stepsLarge, err := r.Convert(large, Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepsLarge != 2 {
+		t.Errorf("large payload took %d steps (should prefer fixed-cost path)", stepsLarge)
+	}
+}
+
+func TestConvertNoPath(t *testing.T) {
+	r := NewRegistry()
+	ch := &Channel{Format: Collection}
+	if _, _, _, err := r.Convert(ch, Table); err == nil {
+		t.Error("conversion without path accepted")
+	}
+	if _, ok := r.PathCost(Collection, Table, 0); ok {
+		t.Error("PathCost claims a path exists")
+	}
+}
+
+func TestPathCost(t *testing.T) {
+	r := NewRegistry()
+	r.Register(tagConv(Collection, Table, time.Second, 1))
+	cost, ok := r.PathCost(Collection, Table, 1000)
+	if !ok {
+		t.Fatal("no path")
+	}
+	if cost != time.Second+1000*time.Nanosecond {
+		t.Errorf("cost = %v", cost)
+	}
+	if c, ok := r.PathCost(Table, Table, 5); !ok || c != 0 {
+		t.Error("identity path not free")
+	}
+}
+
+func TestConverterErrorPropagates(t *testing.T) {
+	r := NewRegistry()
+	boom := errors.New("boom")
+	r.Register(Converter{From: Collection, To: Table,
+		Convert: func(*Channel) (*Channel, error) { return nil, boom }})
+	if _, _, _, err := r.Convert(&Channel{Format: Collection}, Table); !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestConverterFormatMismatchDetected(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Converter{From: Collection, To: Table,
+		Convert: func(c *Channel) (*Channel, error) {
+			return &Channel{Format: CSVFile}, nil // lies about its output
+		}})
+	if _, _, _, err := r.Convert(&Channel{Format: Collection}, Table); err == nil {
+		t.Error("format-lying converter accepted")
+	}
+}
+
+func TestFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Register(tagConv(Collection, Table, 0, 0))
+	r.Register(tagConv(Table, Collection, 0, 0))
+	if got := len(r.Formats()); got != 2 {
+		t.Errorf("Formats() = %d entries", got)
+	}
+}

@@ -1,0 +1,20 @@
+// Package core is the umbrella for RHEEM's core layer — "the heart of
+// RHEEM" (paper §3.1). It contains no code itself; the core layer is
+// split into focused subpackages:
+//
+//   - plan:      application-layer logical operators and logical plans;
+//   - algo:      shared, platform-neutral algorithm kernels that
+//     execution operators delegate to;
+//   - physical:  the pool of physical operators (algorithmic decisions)
+//     and logical→physical translation, including wrapper and
+//     enhancer operators;
+//   - cost:      pluggable cost models and cardinality estimation;
+//   - channel:   cross-platform data channels and the conversion graph
+//     that prices data movement;
+//   - engine:    the platform SPI — Platform, declarative operator
+//     Mappings, TaskAtom, execution Metrics;
+//   - optimizer: the multi-platform task optimizer (platform
+//     assignment, task-atom splitting, execution plans);
+//   - executor:  scheduling, monitoring, failure handling, and result
+//     aggregation.
+package core

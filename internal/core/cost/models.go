@@ -1,0 +1,89 @@
+package cost
+
+import (
+	"math"
+	"time"
+
+	"rheem/internal/core/physical"
+)
+
+// Additional cost-model shapes shared by platform mapping declarations.
+// Platforms compose these instead of writing bespoke arithmetic, so
+// their declared costs stay comparable across platforms — a requirement
+// for meaningful multi-platform optimization.
+
+// NLogN returns a model charging startup plus perRec·n·log₂(n) CPU over
+// the summed input cardinality — the shape of sort-based operators.
+func NLogN(startup time.Duration, perRec time.Duration) Model {
+	return func(_ *physical.Operator, inCards []int64, outCard int64) Cost {
+		var n int64
+		for _, c := range inCards {
+			n += c
+		}
+		work := float64(n)
+		if n > 1 {
+			work = float64(n) * math.Log2(float64(n))
+		}
+		return Cost{
+			Startup: startup,
+			CPU:     time.Duration(work * float64(perRec)),
+		}
+	}
+}
+
+// PairQuadratic returns a model charging perPair for every pair of
+// left×right input records — nested-loop joins and cartesian products.
+func PairQuadratic(startup time.Duration, perPair time.Duration) Model {
+	return func(_ *physical.Operator, inCards []int64, _ int64) Cost {
+		var pairs int64 = 1
+		for _, c := range inCards {
+			if c > 0 {
+				pairs *= c
+			}
+		}
+		if len(inCards) < 2 {
+			pairs = 0
+		}
+		return Cost{
+			Startup: startup,
+			CPU:     time.Duration(pairs) * perPair,
+		}
+	}
+}
+
+// Scaled wraps a model, scaling its CPU and IO components — how a
+// platform declares being uniformly faster or slower at a class of
+// operators (e.g. the relational engine's compiled aggregation vs its
+// interpreted per-tuple UDF calls).
+func Scaled(m Model, factor float64) Model {
+	return func(op *physical.Operator, inCards []int64, outCard int64) Cost {
+		c := m(op, inCards, outCard)
+		c.CPU = time.Duration(float64(c.CPU) * factor)
+		c.IO = time.Duration(float64(c.IO) * factor)
+		return c
+	}
+}
+
+// WithStartup wraps a model, replacing its Startup charge — how a
+// distributed platform layers its per-job overhead on a shared shape.
+func WithStartup(m Model, startup time.Duration) Model {
+	return func(op *physical.Operator, inCards []int64, outCard int64) Cost {
+		c := m(op, inCards, outCard)
+		c.Startup = startup
+		return c
+	}
+}
+
+// Parallel wraps a model, dividing CPU and IO by a parallelism degree —
+// the distributed platforms' speedup on partitionable work.
+func Parallel(m Model, degree int) Model {
+	if degree < 1 {
+		degree = 1
+	}
+	return func(op *physical.Operator, inCards []int64, outCard int64) Cost {
+		c := m(op, inCards, outCard)
+		c.CPU /= time.Duration(degree)
+		c.IO /= time.Duration(degree)
+		return c
+	}
+}

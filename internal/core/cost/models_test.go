@@ -1,0 +1,75 @@
+package cost
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNLogN(t *testing.T) {
+	m := NLogN(time.Millisecond, 10*time.Nanosecond)
+	c := m(nil, []int64{1024}, 0)
+	if c.Startup != time.Millisecond {
+		t.Error("startup lost")
+	}
+	want := time.Duration(1024 * 10 * 10) // n·log2(n)·perRec
+	if c.CPU != want {
+		t.Errorf("CPU = %v, want %v", c.CPU, want)
+	}
+	// n ≤ 1 degrades to linear, not zero/negative.
+	if c := m(nil, []int64{1}, 0); c.CPU != 10*time.Nanosecond {
+		t.Errorf("n=1 CPU = %v", c.CPU)
+	}
+	if c := m(nil, []int64{0}, 0); c.CPU != 0 {
+		t.Errorf("n=0 CPU = %v", c.CPU)
+	}
+}
+
+func TestPairQuadratic(t *testing.T) {
+	m := PairQuadratic(0, time.Nanosecond)
+	if c := m(nil, []int64{100, 200}, 0); c.CPU != 20000*time.Nanosecond {
+		t.Errorf("pairs CPU = %v", c.CPU)
+	}
+	// Single input: no pairs.
+	if c := m(nil, []int64{100}, 0); c.CPU != 0 {
+		t.Errorf("unary CPU = %v", c.CPU)
+	}
+	// Zero-cardinality side contributes factor 1, not 0 (defensive).
+	if c := m(nil, []int64{0, 200}, 0); c.CPU != 200*time.Nanosecond {
+		t.Errorf("zero-side CPU = %v", c.CPU)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	base := ConstModel(Cost{CPU: 100, IO: 50, Net: 10, Startup: 7})
+	c := Scaled(base, 0.5)(nil, nil, 0)
+	if c.CPU != 50 || c.IO != 25 {
+		t.Errorf("scaled = %+v", c)
+	}
+	// Net and Startup untouched.
+	if c.Net != 10 || c.Startup != 7 {
+		t.Errorf("scaled non-compute components = %+v", c)
+	}
+}
+
+func TestWithStartup(t *testing.T) {
+	base := ConstModel(Cost{CPU: 100, Startup: 1})
+	c := WithStartup(base, time.Second)(nil, nil, 0)
+	if c.Startup != time.Second || c.CPU != 100 {
+		t.Errorf("with startup = %+v", c)
+	}
+}
+
+func TestParallel(t *testing.T) {
+	base := ConstModel(Cost{CPU: 800, IO: 80, Net: 8})
+	c := Parallel(base, 8)(nil, nil, 0)
+	if c.CPU != 100 || c.IO != 10 {
+		t.Errorf("parallel = %+v", c)
+	}
+	if c.Net != 8 {
+		t.Error("network wrongly parallelised")
+	}
+	// Degenerate degree clamps to 1.
+	if c := Parallel(base, 0)(nil, nil, 0); c.CPU != 800 {
+		t.Errorf("degree 0 = %+v", c)
+	}
+}

@@ -1,0 +1,279 @@
+// Package engine defines RHEEM's platform layer SPI: what a data
+// processing platform must provide to be plugged into the core.
+//
+// Per the paper (§3.1–§3.2), plugging in a platform means implementing
+// execution operators ("the platform-dependent implementation of a
+// physical operator", working on batches of data quanta rather than
+// one quantum at a time) and declaring *mappings* between physical and
+// execution operators — "developers will provide only a declarative
+// specification of such mappings; the system will use them to translate
+// physical operators to execution operators". Here a Mapping is a plain
+// value carrying the platform, the (operator kind, algorithm) pair it
+// implements, a pluggable cost model, and an optional context hint for
+// the optimizer. The Registry holds platforms and mappings; nothing in
+// the optimizer is platform-specific.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/core/cost"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+)
+
+// PlatformID identifies a registered processing platform.
+type PlatformID string
+
+// Profile is a platform's data processing profile (paper §8, challenge
+// 2): the kind of processing it supports, used by the optimizer to
+// prune platforms that cannot run an operator at all.
+type Profile struct {
+	Description string
+	Distributed bool // parallel, partitioned execution
+	Relational  bool // table-native execution
+	Streaming   bool // reserved; no bundled platform streams yet
+}
+
+// Metrics reports what executing (part of) a plan actually did. Wall
+// is measured host time; Sim is the virtual cluster clock (see
+// DESIGN.md §5 "Real execution + virtual clock") — identical to Wall
+// for single-node platforms, but including modelled parallelism, task
+// dispatch and shuffle time for simulated distributed platforms.
+type Metrics struct {
+	Wall          time.Duration
+	Sim           time.Duration
+	Jobs          int   // platform jobs launched (atoms × iterations)
+	InRecords     int64 // records consumed from input channels
+	OutRecords    int64 // records produced to output channels
+	ShuffledBytes int64 // bytes through simulated shuffles
+	MovedBytes    int64 // bytes through cross-platform conversions
+	Conversions   int   // converter steps executed
+	Retries       int   // atom executions retried after failures
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(o Metrics) {
+	m.Wall += o.Wall
+	m.Sim += o.Sim
+	m.Jobs += o.Jobs
+	m.InRecords += o.InRecords
+	m.OutRecords += o.OutRecords
+	m.ShuffledBytes += o.ShuffledBytes
+	m.MovedBytes += o.MovedBytes
+	m.Conversions += o.Conversions
+	m.Retries += o.Retries
+}
+
+// AtomKind distinguishes platform-executed atoms from loops, which the
+// executor itself drives (unrolling iterations across the atom's
+// platform, charging per-iteration job overhead — the Figure 2 effect).
+type AtomKind int
+
+// Task atom kinds.
+const (
+	AtomCompute AtomKind = iota
+	AtomLoop
+)
+
+// TaskAtom is "a sub-task to be executed on a single data processing
+// platform" (§3.1) — a connected fragment of the physical plan whose
+// operators all run on one platform, exchanging data internally in the
+// platform's native format. Only Exits cross the atom boundary.
+type TaskAtom struct {
+	ID       int
+	Kind     AtomKind
+	Platform PlatformID
+	Ops      []*physical.Operator // topological order within the atom
+	Exits    []*physical.Operator // operators whose output leaves the atom
+
+	// LoopOp is set for AtomLoop atoms: the Repeat/DoWhile operator.
+	LoopOp *physical.Operator
+
+	opSet map[int]bool
+}
+
+// Contains reports whether the atom holds the physical operator id.
+func (a *TaskAtom) Contains(opID int) bool {
+	if a.opSet == nil {
+		a.opSet = make(map[int]bool, len(a.Ops))
+		for _, op := range a.Ops {
+			a.opSet[op.ID] = true
+		}
+		if a.LoopOp != nil {
+			a.opSet[a.LoopOp.ID] = true
+		}
+	}
+	return a.opSet[opID]
+}
+
+// String renders the atom for plan explanations.
+func (a *TaskAtom) String() string {
+	names := ""
+	ops := a.Ops
+	if a.Kind == AtomLoop {
+		ops = []*physical.Operator{a.LoopOp}
+	}
+	for i, op := range ops {
+		if i > 0 {
+			names += " → "
+		}
+		names += op.Name()
+	}
+	return fmt.Sprintf("atom#%d@%s{%s}", a.ID, a.Platform, names)
+}
+
+// AtomInputs maps a physical operator id to its external input
+// channels, indexed by input slot. Slots fed from inside the atom are
+// absent.
+type AtomInputs map[int]map[int]*channel.Channel
+
+// Platform is a pluggable data processing platform.
+type Platform interface {
+	// ID returns the platform's unique identifier.
+	ID() PlatformID
+	// Profile describes the platform's processing profile.
+	Profile() Profile
+	// NativeFormat is the channel format the platform computes in.
+	NativeFormat() channel.Format
+	// ExecuteAtom runs a compute atom: it converts nothing (inputs
+	// arrive already in native format), executes the atom's operators
+	// in order, and returns a native-format channel per exit operator.
+	ExecuteAtom(ctx context.Context, atom *TaskAtom, inputs AtomInputs) (map[int]*channel.Channel, Metrics, error)
+	// RegisterConverters adds the platform's channel converters
+	// (native ↔ Collection at minimum) to the conversion graph.
+	RegisterConverters(reg *channel.Registry)
+}
+
+// Mapping declares that a platform implements a (kind, algorithm)
+// physical operator, at the cost the model estimates. Hint carries
+// free-form context for the optimizer, mirroring the paper's mapping
+// "context information ... to provide hints to the optimizer".
+type Mapping struct {
+	Platform PlatformID
+	Kind     plan.OpKind
+	Algo     physical.Algorithm
+	Cost     cost.Model
+	Hint     string
+}
+
+// Registry holds the registered platforms, their declarative operator
+// mappings, and the shared channel-conversion graph. It is the single
+// source the optimizer and executor consult; applications never talk
+// to platforms directly.
+type Registry struct {
+	platforms map[PlatformID]Platform
+	order     []PlatformID
+	mappings  []Mapping
+	channels  *channel.Registry
+}
+
+// NewRegistry returns an empty registry with a fresh conversion graph.
+func NewRegistry() *Registry {
+	return &Registry{
+		platforms: make(map[PlatformID]Platform),
+		channels:  channel.NewRegistry(),
+	}
+}
+
+// RegisterPlatform adds a platform and its channel converters.
+func (r *Registry) RegisterPlatform(p Platform) error {
+	if _, dup := r.platforms[p.ID()]; dup {
+		return fmt.Errorf("engine: platform %q registered twice", p.ID())
+	}
+	r.platforms[p.ID()] = p
+	r.order = append(r.order, p.ID())
+	p.RegisterConverters(r.channels)
+	return nil
+}
+
+// RegisterMapping adds a declarative operator mapping. The platform
+// must already be registered.
+func (r *Registry) RegisterMapping(m Mapping) error {
+	if _, ok := r.platforms[m.Platform]; !ok {
+		return fmt.Errorf("engine: mapping for unknown platform %q", m.Platform)
+	}
+	if m.Cost == nil {
+		return fmt.Errorf("engine: mapping %v/%v/%v lacks a cost model", m.Platform, m.Kind, m.Algo)
+	}
+	r.mappings = append(r.mappings, m)
+	return nil
+}
+
+// Platform resolves a platform by id.
+func (r *Registry) Platform(id PlatformID) (Platform, bool) {
+	p, ok := r.platforms[id]
+	return p, ok
+}
+
+// Platforms returns all platforms in registration order.
+func (r *Registry) Platforms() []Platform {
+	out := make([]Platform, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.platforms[id])
+	}
+	return out
+}
+
+// MappingFor finds the mapping a platform declares for a (kind, algo)
+// pair, falling back to the platform's Default-algorithm mapping for
+// the kind when no exact algorithm match exists.
+func (r *Registry) MappingFor(p PlatformID, kind plan.OpKind, algo physical.Algorithm) (Mapping, bool) {
+	var fallback Mapping
+	haveFallback := false
+	for _, m := range r.mappings {
+		if m.Platform != p || m.Kind != kind {
+			continue
+		}
+		if m.Algo == algo {
+			return m, true
+		}
+		if m.Algo == physical.Default {
+			fallback, haveFallback = m, true
+		}
+	}
+	return fallback, haveFallback
+}
+
+// PlatformsFor lists platforms declaring any mapping for the kind.
+func (r *Registry) PlatformsFor(kind plan.OpKind) []PlatformID {
+	seen := map[PlatformID]bool{}
+	var out []PlatformID
+	for _, id := range r.order {
+		for _, m := range r.mappings {
+			if m.Platform == id && m.Kind == kind && !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// Channels returns the shared conversion graph.
+func (r *Registry) Channels() *channel.Registry { return r.channels }
+
+// DescribeMappings renders the declarative mapping table — one line
+// per (platform, operator kind, algorithm) with its context hint. The
+// paper envisions mappings as first-class declarative data the
+// optimizer consumes (§3.1, §8.1); this is that data, made inspectable.
+func (r *Registry) DescribeMappings() string {
+	var sb strings.Builder
+	for _, id := range r.order {
+		for _, m := range r.mappings {
+			if m.Platform != id {
+				continue
+			}
+			fmt.Fprintf(&sb, "%-12s %-12s %-16s", m.Platform, m.Kind, m.Algo)
+			if m.Hint != "" {
+				fmt.Fprintf(&sb, " # %s", m.Hint)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

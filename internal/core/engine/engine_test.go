@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/core/cost"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+// fakePlatform is a minimal Platform for registry and runner tests. Its
+// native format is Collection and its single execution operator
+// appends a marker field to every record.
+type fakePlatform struct {
+	id PlatformID
+}
+
+func (f *fakePlatform) ID() PlatformID                      { return f.id }
+func (f *fakePlatform) Profile() Profile                    { return Profile{Description: "fake"} }
+func (f *fakePlatform) NativeFormat() channel.Format        { return channel.Collection }
+func (f *fakePlatform) RegisterConverters(*channel.Registry) {}
+
+func (f *fakePlatform) ExecuteAtom(ctx context.Context, atom *TaskAtom, inputs AtomInputs) (map[int]*channel.Channel, Metrics, error) {
+	d := &fakeOps{}
+	exits, err := RunAtom(ctx, d, atom, inputs)
+	return exits, Metrics{Jobs: 1, Sim: time.Millisecond}, err
+}
+
+type fakeOps struct{}
+
+func (fakeOps) FromChannel(ch *channel.Channel) (any, error) { return ch.AsCollection() }
+func (fakeOps) ToChannel(ds any) (*channel.Channel, error) {
+	return channel.NewCollection(ds.([]data.Record)), nil
+}
+func (fakeOps) ExecOp(_ context.Context, op *physical.Operator, inputs []any) (any, error) {
+	lop := op.Logical
+	switch lop.Kind() {
+	case plan.KindSource:
+		return lop.Source()
+	case plan.KindMap:
+		in := inputs[0].([]data.Record)
+		out := make([]data.Record, len(in))
+		for i, r := range in {
+			nr, err := lop.Map(r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = nr
+		}
+		return out, nil
+	case plan.KindUnion:
+		l := inputs[0].([]data.Record)
+		r := inputs[1].([]data.Record)
+		return append(append([]data.Record{}, l...), r...), nil
+	case plan.KindSink:
+		return inputs[0], nil
+	}
+	return inputs[0], nil
+}
+
+func TestRegistryPlatformRegistration(t *testing.T) {
+	r := NewRegistry()
+	p := &fakePlatform{id: "fake"}
+	if err := r.RegisterPlatform(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterPlatform(p); err == nil {
+		t.Error("duplicate platform accepted")
+	}
+	got, ok := r.Platform("fake")
+	if !ok || got != p {
+		t.Error("Platform lookup failed")
+	}
+	if _, ok := r.Platform("ghost"); ok {
+		t.Error("ghost platform found")
+	}
+	if len(r.Platforms()) != 1 {
+		t.Error("Platforms() wrong")
+	}
+}
+
+func TestRegistryMappings(t *testing.T) {
+	r := NewRegistry()
+	p := &fakePlatform{id: "fake"}
+	if err := r.RegisterPlatform(p); err != nil {
+		t.Fatal(err)
+	}
+	// Mapping for an unregistered platform fails.
+	err := r.RegisterMapping(Mapping{Platform: "ghost", Kind: plan.KindMap, Cost: cost.ConstModel(cost.Cost{})})
+	if err == nil {
+		t.Error("mapping for ghost platform accepted")
+	}
+	// Mapping without a cost model fails (cost models are mandatory
+	// plugins).
+	err = r.RegisterMapping(Mapping{Platform: "fake", Kind: plan.KindMap})
+	if err == nil {
+		t.Error("mapping without cost model accepted")
+	}
+	must := func(m Mapping) {
+		t.Helper()
+		if err := r.RegisterMapping(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Mapping{Platform: "fake", Kind: plan.KindGroupBy, Algo: physical.HashGroupBy,
+		Cost: cost.ConstModel(cost.Cost{CPU: 1}), Hint: "hash"})
+	must(Mapping{Platform: "fake", Kind: plan.KindGroupBy, Algo: physical.Default,
+		Cost: cost.ConstModel(cost.Cost{CPU: 2}), Hint: "fallback"})
+
+	m, ok := r.MappingFor("fake", plan.KindGroupBy, physical.HashGroupBy)
+	if !ok || m.Hint != "hash" {
+		t.Error("exact mapping not found")
+	}
+	// Unknown algorithm falls back to the Default mapping.
+	m, ok = r.MappingFor("fake", plan.KindGroupBy, physical.SortGroupBy)
+	if !ok || m.Hint != "fallback" {
+		t.Error("fallback mapping not used")
+	}
+	if _, ok := r.MappingFor("fake", plan.KindJoin, physical.HashJoin); ok {
+		t.Error("mapping for undeclared kind found")
+	}
+	if pls := r.PlatformsFor(plan.KindGroupBy); len(pls) != 1 || pls[0] != "fake" {
+		t.Errorf("PlatformsFor = %v", pls)
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	var m Metrics
+	m.Add(Metrics{Wall: 1, Sim: 2, Jobs: 3, InRecords: 4, OutRecords: 5, ShuffledBytes: 6, MovedBytes: 7, Conversions: 8, Retries: 9})
+	m.Add(Metrics{Wall: 1, Jobs: 1})
+	if m.Wall != 2 || m.Jobs != 4 || m.Retries != 9 || m.Conversions != 8 {
+		t.Errorf("Metrics.Add = %+v", m)
+	}
+}
+
+func buildAtomFixture(t *testing.T) (*physical.Plan, *TaskAtom) {
+	t.Helper()
+	b := plan.NewBuilder("fixture")
+	s := b.Source("s", plan.Collection([]data.Record{
+		data.NewRecord(data.Int(1)), data.NewRecord(data.Int(2)),
+	}))
+	m := b.Map(s, func(r data.Record) (data.Record, error) {
+		return r.Append(data.Str("x")), nil
+	})
+	b.Collect(m)
+	pp, err := physical.FromLogical(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	atom := &TaskAtom{ID: 0, Kind: AtomCompute, Platform: "fake", Ops: pp.Ops, Exits: []*physical.Operator{pp.SinkOp}}
+	return pp, atom
+}
+
+func TestRunAtomWholePlan(t *testing.T) {
+	pp, atom := buildAtomFixture(t)
+	exits, err := RunAtom(context.Background(), fakeOps{}, atom, AtomInputs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := exits[pp.SinkOp.ID]
+	recs, err := out.AsCollection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Len() != 2 {
+		t.Errorf("atom output = %v", recs)
+	}
+}
+
+func TestRunAtomExternalInput(t *testing.T) {
+	pp, _ := buildAtomFixture(t)
+	// Atom holding only the Map and Sink; the source output arrives as
+	// an external channel.
+	var mapOp *physical.Operator
+	for _, op := range pp.Ops {
+		if op.Kind() == plan.KindMap {
+			mapOp = op
+		}
+	}
+	atom := &TaskAtom{ID: 1, Kind: AtomCompute, Platform: "fake",
+		Ops: []*physical.Operator{mapOp, pp.SinkOp}, Exits: []*physical.Operator{pp.SinkOp}}
+	in := channel.NewCollection([]data.Record{data.NewRecord(data.Int(9))})
+	exits, err := RunAtom(context.Background(), fakeOps{}, atom,
+		AtomInputs{mapOp.ID: {0: in}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := exits[pp.SinkOp.ID].AsCollection()
+	if len(recs) != 1 || recs[0].Field(0).Int() != 9 {
+		t.Errorf("external-input atom output = %v", recs)
+	}
+}
+
+func TestRunAtomMissingInput(t *testing.T) {
+	pp, _ := buildAtomFixture(t)
+	var mapOp *physical.Operator
+	for _, op := range pp.Ops {
+		if op.Kind() == plan.KindMap {
+			mapOp = op
+		}
+	}
+	atom := &TaskAtom{ID: 2, Kind: AtomCompute, Platform: "fake",
+		Ops: []*physical.Operator{mapOp}, Exits: []*physical.Operator{mapOp}}
+	if _, err := RunAtom(context.Background(), fakeOps{}, atom, AtomInputs{}); err == nil {
+		t.Error("missing external input not detected")
+	}
+}
+
+func TestRunAtomCancelled(t *testing.T) {
+	_, atom := buildAtomFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunAtom(ctx, fakeOps{}, atom, AtomInputs{}); err == nil {
+		t.Error("cancelled context not honoured")
+	}
+}
+
+func TestRunAtomRejectsLoopAtoms(t *testing.T) {
+	atom := &TaskAtom{Kind: AtomLoop}
+	if _, err := RunAtom(context.Background(), fakeOps{}, atom, AtomInputs{}); err == nil {
+		t.Error("loop atom accepted by RunAtom")
+	}
+}
+
+func TestTaskAtomContainsAndString(t *testing.T) {
+	pp, atom := buildAtomFixture(t)
+	if !atom.Contains(pp.Ops[0].ID) {
+		t.Error("Contains false for member")
+	}
+	if atom.Contains(999) {
+		t.Error("Contains true for non-member")
+	}
+	if atom.String() == "" {
+		t.Error("empty atom String")
+	}
+}
+
+func TestDescribeMappings(t *testing.T) {
+	r := NewRegistry()
+	p := &fakePlatform{id: "fake"}
+	if err := r.RegisterPlatform(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterMapping(Mapping{Platform: "fake", Kind: plan.KindGroupBy,
+		Algo: physical.HashGroupBy, Cost: cost.ConstModel(cost.Cost{}), Hint: "no order"}); err != nil {
+		t.Fatal(err)
+	}
+	out := r.DescribeMappings()
+	for _, want := range []string{"fake", "GroupBy", "hash-groupby", "no order"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DescribeMappings misses %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/core/physical"
+)
+
+// DatasetOps is what a platform supplies to the generic atom runner:
+// how to bring external channels into its native dataset type, how to
+// export a native dataset as a channel, and how to execute one
+// physical operator on native datasets. All three bundled platforms
+// run atoms through RunAtom with their own DatasetOps, so the
+// topological bookkeeping lives in exactly one place.
+type DatasetOps interface {
+	// FromChannel imports a native-format channel as a native dataset.
+	FromChannel(ch *channel.Channel) (any, error)
+	// ToChannel exports a native dataset as a native-format channel.
+	ToChannel(ds any) (*channel.Channel, error)
+	// ExecOp executes one physical operator over native datasets.
+	ExecOp(ctx context.Context, op *physical.Operator, inputs []any) (any, error)
+}
+
+// RunAtom executes a compute atom's operators in order, tracking
+// intermediate native datasets, and exports the exits. It returns the
+// exit channels keyed by physical operator id.
+func RunAtom(ctx context.Context, d DatasetOps, atom *TaskAtom, inputs AtomInputs) (map[int]*channel.Channel, error) {
+	if atom.Kind != AtomCompute {
+		return nil, fmt.Errorf("engine: RunAtom on %v atom", atom.Kind)
+	}
+	native := make(map[int]any, len(atom.Ops))
+	for _, op := range atom.Ops {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ins := make([]any, len(op.Inputs))
+		for slot, in := range op.Inputs {
+			if atom.Contains(in.ID) {
+				ds, ok := native[in.ID]
+				if !ok {
+					return nil, fmt.Errorf("engine: atom#%d: %s needs %s before it ran", atom.ID, op.Name(), in.Name())
+				}
+				ins[slot] = ds
+				continue
+			}
+			ch := inputs[op.ID][slot]
+			if ch == nil {
+				return nil, fmt.Errorf("engine: atom#%d: %s slot %d has no external channel", atom.ID, op.Name(), slot)
+			}
+			ds, err := d.FromChannel(ch)
+			if err != nil {
+				return nil, fmt.Errorf("engine: atom#%d: import for %s: %w", atom.ID, op.Name(), err)
+			}
+			ins[slot] = ds
+		}
+		out, err := d.ExecOp(ctx, op, ins)
+		if err != nil {
+			return nil, fmt.Errorf("engine: atom#%d: %s: %w", atom.ID, op.Name(), err)
+		}
+		native[op.ID] = out
+	}
+	exits := make(map[int]*channel.Channel, len(atom.Exits))
+	for _, ex := range atom.Exits {
+		ds, ok := native[ex.ID]
+		if !ok {
+			return nil, fmt.Errorf("engine: atom#%d: exit %s never executed", atom.ID, ex.Name())
+		}
+		ch, err := d.ToChannel(ds)
+		if err != nil {
+			return nil, fmt.Errorf("engine: atom#%d: export of %s: %w", atom.ID, ex.Name(), err)
+		}
+		exits[ex.ID] = ch
+	}
+	return exits, nil
+}

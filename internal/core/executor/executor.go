@@ -1,0 +1,407 @@
+// Package executor implements RHEEM's Executor (paper §4.2): it takes
+// an execution plan from the multi-platform optimizer and is
+// responsible for "(i) scheduling the resulting execution plan on the
+// selected data processing frameworks, (ii) monitoring the progress of
+// plan execution, (iii) coping with failures, and (iv) aggregating and
+// returning results to users".
+//
+// Concretely it walks the task atoms in topological order, inserts
+// channel conversions at every cross-platform edge (performing the
+// data movement the optimizer priced), retries failed atom executions
+// up to a bound, unrolls loop atoms by repeatedly executing the loop
+// body's execution plan (charging the body platform's per-job overhead
+// every iteration — the mechanism behind the paper's Figure 2), emits
+// monitoring events, and aggregates metrics and the sink's records.
+package executor
+
+import (
+	"context"
+	"fmt"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/core/cost"
+	"rheem/internal/core/engine"
+	"rheem/internal/core/optimizer"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+// EventKind classifies monitoring events.
+type EventKind int
+
+// Monitoring event kinds.
+const (
+	EventAtomStart EventKind = iota
+	EventAtomDone
+	EventAtomRetry
+	EventLoopIteration
+	EventPlanDone
+)
+
+// Event is one monitoring notification.
+type Event struct {
+	Kind      EventKind
+	Atom      *engine.TaskAtom
+	Iteration int
+	Metrics   engine.Metrics
+	Err       error
+}
+
+// Options configures a run.
+type Options struct {
+	// Context cancels execution between (and inside) atoms.
+	Context context.Context
+	// MaxRetries bounds re-executions of a failed atom (default 2).
+	MaxRetries int
+	// Monitor, when set, receives progress events synchronously.
+	Monitor func(Event)
+	// AuditFactor flags operators whose actual output cardinality is
+	// off the optimizer's estimate by more than this factor in either
+	// direction (default 8; ≤1 disables the audit). Audited mismatches
+	// land in Result.Mismatches — the raw material for re-optimization
+	// and for tuning source hints.
+	AuditFactor float64
+	// ReOptimize enables adaptive re-optimization: when the audit
+	// flags a gross cardinality mismatch at a top-level atom boundary,
+	// the executor re-plans the remaining operators with the observed
+	// cardinalities, keeping completed atoms frozen. At most one
+	// re-optimization happens per run.
+	ReOptimize bool
+}
+
+func (o *Options) defaults() {
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.AuditFactor == 0 {
+		o.AuditFactor = 8
+	}
+}
+
+// CardMismatch reports one operator whose observed output cardinality
+// diverged badly from the optimizer's estimate (part of the executor's
+// monitoring duty, §4.2).
+type CardMismatch struct {
+	OpName    string
+	Estimated int64
+	Actual    int64
+}
+
+// Result aggregates a run's output and accounting.
+type Result struct {
+	// Records is the sink's output, converted to driver records.
+	Records []data.Record
+	// Metrics is the whole-plan aggregate.
+	Metrics engine.Metrics
+	// AtomMetrics holds per-atom aggregates, keyed by atom ID of the
+	// top-level plan.
+	AtomMetrics map[int]engine.Metrics
+	// Mismatches lists audited cardinality estimation failures (loop
+	// body operators are audited on their first iteration only).
+	Mismatches []CardMismatch
+	// Reoptimized reports whether adaptive re-optimization replaced
+	// the execution plan mid-run.
+	Reoptimized bool
+	// FinalPlan is the execution plan that finished the run — the
+	// original one, or the re-optimized replacement.
+	FinalPlan *optimizer.ExecutionPlan
+}
+
+// Run executes an optimized plan over the registry's platforms.
+func Run(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts Options) (*Result, error) {
+	opts.defaults()
+	res := &Result{AtomMetrics: make(map[int]engine.Metrics)}
+	channels := make(map[int]*channel.Channel)
+	audited := map[int]bool{}
+	res.FinalPlan = ep
+	if err := runPlan(ep, reg, &opts, res, channels, audited, true); err != nil {
+		return nil, err
+	}
+	ep = res.FinalPlan
+	sinkCh := channels[ep.Physical.SinkOp.ID]
+	if sinkCh == nil {
+		return nil, fmt.Errorf("executor: sink produced no channel")
+	}
+	out, moveCost, steps, err := reg.Channels().Convert(sinkCh, channel.Collection)
+	if err != nil {
+		return nil, fmt.Errorf("executor: materializing result: %w", err)
+	}
+	res.Metrics.Sim += moveCost
+	res.Metrics.Conversions += steps
+	recs, err := out.AsCollection()
+	if err != nil {
+		return nil, err
+	}
+	res.Records = recs
+	emit(&opts, Event{Kind: EventPlanDone, Metrics: res.Metrics})
+	return res, nil
+}
+
+func emit(opts *Options, e Event) {
+	if opts.Monitor != nil {
+		opts.Monitor(e)
+	}
+}
+
+// runPlan executes one execution plan's atoms against a shared channel
+// map (loop bodies are nested runPlan calls with the LoopInput channel
+// pre-seeded).
+func runPlan(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, res *Result, channels map[int]*channel.Channel, audited map[int]bool, topLevel bool) error {
+	for i := 0; i < len(ep.Atoms); i++ {
+		atom := ep.Atoms[i]
+		if err := opts.Context.Err(); err != nil {
+			return err
+		}
+		if atomDone(atom, channels) {
+			continue // outputs already available (re-optimized run)
+		}
+		mismatchesBefore := len(res.Mismatches)
+		switch atom.Kind {
+		case engine.AtomLoop:
+			if err := runLoop(ep, atom, reg, opts, res, channels, audited); err != nil {
+				return err
+			}
+		default:
+			if err := runComputeAtom(atom, ep.Estimates, reg, opts, res, channels, audited); err != nil {
+				return err
+			}
+		}
+		// Adaptive re-optimization: gross estimate misses at a
+		// top-level atom boundary trigger one re-planning of the
+		// remaining work with observed statistics.
+		if topLevel && opts.ReOptimize && !res.Reoptimized && len(res.Mismatches) > mismatchesBefore {
+			newEP, err := reoptimize(ep, reg, opts, channels)
+			if err != nil {
+				return fmt.Errorf("executor: re-optimization: %w", err)
+			}
+			res.Reoptimized = true
+			res.FinalPlan = newEP
+			ep = newEP
+			i = -1 // restart; completed atoms are skipped via atomDone
+		}
+	}
+	return nil
+}
+
+// atomDone reports whether every output the atom owes the rest of the
+// plan is already available.
+func atomDone(atom *engine.TaskAtom, channels map[int]*channel.Channel) bool {
+	if atom.Kind == engine.AtomLoop {
+		return channels[atom.LoopOp.ID] != nil
+	}
+	if len(atom.Exits) == 0 {
+		return false
+	}
+	for _, ex := range atom.Exits {
+		if channels[ex.ID] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// reoptimize re-plans the physical plan with observed cardinalities:
+// operators whose outputs exist keep their platforms and are frozen
+// into skippable atoms; everything downstream is re-costed and may
+// move to a different platform.
+func reoptimize(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, channels map[int]*channel.Channel) (*optimizer.ExecutionPlan, error) {
+	overrides := map[int]int64{}
+	for id, ch := range channels {
+		if ch != nil && ch.Records >= 0 {
+			overrides[id] = ch.Records
+		}
+	}
+	frozen := map[int]bool{}
+	forced := map[int]engine.PlatformID{}
+	for _, atom := range ep.Atoms {
+		if !atomDone(atom, channels) {
+			continue
+		}
+		ops := atom.Ops
+		if atom.Kind == engine.AtomLoop {
+			ops = []*physical.Operator{atom.LoopOp}
+		}
+		for _, op := range ops {
+			frozen[op.ID] = true
+			forced[op.ID] = ep.Assignment[op.ID]
+		}
+	}
+	return optimizer.Optimize(ep.Physical, reg, optimizer.Options{
+		DisableRules:      true, // structure is fixed mid-run
+		CardOverrides:     overrides,
+		ForcedAssignments: forced,
+		Frozen:            frozen,
+	})
+}
+
+// runComputeAtom gathers external inputs (converting formats as
+// needed), executes the atom with retries, and publishes exit channels.
+func runComputeAtom(atom *engine.TaskAtom, est *cost.Estimates, reg *engine.Registry, opts *Options, res *Result, channels map[int]*channel.Channel, audited map[int]bool) error {
+	platform, ok := reg.Platform(atom.Platform)
+	if !ok {
+		return fmt.Errorf("executor: unknown platform %q", atom.Platform)
+	}
+	inputs := engine.AtomInputs{}
+	var moveMetrics engine.Metrics
+	for _, op := range atom.Ops {
+		for slot, in := range op.Inputs {
+			if atom.Contains(in.ID) {
+				continue
+			}
+			src := channels[in.ID]
+			if src == nil {
+				return fmt.Errorf("executor: %s needs output of op %d which is not available", atom, in.ID)
+			}
+			conv, cost, steps, err := reg.Channels().Convert(src, platform.NativeFormat())
+			if err != nil {
+				return fmt.Errorf("executor: feeding %s: %w", atom, err)
+			}
+			moveMetrics.Sim += cost
+			moveMetrics.Conversions += steps
+			if steps > 0 {
+				moveMetrics.MovedBytes += src.Bytes
+			}
+			if inputs[op.ID] == nil {
+				inputs[op.ID] = map[int]*channel.Channel{}
+			}
+			inputs[op.ID][slot] = conv
+		}
+	}
+
+	emit(opts, Event{Kind: EventAtomStart, Atom: atom})
+	var exits map[int]*channel.Channel
+	var m engine.Metrics
+	var err error
+	for attempt := 0; ; attempt++ {
+		exits, m, err = platform.ExecuteAtom(opts.Context, atom, inputs)
+		if err == nil || attempt >= opts.MaxRetries || opts.Context.Err() != nil {
+			break
+		}
+		moveMetrics.Retries++
+		emit(opts, Event{Kind: EventAtomRetry, Atom: atom, Err: err, Metrics: m})
+		res.Metrics.Add(m) // failed attempts still cost time
+	}
+	m.Add(moveMetrics)
+	if err != nil {
+		emit(opts, Event{Kind: EventAtomDone, Atom: atom, Err: err, Metrics: m})
+		return fmt.Errorf("executor: %s failed after retries: %w", atom, err)
+	}
+	res.Metrics.Add(m)
+	am := res.AtomMetrics[atom.ID]
+	am.Add(m)
+	res.AtomMetrics[atom.ID] = am
+	emit(opts, Event{Kind: EventAtomDone, Atom: atom, Metrics: m})
+	for id, ch := range exits {
+		channels[id] = ch
+	}
+	auditCards(atom, est, exits, opts, res, audited)
+	return nil
+}
+
+// auditCards compares observed exit cardinalities against the
+// optimizer's estimates and records gross mismatches.
+func auditCards(atom *engine.TaskAtom, est *cost.Estimates, exits map[int]*channel.Channel, opts *Options, res *Result, audited map[int]bool) {
+	if opts.AuditFactor <= 1 || est == nil {
+		return
+	}
+	for _, ex := range atom.Exits {
+		ch := exits[ex.ID]
+		if ch == nil || ch.Records < 0 || audited[ex.ID] {
+			continue
+		}
+		audited[ex.ID] = true
+		estimate := est.Cards[ex.ID]
+		actual := ch.Records
+		lo, hi := estimate, actual
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo <= 0 {
+			lo = 1
+		}
+		if float64(hi)/float64(lo) > opts.AuditFactor {
+			res.Mismatches = append(res.Mismatches, CardMismatch{
+				OpName: ex.Name(), Estimated: estimate, Actual: actual,
+			})
+		}
+	}
+}
+
+// runLoop unrolls a Repeat/DoWhile atom: each iteration executes the
+// body's execution plan with the LoopInput channel bound to the
+// current state, then feeds the body output back as the next state.
+func runLoop(ep *optimizer.ExecutionPlan, atom *engine.TaskAtom, reg *engine.Registry, opts *Options, res *Result, channels map[int]*channel.Channel, audited map[int]bool) error {
+	loopOp := atom.LoopOp
+	body := ep.LoopBodies[loopOp.ID]
+	if body == nil {
+		return fmt.Errorf("executor: loop %s has no body plan", loopOp.Name())
+	}
+	loopInput := findLoopInput(body)
+	if loopInput == nil {
+		return fmt.Errorf("executor: loop body of %s has no LoopInput", loopOp.Name())
+	}
+	state := channels[loopOp.Inputs[0].ID]
+	if state == nil {
+		return fmt.Errorf("executor: loop %s input not available", loopOp.Name())
+	}
+
+	lop := loopOp.Logical
+	maxIter := lop.Times
+	if lop.Kind() == plan.KindDoWhile {
+		maxIter = lop.MaxIter
+		if maxIter <= 0 {
+			maxIter = 100
+		}
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		bodyChannels := make(map[int]*channel.Channel)
+		bodyChannels[loopInput.ID] = state
+		if err := runPlan(body, reg, opts, res, bodyChannels, audited, false); err != nil {
+			return fmt.Errorf("executor: loop %s iteration %d: %w", loopOp.Name(), iter, err)
+		}
+		state = bodyChannels[body.Physical.SinkOp.ID]
+		if state == nil {
+			return fmt.Errorf("executor: loop %s iteration %d produced no output", loopOp.Name(), iter)
+		}
+		emit(opts, Event{Kind: EventLoopIteration, Atom: atom, Iteration: iter})
+
+		if lop.Kind() == plan.KindDoWhile {
+			// Evaluate the condition on driver-side records, like a
+			// Spark driver collecting loop state.
+			conv, cost, steps, err := reg.Channels().Convert(state, channel.Collection)
+			if err != nil {
+				return fmt.Errorf("executor: loop %s condition input: %w", loopOp.Name(), err)
+			}
+			res.Metrics.Sim += cost
+			res.Metrics.Conversions += steps
+			recs, err := conv.AsCollection()
+			if err != nil {
+				return err
+			}
+			cont, err := lop.Cond(iter, recs)
+			if err != nil {
+				return fmt.Errorf("executor: loop %s condition: %w", loopOp.Name(), err)
+			}
+			if !cont {
+				state = conv
+				break
+			}
+		}
+	}
+	channels[loopOp.ID] = state
+	return nil
+}
+
+func findLoopInput(body *optimizer.ExecutionPlan) *physical.Operator {
+	for _, op := range body.Physical.Ops {
+		if op.Kind() == plan.KindLoopInput {
+			return op
+		}
+	}
+	return nil
+}

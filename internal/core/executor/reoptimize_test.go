@@ -1,0 +1,149 @@
+package executor
+
+import (
+	"testing"
+	"time"
+
+	"rheem/internal/core/engine"
+	"rheem/internal/core/optimizer"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+	"rheem/internal/platform/javaengine"
+	"rheem/internal/platform/sparksim"
+)
+
+// defaultRegistry registers the platforms with their production
+// calibration (50 ms spark job overhead) — the regime where a
+// 100-record loop belongs on the single-node engine.
+func defaultRegistry(t *testing.T) *engine.Registry {
+	t.Helper()
+	reg := engine.NewRegistry()
+	if _, err := javaengine.Register(reg, javaengine.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sparksim.Register(reg, sparksim.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// lyingSourcePlan claims two million records but produces 100, with an
+// iterative loop downstream. The initial optimizer believes the hint
+// and puts the loop on the cluster; the audit exposes the lie at the
+// first atom boundary.
+func lyingSourcePlan(t *testing.T) *physical.Plan {
+	t.Helper()
+	bb := plan.NewBodyBuilder("body")
+	li := bb.LoopInput("st")
+	m := bb.Map(li, func(r data.Record) (data.Record, error) {
+		return data.NewRecord(data.Int(r.Field(0).Int() + 1)), nil
+	})
+	bb.Collect(m)
+	body := bb.MustBuild()
+
+	b := plan.NewBuilder("lying")
+	s := b.Source("liar", plan.Collection(intRecords(100)))
+	s.CardHint = 2_000_000
+	rep := b.Repeat(s, 20, body)
+	b.Collect(rep)
+	pp, err := physical.FromLogical(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pp
+}
+
+func bodyPlatforms(ep *optimizer.ExecutionPlan) map[string]bool {
+	out := map[string]bool{}
+	for _, bodyEP := range ep.LoopBodies {
+		for _, pl := range bodyEP.Assignment {
+			out[string(pl)] = true
+		}
+	}
+	return out
+}
+
+func TestAdaptiveReoptimizationMovesLoopOffCluster(t *testing.T) {
+	reg := defaultRegistry(t)
+	ep, err := optimizer.Optimize(lyingSourcePlan(t), reg, optimizer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the lie pushes the initial loop body onto spark.
+	if pls := bodyPlatforms(ep); !pls[string(sparksim.ID)] {
+		t.Skipf("initial plan not on spark (%v); calibration moved the threshold", pls)
+	}
+
+	res, err := Run(ep, reg, Options{ReOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reoptimized {
+		t.Fatal("audit did not trigger re-optimization")
+	}
+	if len(res.Records) != 100 || res.Records[0].Field(0).Int() != 20 {
+		t.Errorf("wrong results after re-optimization: %d records", len(res.Records))
+	}
+	// The re-planned loop body must have moved to the single-node
+	// engine now that the input is known to be tiny.
+	if pls := bodyPlatforms(res.FinalPlan); !pls[string(javaengine.ID)] || pls[string(sparksim.ID)] {
+		t.Errorf("re-optimized body platforms = %v, want java only", pls)
+	}
+}
+
+func TestReoptimizationOffByDefault(t *testing.T) {
+	reg := defaultRegistry(t)
+	ep, err := optimizer.Optimize(lyingSourcePlan(t), reg, optimizer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ep, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reoptimized {
+		t.Error("re-optimization ran without opt-in")
+	}
+	if len(res.Mismatches) == 0 {
+		t.Error("audit should still flag the lying source")
+	}
+	if len(res.Records) != 100 {
+		t.Errorf("%d records", len(res.Records))
+	}
+}
+
+func TestReoptimizationCheaperThanStubborn(t *testing.T) {
+	reg := defaultRegistry(t)
+	run := func(reopt bool) time.Duration {
+		ep, err := optimizer.Optimize(lyingSourcePlan(t), reg, optimizer.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(ep, reg, Options{ReOptimize: reopt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics.Sim
+	}
+	stubborn := run(false)
+	adaptive := run(true)
+	if adaptive >= stubborn {
+		t.Errorf("re-optimization did not pay off: adaptive %v vs stubborn %v", adaptive, stubborn)
+	}
+}
+
+func TestReoptimizationAccurateEstimatesNoop(t *testing.T) {
+	reg := fullRegistry(t)
+	ep, err := optimizer.Optimize(simplePlan(t, intRecords(50)), reg, optimizer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ep, reg, Options{ReOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reoptimized {
+		t.Error("accurate plan re-optimized")
+	}
+}

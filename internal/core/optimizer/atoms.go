@@ -1,0 +1,173 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"rheem/internal/core/engine"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+)
+
+// splitAtoms divides an assigned physical plan into task atoms:
+// maximal same-platform fragments that stay *convex* (no dataflow path
+// leaves an atom and re-enters it), so atoms can execute strictly one
+// after another. Loop operators become their own executor-driven
+// atoms; LoopInput placeholders belong to no atom — the executor seeds
+// their channels directly.
+//
+// During adaptive re-optimization, frozen (already-executed) operators
+// are never grouped with unfrozen ones, so fully-frozen atoms can be
+// skipped wholesale by the executor.
+func splitAtoms(p *physical.Plan, assignment map[int]engine.PlatformID, frozen map[int]bool) ([]*engine.TaskAtom, error) {
+	// ancestors[opID] = transitive input closure, used for the
+	// convexity check.
+	ancestors := make(map[int]map[int]bool, len(p.Ops))
+	for _, op := range p.Ops {
+		anc := map[int]bool{}
+		for _, in := range op.Inputs {
+			anc[in.ID] = true
+			for a := range ancestors[in.ID] {
+				anc[a] = true
+			}
+		}
+		ancestors[op.ID] = anc
+	}
+
+	atomOf := make(map[int]*engine.TaskAtom, len(p.Ops))
+	var atoms []*engine.TaskAtom
+	nextID := 0
+
+	newAtom := func(kind engine.AtomKind, pl engine.PlatformID) *engine.TaskAtom {
+		a := &engine.TaskAtom{ID: nextID, Kind: kind, Platform: pl}
+		nextID++
+		atoms = append(atoms, a)
+		return a
+	}
+
+	// atomOps[atom.ID] = set of op IDs, for the convexity check.
+	atomOps := map[int]map[int]bool{}
+
+	for _, op := range p.Ops {
+		pl, ok := assignment[op.ID]
+		if !ok {
+			return nil, fmt.Errorf("optimizer: %s has no platform assignment", op.Name())
+		}
+		switch op.Kind() {
+		case plan.KindLoopInput:
+			continue // seeded by the executor
+		case plan.KindRepeat, plan.KindDoWhile:
+			a := newAtom(engine.AtomLoop, pl)
+			a.LoopOp = op
+			atomOf[op.ID] = a
+			atomOps[a.ID] = map[int]bool{op.ID: true}
+			continue
+		}
+
+		// Try to absorb into a same-platform input atom, convexly:
+		// joining atom A is safe iff no other input of op reaches A
+		// through an operator outside A. Frozen and unfrozen operators
+		// never share an atom.
+		var target *engine.TaskAtom
+		for _, in := range op.Inputs {
+			cand := atomOf[in.ID]
+			if cand == nil || cand.Platform != pl || cand.Kind != engine.AtomCompute {
+				continue
+			}
+			if frozen[op.ID] != frozen[in.ID] {
+				continue
+			}
+			safe := true
+			for _, other := range op.Inputs {
+				if atomOf[other.ID] == cand {
+					continue
+				}
+				// Does `other` depend on anything inside cand?
+				for a := range ancestors[other.ID] {
+					if atomOps[cand.ID][a] {
+						safe = false
+						break
+					}
+				}
+				if !safe {
+					break
+				}
+			}
+			if safe {
+				target = cand
+				break
+			}
+		}
+		if target == nil {
+			target = newAtom(engine.AtomCompute, pl)
+			atomOps[target.ID] = map[int]bool{}
+		}
+		target.Ops = append(target.Ops, op)
+		atomOps[target.ID][op.ID] = true
+		atomOf[op.ID] = target
+	}
+
+	// Exits: operators consumed outside their atom, plus the sink.
+	consumers := p.Consumers()
+	for _, op := range p.Ops {
+		a := atomOf[op.ID]
+		if a == nil || a.Kind != engine.AtomCompute {
+			continue
+		}
+		external := op == p.SinkOp
+		for _, c := range consumers[op.ID] {
+			if atomOf[c.ID] != a {
+				external = true
+			}
+		}
+		if external {
+			a.Exits = append(a.Exits, op)
+		}
+	}
+
+	// Order atoms topologically (Kahn): atom A precedes B if any op of
+	// A feeds an op of B. Convexity guarantees the atom graph is
+	// acyclic; a cycle here is an internal invariant violation.
+	deps := map[int]map[int]bool{} // atom ID → atom IDs it depends on
+	for _, op := range p.Ops {
+		a := atomOf[op.ID]
+		if a == nil {
+			continue
+		}
+		for _, in := range op.Inputs {
+			ia := atomOf[in.ID]
+			if ia == nil || ia == a {
+				continue
+			}
+			if deps[a.ID] == nil {
+				deps[a.ID] = map[int]bool{}
+			}
+			deps[a.ID][ia.ID] = true
+		}
+	}
+	var sorted []*engine.TaskAtom
+	done := map[int]bool{}
+	for len(sorted) < len(atoms) {
+		progressed := false
+		for _, a := range atoms {
+			if done[a.ID] {
+				continue
+			}
+			ready := true
+			for dep := range deps[a.ID] {
+				if !done[dep] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				done[a.ID] = true
+				sorted = append(sorted, a)
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("optimizer: cycle in task atom graph of %q", p.Name)
+		}
+	}
+	return sorted, nil
+}

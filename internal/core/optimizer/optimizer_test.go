@@ -1,0 +1,246 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rheem/internal/core/engine"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+	"rheem/internal/platform/javaengine"
+	"rheem/internal/platform/relengine"
+	"rheem/internal/platform/sparksim"
+)
+
+func fullRegistry(t *testing.T) *engine.Registry {
+	t.Helper()
+	reg := engine.NewRegistry()
+	if _, err := javaengine.Register(reg, javaengine.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sparksim.Register(reg, sparksim.Config{JobOverhead: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := relengine.Register(reg, nil, relengine.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func physOf(t *testing.T, build func(b *plan.Builder)) *physical.Plan {
+	t.Helper()
+	b := plan.NewBuilder("p")
+	build(b)
+	lp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := physical.FromLogical(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pp
+}
+
+func TestOptimizeAssignsEverythingAndSplitsAtoms(t *testing.T) {
+	pp := physOf(t, func(b *plan.Builder) {
+		s := b.Source("s", plan.Collection(nil))
+		s.CardHint = 1000
+		f := b.Filter(s, func(data.Record) (bool, error) { return true, nil })
+		g := b.ReduceByKey(f, plan.FieldKey(0), plan.SumField(0))
+		b.Collect(g)
+	})
+	ep, err := Optimize(pp, fullRegistry(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range pp.Ops {
+		if _, ok := ep.Assignment[op.ID]; !ok {
+			t.Errorf("%s unassigned", op.Name())
+		}
+		if op.Algo == "" {
+			t.Errorf("%s has no algorithm", op.Name())
+		}
+	}
+	if len(ep.Atoms) == 0 {
+		t.Fatal("no atoms")
+	}
+	if ep.Estimated.Total() <= 0 {
+		t.Error("no estimated cost")
+	}
+	if !strings.Contains(ep.String(), "atom#") {
+		t.Error("String misses atoms")
+	}
+}
+
+func TestFixedPlatformPinsEverything(t *testing.T) {
+	pp := physOf(t, func(b *plan.Builder) {
+		s := b.Source("s", plan.Collection(nil))
+		s.CardHint = 100
+		b.Collect(b.Distinct(s))
+	})
+	for _, pin := range []engine.PlatformID{javaengine.ID, sparksim.ID, relengine.ID} {
+		ep, err := Optimize(pp, fullRegistry(t), Options{FixedPlatform: pin})
+		if err != nil {
+			t.Fatalf("%s: %v", pin, err)
+		}
+		for id, pl := range ep.Assignment {
+			if pl != pin {
+				t.Errorf("pin %s: op %d on %s", pin, id, pl)
+			}
+		}
+		// Single platform ⇒ single compute atom.
+		if len(ep.Atoms) != 1 {
+			t.Errorf("pin %s: %d atoms", pin, len(ep.Atoms))
+		}
+	}
+}
+
+func TestLargeInputPrefersSpark(t *testing.T) {
+	reg := fullRegistry(t)
+	small := physOf(t, func(b *plan.Builder) {
+		s := b.Source("s", plan.Collection(nil))
+		s.CardHint = 100
+		b.Collect(b.Map(s, plan.Identity()))
+	})
+	big := physOf(t, func(b *plan.Builder) {
+		s := b.Source("s", plan.Collection(nil))
+		s.CardHint = 200_000_000
+		b.Collect(b.Map(s, plan.Identity()))
+	})
+	epSmall, err := Optimize(small, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epBig, err := Optimize(big, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range epSmall.Assignment {
+		if pl == sparksim.ID {
+			t.Error("small input landed on spark")
+		}
+	}
+	sparkUsed := false
+	for _, pl := range epBig.Assignment {
+		if pl == sparksim.ID {
+			sparkUsed = true
+		}
+	}
+	if !sparkUsed {
+		t.Errorf("huge input avoided spark: %v", epBig.Assignment)
+	}
+}
+
+func TestIEJoinChosenForConditionedThetaJoin(t *testing.T) {
+	pp := physOf(t, func(b *plan.Builder) {
+		l := b.Source("l", plan.Collection(nil))
+		l.CardHint = 10000
+		r := b.Source("r", plan.Collection(nil))
+		r.CardHint = 10000
+		tj := b.ThetaJoin(l, r, nil,
+			plan.IECondition{LeftField: 0, Op: plan.Greater, RightField: 0},
+			plan.IECondition{LeftField: 1, Op: plan.Less, RightField: 1})
+		b.Collect(tj)
+	})
+	ep, err := Optimize(pp, fullRegistry(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, op := range ep.Physical.Ops {
+		if op.Kind() == plan.KindThetaJoin {
+			found = true
+			if op.Algo != physical.IEJoin {
+				t.Errorf("theta join algo = %s, want ie-join", op.Algo)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no theta join in plan")
+	}
+}
+
+func TestLoopBodiesOptimizedRecursively(t *testing.T) {
+	bb := plan.NewBodyBuilder("body")
+	in := bb.LoopInput("st")
+	m := bb.Map(in, plan.Identity())
+	bb.Collect(m)
+	body := bb.MustBuild()
+
+	pp := physOf(t, func(b *plan.Builder) {
+		s := b.Source("s", plan.Collection(nil))
+		s.CardHint = 10
+		rep := b.Repeat(s, 5, body)
+		b.Collect(rep)
+	})
+	ep, err := Optimize(pp, fullRegistry(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loopID int = -1
+	for _, op := range pp.Ops {
+		if op.Kind() == plan.KindRepeat {
+			loopID = op.ID
+		}
+	}
+	bodyEP := ep.LoopBodies[loopID]
+	if bodyEP == nil {
+		t.Fatal("loop body not optimized")
+	}
+	if len(bodyEP.Atoms) == 0 {
+		t.Error("loop body has no atoms")
+	}
+	// Loop atom present in outer plan.
+	loops := 0
+	for _, a := range ep.Atoms {
+		if a.Kind == engine.AtomLoop {
+			loops++
+		}
+	}
+	if loops != 1 {
+		t.Errorf("%d loop atoms", loops)
+	}
+}
+
+func TestAtomConvexityOnDiamond(t *testing.T) {
+	// Diamond: source → (mapA, mapB) → union. All on one platform must
+	// fold into one atom; the atom order must stay valid.
+	pp := physOf(t, func(b *plan.Builder) {
+		s := b.Source("s", plan.Collection(nil))
+		a := b.Map(s, plan.Identity())
+		c := b.Map(s, plan.Identity())
+		u := b.Union(a, c)
+		b.Collect(u)
+	})
+	ep, err := Optimize(pp, fullRegistry(t), Options{FixedPlatform: javaengine.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ep.Atoms) != 1 {
+		t.Errorf("diamond split into %d atoms", len(ep.Atoms))
+	}
+	// Exits: only the sink leaves the atom.
+	if len(ep.Atoms[0].Exits) != 1 {
+		t.Errorf("diamond atom has %d exits", len(ep.Atoms[0].Exits))
+	}
+}
+
+func TestNoPlatformForKindFails(t *testing.T) {
+	reg := engine.NewRegistry()
+	if _, err := javaengine.Register(reg, javaengine.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	pp := physOf(t, func(b *plan.Builder) {
+		s := b.Source("s", plan.Collection(nil))
+		b.Collect(s)
+	})
+	// Empty registry entirely.
+	empty := engine.NewRegistry()
+	if _, err := Optimize(pp, empty, Options{}); err == nil {
+		t.Error("optimization without platforms accepted")
+	}
+	_ = reg
+}

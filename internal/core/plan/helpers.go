@@ -1,0 +1,76 @@
+package plan
+
+import (
+	"rheem/internal/data"
+)
+
+// This file provides the small library of canned UDFs that applications
+// compose constantly: collection sources, field-projection keys, and
+// arithmetic reducers. They are ordinary UDF values — nothing here is
+// special-cased by the optimizer.
+
+// Collection returns a SourceFunc serving a fixed record slice. The
+// slice is not copied; callers must not mutate it after plan execution
+// begins.
+func Collection(recs []data.Record) SourceFunc {
+	return func() ([]data.Record, error) { return recs, nil }
+}
+
+// FieldKey returns a KeyFunc projecting field i.
+func FieldKey(i int) KeyFunc {
+	return func(r data.Record) (data.Value, error) { return r.Field(i), nil }
+}
+
+// ConstKey returns a KeyFunc mapping every record to the same key,
+// which turns per-key operators into global ones.
+func ConstKey() KeyFunc {
+	return func(data.Record) (data.Value, error) { return data.Int(0), nil }
+}
+
+// RecordKey returns a KeyFunc hashing the whole record into an Int key;
+// it is how Distinct and record-level grouping are expressed over the
+// Value-keyed operator pool.
+func RecordKey() KeyFunc {
+	return func(r data.Record) (data.Value, error) {
+		return data.Int(int64(data.HashRecord(r, 0))), nil
+	}
+}
+
+// SumField returns a ReduceFunc adding field i of two records,
+// keeping the remaining fields of the first.
+func SumField(i int) ReduceFunc {
+	return func(a, b data.Record) (data.Record, error) {
+		switch a.Field(i).Kind() {
+		case data.KindInt:
+			return a.WithField(i, data.Int(a.Field(i).Int()+b.Field(i).Int())), nil
+		default:
+			return a.WithField(i, data.Float(a.Field(i).Float()+b.Field(i).Float())), nil
+		}
+	}
+}
+
+// MaxByField returns a ReduceFunc keeping whichever record has the
+// larger field i.
+func MaxByField(i int) ReduceFunc {
+	return func(a, b data.Record) (data.Record, error) {
+		if data.Compare(a.Field(i), b.Field(i)) >= 0 {
+			return a, nil
+		}
+		return b, nil
+	}
+}
+
+// Identity returns a MapFunc passing records through unchanged, useful
+// as a placeholder in enhancer positions.
+func Identity() MapFunc {
+	return func(r data.Record) (data.Record, error) { return r, nil }
+}
+
+// NewSynthetic creates a free-standing logical operator of the given
+// kind for optimizer rules and enhancer physical operators. The caller
+// sets the kind's payload fields afterwards. Synthetic operators do not
+// belong to any logical plan (their inputs live at the physical level),
+// so their ID is -1.
+func NewSynthetic(kind OpKind, name string) *Operator {
+	return &Operator{id: -1, kind: kind, name: name}
+}

@@ -1,0 +1,255 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file implements the two wire formats data quanta travel in:
+//
+//   - CSV with a typed header, the human-facing format used by the
+//     csvstore storage engine and the CLIs; and
+//   - a compact binary format used by the simulated DFS blocks and by
+//     the shuffle byte-accounting of the Spark simulator.
+//
+// Both round-trip every Value kind, including vectors.
+
+// WriteCSV writes records as CSV preceded by a typed header line of the
+// form "name:type,...". Null values serialise as empty cells.
+func WriteCSV(w io.Writer, s *Schema, recs []Record) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		f := s.Field(i)
+		header[i] = f.Name + ":" + f.Type.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("data: write csv header: %w", err)
+	}
+	row := make([]string, s.Len())
+	for _, r := range recs {
+		if err := s.Validate(r); err != nil {
+			return err
+		}
+		for i := 0; i < r.Len(); i++ {
+			row[i] = r.Field(i).String()
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("data: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a typed-header CSV stream produced by WriteCSV and
+// returns the schema and records.
+func ReadCSV(r io.Reader) (*Schema, []Record, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("data: read csv header: %w", err)
+	}
+	fields := make([]Field, len(header))
+	for i, h := range header {
+		name, typ, ok := cutLast(h, ':')
+		if !ok {
+			return nil, nil, fmt.Errorf("data: csv header cell %q is not name:type", h)
+		}
+		k, err := ParseKind(typ)
+		if err != nil {
+			return nil, nil, err
+		}
+		fields[i] = Field{Name: name, Type: k}
+	}
+	schema, err := NewSchema(fields...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []Record
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("data: read csv row: %w", err)
+		}
+		vals := make([]Value, len(row))
+		for i, cell := range row {
+			v, err := ParseValue(cell, fields[i].Type)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals[i] = v
+		}
+		recs = append(recs, NewRecord(vals...))
+	}
+	return schema, recs, nil
+}
+
+// cutLast splits s at the last occurrence of sep, so field names may
+// themselves contain the separator.
+func cutLast(s string, sep byte) (before, after string, found bool) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == sep {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}
+
+// Binary format: each record is a uvarint field count followed by
+// fields; each field is a kind byte followed by a kind-specific payload.
+
+// WriteBinary writes records in the compact binary format and returns
+// the number of payload bytes written.
+func WriteBinary(w io.Writer, recs []Record) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := cw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(recs))); err != nil {
+		return cw.n, err
+	}
+	for _, r := range recs {
+		if err := putUvarint(uint64(r.Len())); err != nil {
+			return cw.n, err
+		}
+		for i := 0; i < r.Len(); i++ {
+			v := r.Field(i)
+			if _, err := cw.Write([]byte{byte(v.kind)}); err != nil {
+				return cw.n, err
+			}
+			switch v.kind {
+			case KindNull:
+			case KindBool, KindInt:
+				if err := putUvarint(zigzag(v.i)); err != nil {
+					return cw.n, err
+				}
+			case KindFloat:
+				if err := putUvarint(math.Float64bits(v.f)); err != nil {
+					return cw.n, err
+				}
+			case KindString:
+				if err := putUvarint(uint64(len(v.s))); err != nil {
+					return cw.n, err
+				}
+				if _, err := io.WriteString(cw, v.s); err != nil {
+					return cw.n, err
+				}
+			case KindVector:
+				if err := putUvarint(uint64(len(v.vec))); err != nil {
+					return cw.n, err
+				}
+				for _, f := range v.vec {
+					if err := putUvarint(math.Float64bits(f)); err != nil {
+						return cw.n, err
+					}
+				}
+			default:
+				return cw.n, fmt.Errorf("data: binary-encode unknown kind %d", v.kind)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadBinary reads a batch written by WriteBinary.
+func ReadBinary(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("data: binary record count: %w", err)
+	}
+	recs := make([]Record, 0, count)
+	for rec := uint64(0); rec < count; rec++ {
+		arity, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("data: binary arity: %w", err)
+		}
+		vals := make([]Value, arity)
+		for i := range vals {
+			kb, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("data: binary kind: %w", err)
+			}
+			switch Kind(kb) {
+			case KindNull:
+				vals[i] = Null()
+			case KindBool:
+				u, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = Bool(unzigzag(u) != 0)
+			case KindInt:
+				u, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = Int(unzigzag(u))
+			case KindFloat:
+				u, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = Float(math.Float64frombits(u))
+			case KindString:
+				n, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				b := make([]byte, n)
+				if _, err := io.ReadFull(br, b); err != nil {
+					return nil, err
+				}
+				vals[i] = Str(string(b))
+			case KindVector:
+				n, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				vec := make([]float64, n)
+				for j := range vec {
+					u, err := binary.ReadUvarint(br)
+					if err != nil {
+						return nil, err
+					}
+					vec[j] = math.Float64frombits(u)
+				}
+				vals[i] = Vec(vec)
+			default:
+				return nil, fmt.Errorf("data: binary-decode unknown kind %d", kb)
+			}
+		}
+		recs = append(recs, NewRecord(vals...))
+	}
+	return recs, nil
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,164 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field is one named, typed column of a schema.
+type Field struct {
+	Name string
+	Type Kind
+}
+
+// Schema names and types the fields of a record stream. Schemas are
+// advisory in RHEEM's UDF-centric model — logical operators may emit
+// records of any shape — but sources, sinks, the relational platform and
+// the declarative layer all carry schemas, and Validate lets plan
+// construction fail fast on arity or type mismatches.
+type Schema struct {
+	fields []Field
+	byName map[string]int
+}
+
+// NewSchema builds a schema from the given fields. Duplicate field names
+// are rejected.
+func NewSchema(fields ...Field) (*Schema, error) {
+	s := &Schema{fields: fields, byName: make(map[string]int, len(fields))}
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("data: schema field %d has empty name", i)
+		}
+		if _, dup := s.byName[f.Name]; dup {
+			return nil, fmt.Errorf("data: duplicate schema field %q", f.Name)
+		}
+		s.byName[f.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema for statically known field lists; it panics on
+// error and is intended for package-level schema variables.
+func MustSchema(fields ...Field) *Schema {
+	s, err := NewSchema(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len reports the number of fields.
+func (s *Schema) Len() int { return len(s.fields) }
+
+// Field returns field i.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// Fields returns a copy of the field list.
+func (s *Schema) Fields() []Field {
+	out := make([]Field, len(s.fields))
+	copy(out, s.fields)
+	return out
+}
+
+// IndexOf returns the position of the named field, or -1 if absent.
+func (s *Schema) IndexOf(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Project returns a new schema containing the named fields, in order.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	fields := make([]Field, len(names))
+	for i, n := range names {
+		j := s.IndexOf(n)
+		if j < 0 {
+			return nil, fmt.Errorf("data: project: no field %q in %s", n, s)
+		}
+		fields[i] = s.fields[j]
+	}
+	return NewSchema(fields...)
+}
+
+// Concat returns the join-output schema of two schemas. Name clashes are
+// disambiguated by prefixing the right-hand field with "r_", matching
+// the convention of the relational platform's join operators.
+func (s *Schema) Concat(o *Schema) (*Schema, error) {
+	fields := make([]Field, 0, len(s.fields)+len(o.fields))
+	fields = append(fields, s.fields...)
+	for _, f := range o.fields {
+		if s.IndexOf(f.Name) >= 0 {
+			f.Name = "r_" + f.Name
+		}
+		fields = append(fields, f)
+	}
+	return NewSchema(fields...)
+}
+
+// Validate checks that a record matches the schema's arity and that each
+// non-null field has the declared kind.
+func (s *Schema) Validate(r Record) error {
+	if r.Len() != len(s.fields) {
+		return fmt.Errorf("data: record arity %d does not match schema %s", r.Len(), s)
+	}
+	for i, f := range s.fields {
+		v := r.Field(i)
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind() != f.Type {
+			return fmt.Errorf("data: field %q: got %s, schema says %s", f.Name, v.Kind(), f.Type)
+		}
+	}
+	return nil
+}
+
+// String renders the schema as "name:type, ...".
+func (s *Schema) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, f := range s.fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f.Name)
+		sb.WriteByte(':')
+		sb.WriteString(f.Type.String())
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// ParseSchema parses the textual schema form "name:type,name:type,...",
+// the format used by CSV headers and the cleaning CLI.
+func ParseSchema(spec string) (*Schema, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("data: empty schema spec")
+	}
+	parts := strings.Split(spec, ",")
+	fields := make([]Field, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		name, typ, ok := strings.Cut(p, ":")
+		if !ok {
+			return nil, fmt.Errorf("data: schema field %q is not name:type", p)
+		}
+		k, err := ParseKind(strings.TrimSpace(typ))
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, Field{Name: strings.TrimSpace(name), Type: k})
+	}
+	return NewSchema(fields...)
+}
+
+// Spec renders the schema in the form accepted by ParseSchema.
+func (s *Schema) Spec() string {
+	parts := make([]string, len(s.fields))
+	for i, f := range s.fields {
+		parts[i] = f.Name + ":" + f.Type.String()
+	}
+	return strings.Join(parts, ",")
+}

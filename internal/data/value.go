@@ -1,0 +1,370 @@
+// Package data defines RHEEM's data-quantum model.
+//
+// A data quantum is "the smallest unit of data elements from the input
+// datasets" (paper §3.1) — a tuple in a dataset or a row in a matrix.
+// This package provides the dynamic value system those quanta are built
+// from: a tagged-union Value, a Record (one quantum), and a Schema that
+// names and types a record's fields. The representation is deliberately
+// platform-neutral: every processing platform (javaengine, sparksim,
+// relengine) and every storage engine exchanges data in this model, so
+// that the core layer can move data quanta between platforms without
+// knowing their internals.
+package data
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic types a Value can hold.
+type Kind uint8
+
+// The supported value kinds. Vector is a dense float64 vector used by
+// the ML application (a "row in a matrix" data quantum).
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindVector
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindVector:
+		return "vector"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a kind name (as produced by Kind.String) back to a
+// Kind. It is used by schema files and the CSV header codec.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "null":
+		return KindNull, nil
+	case "bool":
+		return KindBool, nil
+	case "int":
+		return KindInt, nil
+	case "float":
+		return KindFloat, nil
+	case "string":
+		return KindString, nil
+	case "vector":
+		return KindVector, nil
+	default:
+		return KindNull, fmt.Errorf("data: unknown kind %q", s)
+	}
+}
+
+// Value is a dynamically typed scalar or vector. It is a tagged union
+// rather than an interface so that records of scalars allocate nothing
+// beyond their field slice; this matters because logical operators are
+// applied per data quantum (§3.1) and run in tight loops.
+//
+// The zero Value is Null.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	vec  []float64
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Vec returns a vector value. The slice is NOT copied; callers that
+// mutate the argument afterwards must copy it first.
+func Vec(v []float64) Value { return Value{kind: KindVector, vec: v} }
+
+// Kind reports the dynamic kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload. It panics if the kind is not Bool;
+// use Kind first when the type is not statically known.
+func (v Value) Bool() bool {
+	v.mustBe(KindBool)
+	return v.i != 0
+}
+
+// Int returns the integer payload, panicking on a kind mismatch.
+func (v Value) Int() int64 {
+	v.mustBe(KindInt)
+	return v.i
+}
+
+// Float returns the float payload. For convenience in numeric UDFs it
+// also accepts an Int value (widened); any other kind panics.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	panic(fmt.Sprintf("data: Float() on %s value", v.kind))
+}
+
+// Str returns the string payload, panicking on a kind mismatch.
+func (v Value) Str() string {
+	v.mustBe(KindString)
+	return v.s
+}
+
+// Vec returns the vector payload, panicking on a kind mismatch. The
+// returned slice aliases the value's storage.
+func (v Value) Vec() []float64 {
+	v.mustBe(KindVector)
+	return v.vec
+}
+
+func (v Value) mustBe(k Kind) {
+	if v.kind != k {
+		panic(fmt.Sprintf("data: %s() on %s value", k, v.kind))
+	}
+}
+
+// String renders the value for debugging and CSV output. Null renders
+// as the empty string, vectors as semicolon-separated floats.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindVector:
+		var sb strings.Builder
+		for i, f := range v.vec {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			sb.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+		}
+		return sb.String()
+	default:
+		return fmt.Sprintf("<%s>", v.kind)
+	}
+}
+
+// ParseValue parses the textual form produced by Value.String back into
+// a value of the requested kind. The empty string parses to Null for
+// every kind, matching the CSV convention for missing fields.
+func ParseValue(s string, k Kind) (Value, error) {
+	if s == "" {
+		return Null(), nil
+	}
+	switch k {
+	case KindNull:
+		return Null(), nil
+	case KindBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Null(), fmt.Errorf("data: parse bool %q: %w", s, err)
+		}
+		return Bool(b), nil
+	case KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("data: parse int %q: %w", s, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("data: parse float %q: %w", s, err)
+		}
+		return Float(f), nil
+	case KindString:
+		return Str(s), nil
+	case KindVector:
+		parts := strings.Split(s, ";")
+		vec := make([]float64, len(parts))
+		for i, p := range parts {
+			f, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return Null(), fmt.Errorf("data: parse vector component %q: %w", p, err)
+			}
+			vec[i] = f
+		}
+		return Vec(vec), nil
+	default:
+		return Null(), fmt.Errorf("data: parse into unknown kind %d", k)
+	}
+}
+
+// Compare orders two values. Nulls sort first; values of different
+// kinds order by kind; Int and Float compare numerically with each
+// other. Vectors compare lexicographically. The ordering is total, which
+// sort-based physical operators (SortGroupBy, SortMergeJoin, IEJoin)
+// rely on.
+func Compare(a, b Value) int {
+	// Numeric cross-kind comparison.
+	an := a.kind == KindInt || a.kind == KindFloat
+	bn := b.kind == KindInt || b.kind == KindFloat
+	if an && bn {
+		af, bf := a.numeric(), b.numeric()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		// Equal numerically: make the order total across kinds.
+		return int(a.kind) - int(b.kind)
+	}
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return int(a.i - b.i)
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	case KindVector:
+		n := len(a.vec)
+		if len(b.vec) < n {
+			n = len(b.vec)
+		}
+		for i := 0; i < n; i++ {
+			switch {
+			case a.vec[i] < b.vec[i]:
+				return -1
+			case a.vec[i] > b.vec[i]:
+				return 1
+			}
+		}
+		return len(a.vec) - len(b.vec)
+	default:
+		return 0
+	}
+}
+
+func (v Value) numeric() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Equal reports whether two values compare equal under Compare, except
+// that it does not equate an Int with a numerically equal Float (hash
+// grouping must agree with Hash, which is kind-sensitive).
+func Equal(a, b Value) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case KindNull:
+		return true
+	case KindBool, KindInt:
+		return a.i == b.i
+	case KindFloat:
+		return a.f == b.f
+	case KindString:
+		return a.s == b.s
+	case KindVector:
+		if len(a.vec) != len(b.vec) {
+			return false
+		}
+		for i := range a.vec {
+			if a.vec[i] != b.vec[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash returns a 64-bit FNV-1a hash of the value, seeded so that
+// partitioners can derive independent hash families. Equal values (per
+// Equal) hash identically.
+func Hash(v Value, seed uint64) uint64 {
+	h := fnvOffset ^ seed
+	h = hashByte(h, byte(v.kind))
+	switch v.kind {
+	case KindBool, KindInt:
+		h = hashUint64(h, uint64(v.i))
+	case KindFloat:
+		h = hashUint64(h, math.Float64bits(v.f))
+	case KindString:
+		for i := 0; i < len(v.s); i++ {
+			h = hashByte(h, v.s[i])
+		}
+	case KindVector:
+		for _, f := range v.vec {
+			h = hashUint64(h, math.Float64bits(f))
+		}
+	}
+	return h
+}
+
+func hashByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime
+}
+
+func hashUint64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = hashByte(h, byte(v))
+		v >>= 8
+	}
+	return h
+}

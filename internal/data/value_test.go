@@ -1,0 +1,266 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindBool: "bool", KindInt: "int",
+		KindFloat: "float", KindString: "string", KindVector: "vector",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "kind(99)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindNull, KindBool, KindInt, KindFloat, KindString, KindVector} {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("frob"); err == nil {
+		t.Error("ParseKind(frob) succeeded, want error")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() not null")
+	}
+	if v := Bool(true); !v.Bool() || v.Kind() != KindBool {
+		t.Error("Bool(true) broken")
+	}
+	if v := Bool(false); v.Bool() {
+		t.Error("Bool(false) broken")
+	}
+	if v := Int(-42); v.Int() != -42 {
+		t.Error("Int broken")
+	}
+	if v := Float(2.5); v.Float() != 2.5 {
+		t.Error("Float broken")
+	}
+	if v := Int(3); v.Float() != 3.0 {
+		t.Error("Int widening to Float broken")
+	}
+	if v := Str("hi"); v.Str() != "hi" {
+		t.Error("Str broken")
+	}
+	if v := Vec([]float64{1, 2}); len(v.Vec()) != 2 {
+		t.Error("Vec broken")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Int() on string value did not panic")
+		}
+	}()
+	_ = Str("x").Int()
+}
+
+func TestValueStringAndParseRoundTrip(t *testing.T) {
+	cases := []Value{
+		Null(), Bool(true), Bool(false), Int(0), Int(-7), Int(1 << 40),
+		Float(3.14159), Float(-0.5), Float(1e300),
+		Str("hello"), Str("with,comma"),
+		Vec([]float64{1.5, -2, 0}),
+	}
+	for _, v := range cases {
+		if v.Kind() == KindString && v.Str() == "" {
+			continue // empty string is indistinguishable from null in text form
+		}
+		got, err := ParseValue(v.String(), v.Kind())
+		if err != nil {
+			t.Fatalf("ParseValue(%q, %s): %v", v.String(), v.Kind(), err)
+		}
+		if !Equal(got, v) {
+			t.Errorf("round trip %s: got %s", v, got)
+		}
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	bad := []struct {
+		s string
+		k Kind
+	}{
+		{"notabool", KindBool},
+		{"1.5", KindInt},
+		{"xyz", KindFloat},
+		{"1;two;3", KindVector},
+	}
+	for _, c := range bad {
+		if _, err := ParseValue(c.s, c.k); err == nil {
+			t.Errorf("ParseValue(%q, %s) succeeded, want error", c.s, c.k)
+		}
+	}
+	// Empty string is null for every kind.
+	for _, k := range []Kind{KindBool, KindInt, KindFloat, KindString, KindVector} {
+		v, err := ParseValue("", k)
+		if err != nil || !v.IsNull() {
+			t.Errorf("ParseValue(\"\", %s) = %v, %v; want null", k, v, err)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int // sign only
+	}{
+		{Null(), Null(), 0},
+		{Null(), Int(0), -1},
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Int(1), Float(1.5), -1},
+		{Float(2.5), Int(2), 1},
+		{Str("a"), Str("b"), -1},
+		{Bool(false), Bool(true), -1},
+		{Vec([]float64{1, 2}), Vec([]float64{1, 3}), -1},
+		{Vec([]float64{1}), Vec([]float64{1, 0}), -1},
+		{Str("z"), Vec(nil), -1}, // kind ordering: string < vector
+	}
+	for _, c := range cases {
+		got := Compare(c.a, c.b)
+		if sign(got) != c.want {
+			t.Errorf("Compare(%s, %s) = %d, want sign %d", c.a, c.b, got, c.want)
+		}
+		if sign(Compare(c.b, c.a)) != -c.want {
+			t.Errorf("Compare(%s, %s) not antisymmetric", c.b, c.a)
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+// randomValue generates arbitrary values for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return Null()
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(r.Int63n(1<<32) - (1 << 31))
+	case 3:
+		return Float(r.NormFloat64() * 1e6)
+	case 4:
+		b := make([]byte, r.Intn(12))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return Str(string(b))
+	default:
+		vec := make([]float64, r.Intn(5))
+		for i := range vec {
+			vec[i] = r.NormFloat64()
+		}
+		return Vec(vec)
+	}
+}
+
+// valueGen adapts randomValue to testing/quick.
+type valueGen struct{ V Value }
+
+func (valueGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valueGen{V: randomValue(r)})
+}
+
+func TestQuickCompareTotalOrder(t *testing.T) {
+	// Antisymmetry and equality-consistency of Compare.
+	f := func(a, b valueGen) bool {
+		ab, ba := Compare(a.V, b.V), Compare(b.V, a.V)
+		if sign(ab) != -sign(ba) {
+			return false
+		}
+		if Equal(a.V, b.V) && ab != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareTransitive(t *testing.T) {
+	f := func(a, b, c valueGen) bool {
+		x, y, z := a.V, b.V, c.V
+		// Sort the triple by Compare, then verify pairwise consistency.
+		if Compare(x, y) > 0 {
+			x, y = y, x
+		}
+		if Compare(y, z) > 0 {
+			y, z = z, y
+		}
+		if Compare(x, y) > 0 {
+			x, y = y, x
+		}
+		return Compare(x, y) <= 0 && Compare(y, z) <= 0 && Compare(x, z) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHashEqualConsistent(t *testing.T) {
+	f := func(a valueGen, seed uint64) bool {
+		b := a.V // copies the value
+		return Hash(a.V, seed) == Hash(b, seed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashSeedIndependence(t *testing.T) {
+	v := Str("rheem")
+	if Hash(v, 1) == Hash(v, 2) {
+		t.Error("different seeds produced identical hashes (suspicious)")
+	}
+}
+
+func TestHashDistinguishesKinds(t *testing.T) {
+	if Hash(Int(1), 0) == Hash(Bool(true), 0) {
+		t.Error("Int(1) and Bool(true) hash identically")
+	}
+	if Hash(Int(1), 0) == Hash(Float(1), 0) {
+		t.Error("Int(1) and Float(1) hash identically")
+	}
+}
+
+func TestEqualNaN(t *testing.T) {
+	nan := Float(math.NaN())
+	if Equal(nan, nan) {
+		t.Log("NaN equals itself under bit equality — acceptable only if hash agrees")
+	}
+	// Whatever Equal says, Hash must agree for grouping to be sound.
+	if Equal(nan, nan) && Hash(nan, 0) != Hash(nan, 0) {
+		t.Error("Equal NaN values hash differently")
+	}
+}

@@ -1,0 +1,395 @@
+package relengine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rheem/internal/core/algo"
+	"rheem/internal/core/channel"
+	"rheem/internal/core/cost"
+	"rheem/internal/core/engine"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+// ID is the platform identifier.
+const ID engine.PlatformID = "relational"
+
+// Config tunes the simulated-time profile of the engine.
+type Config struct {
+	// ConnectOverhead is charged per atom execution (statement
+	// planning/dispatch). Default 5ms.
+	ConnectOverhead time.Duration
+	// RelationalBoost scales simulated time for relational operators
+	// (group-by, join, sort, distinct, count): compiled execution is
+	// faster than the generic kernels' wall time. Default 0.5.
+	RelationalBoost float64
+	// UDFPenalty scales simulated time for opaque per-tuple UDF calls
+	// (map, flatmap, filter): each call crosses the engine/UDF
+	// boundary. Default 2.5.
+	UDFPenalty float64
+}
+
+func (c *Config) defaults() {
+	if c.ConnectOverhead == 0 {
+		c.ConnectOverhead = 5 * time.Millisecond
+	}
+	if c.RelationalBoost == 0 {
+		c.RelationalBoost = 0.5
+	}
+	if c.UDFPenalty == 0 {
+		c.UDFPenalty = 2.5
+	}
+}
+
+// Platform executes RHEEM plans over DB tables.
+type Platform struct {
+	cfg Config
+	db  *DB
+}
+
+// New returns a platform over the given catalog (a fresh one if nil).
+func New(db *DB, cfg Config) *Platform {
+	cfg.defaults()
+	if db == nil {
+		db = NewDB()
+	}
+	return &Platform{cfg: cfg, db: db}
+}
+
+// DB exposes the underlying catalog (shared with storage engines and
+// examples).
+func (p *Platform) DB() *DB { return p.db }
+
+// ID implements engine.Platform.
+func (p *Platform) ID() engine.PlatformID { return ID }
+
+// Profile implements engine.Platform.
+func (p *Platform) Profile() engine.Profile {
+	return engine.Profile{Description: "mini relational engine", Relational: true}
+}
+
+// NativeFormat implements engine.Platform.
+func (p *Platform) NativeFormat() channel.Format { return channel.Table }
+
+// TableChannel wraps an existing table as a Table-format channel, the
+// entry point for plans reading catalog tables natively.
+func TableChannel(t *Table) *channel.Channel {
+	rows := t.rowsUnsafe()
+	return &channel.Channel{
+		Format:  channel.Table,
+		Payload: t,
+		Records: int64(len(rows)),
+		Bytes:   data.TotalBytes(rows),
+	}
+}
+
+// RegisterConverters implements engine.Platform: table ↔ collection,
+// priced as bulk export/load.
+func (p *Platform) RegisterConverters(reg *channel.Registry) {
+	const perByte = 2.0 // ns/byte: COPY-style bulk transfer
+	reg.Register(channel.Converter{
+		From: channel.Collection, To: channel.Table,
+		Fixed: 3 * time.Millisecond, PerByteNS: perByte,
+		Convert: func(ch *channel.Channel) (*channel.Channel, error) {
+			recs, err := ch.AsCollection()
+			if err != nil {
+				return nil, err
+			}
+			return TableChannel(p.db.tempTable(data.CloneRecords(recs))), nil
+		},
+	})
+	reg.Register(channel.Converter{
+		From: channel.Table, To: channel.Collection,
+		Fixed: 3 * time.Millisecond, PerByteNS: perByte,
+		Convert: func(ch *channel.Channel) (*channel.Channel, error) {
+			t, err := tableOf(ch)
+			if err != nil {
+				return nil, err
+			}
+			return channel.NewCollection(t.Rows()), nil
+		},
+	})
+}
+
+func tableOf(ch *channel.Channel) (*Table, error) {
+	if ch.Format != channel.Table {
+		return nil, fmt.Errorf("relengine: channel format %s is not table", ch.Format)
+	}
+	t, ok := ch.Payload.(*Table)
+	if !ok {
+		return nil, fmt.Errorf("relengine: table channel holds %T", ch.Payload)
+	}
+	return t, nil
+}
+
+// ExecuteAtom implements engine.Platform.
+func (p *Platform) ExecuteAtom(ctx context.Context, atom *engine.TaskAtom, inputs engine.AtomInputs) (map[int]*channel.Channel, engine.Metrics, error) {
+	start := time.Now()
+	d := &datasetOps{p: p}
+	exits, err := engine.RunAtom(ctx, d, atom, inputs)
+	m := engine.Metrics{
+		Wall:       time.Since(start),
+		Sim:        p.cfg.ConnectOverhead + d.sim,
+		Jobs:       1,
+		InRecords:  d.inRecords,
+		OutRecords: d.outRecords,
+	}
+	if err != nil {
+		return nil, m, err
+	}
+	return exits, m, nil
+}
+
+// datasetOps executes physical operators over *Table datasets.
+type datasetOps struct {
+	p          *Platform
+	sim        time.Duration
+	inRecords  int64
+	outRecords int64
+}
+
+func (d *datasetOps) FromChannel(ch *channel.Channel) (any, error) {
+	t, err := tableOf(ch)
+	if err != nil {
+		return nil, err
+	}
+	d.inRecords += int64(t.NumRows())
+	return t, nil
+}
+
+func (d *datasetOps) ToChannel(ds any) (*channel.Channel, error) {
+	t := ds.(*Table)
+	d.outRecords += int64(t.NumRows())
+	return TableChannel(t), nil
+}
+
+// charge records op wall time into simulated time with the profile
+// factor for the operator class.
+func (d *datasetOps) charge(wall time.Duration, relational bool) {
+	f := d.p.cfg.UDFPenalty
+	if relational {
+		f = d.p.cfg.RelationalBoost
+	}
+	d.sim += time.Duration(float64(wall) * f)
+}
+
+// ExecOp executes one physical operator over tables — the relational
+// engine's execution-operator set. Each operator is one statement over
+// intermediate tables.
+func (d *datasetOps) ExecOp(_ context.Context, op *physical.Operator, inputs []any) (any, error) {
+	rows := func(i int) []data.Record { return inputs[i].(*Table).rowsUnsafe() }
+	lop := op.Logical
+	t0 := time.Now()
+	var out []data.Record
+	var err error
+	relational := false
+
+	switch lop.Kind() {
+	case plan.KindSource:
+		out, err = lop.Source()
+		relational = true
+	case plan.KindMap:
+		in := rows(0)
+		out = make([]data.Record, 0, len(in))
+		for _, r := range in {
+			nr, merr := lop.Map(r)
+			if merr != nil {
+				return nil, merr
+			}
+			out = append(out, nr)
+		}
+	case plan.KindFlatMap:
+		for _, r := range rows(0) {
+			nrs, merr := lop.FlatMap(r)
+			if merr != nil {
+				return nil, merr
+			}
+			out = append(out, nrs...)
+		}
+	case plan.KindFilter:
+		in := rows(0)
+		out = make([]data.Record, 0, len(in))
+		for _, r := range in {
+			ok, ferr := lop.Filter(r)
+			if ferr != nil {
+				return nil, ferr
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+	case plan.KindGroupBy:
+		relational = true
+		var groups []algo.Group
+		if op.Algo == physical.SortGroupBy {
+			groups, err = algo.SortGroup(rows(0), lop.Key)
+		} else {
+			groups, err = algo.HashGroup(rows(0), lop.Key)
+		}
+		if err == nil {
+			for _, g := range groups {
+				res, gerr := lop.Group(g.Key, g.Records)
+				if gerr != nil {
+					return nil, gerr
+				}
+				out = append(out, res...)
+			}
+		}
+	case plan.KindReduceByKey:
+		relational = true
+		var groups []algo.Group
+		if op.Algo == physical.SortGroupBy {
+			groups, err = algo.SortGroup(rows(0), lop.Key)
+		} else {
+			groups, err = algo.HashGroup(rows(0), lop.Key)
+		}
+		if err == nil {
+			out, err = algo.ReduceGroups(groups, lop.Reduce)
+		}
+	case plan.KindReduce:
+		relational = true
+		out, err = algo.Reduce(rows(0), lop.Reduce)
+	case plan.KindSort:
+		relational = true
+		out, err = algo.SortBy(rows(0), lop.Key, lop.Desc)
+	case plan.KindDistinct:
+		relational = true
+		if op.Algo == physical.SortDistinct {
+			var sorted []data.Record
+			sorted, err = algo.SortBy(rows(0), plan.RecordKey(), false)
+			if err == nil {
+				out = algo.Distinct(sorted)
+			}
+		} else {
+			out = algo.Distinct(rows(0))
+		}
+	case plan.KindUnion:
+		relational = true
+		l, r := rows(0), rows(1)
+		out = make([]data.Record, 0, len(l)+len(r))
+		out = append(out, l...)
+		out = append(out, r...)
+	case plan.KindJoin:
+		relational = true
+		if op.Algo == physical.SortMergeJoin {
+			out, err = algo.SortMergeJoin(rows(0), rows(1), lop.Key, lop.RightKey)
+		} else {
+			out, err = algo.HashJoin(rows(0), rows(1), lop.Key, lop.RightKey)
+		}
+	case plan.KindThetaJoin:
+		relational = true
+		if op.Algo == physical.IEJoin && len(lop.Conditions) > 0 {
+			out, err = algo.IEJoinRecords(rows(0), rows(1), lop.Conditions, lop.Pred)
+		} else {
+			out, err = algo.NestedLoopJoin(rows(0), rows(1), thetaPred(lop))
+		}
+	case plan.KindCartesian:
+		relational = true
+		out = algo.Cartesian(rows(0), rows(1))
+	case plan.KindCount:
+		relational = true
+		out = []data.Record{data.NewRecord(data.Int(int64(len(rows(0)))))}
+	case plan.KindSample:
+		relational = true
+		out = rows(0)
+		if len(out) > lop.N {
+			out = out[:lop.N]
+		}
+	case plan.KindSink:
+		// Pass the input table through without copying.
+		d.charge(time.Since(t0), true)
+		return inputs[0], nil
+	case plan.KindRepeat, plan.KindDoWhile, plan.KindLoopInput:
+		return nil, fmt.Errorf("relengine: %s must be driven by the executor", lop.Kind())
+	default:
+		return nil, fmt.Errorf("relengine: unsupported operator kind %s", lop.Kind())
+	}
+	if err != nil {
+		return nil, err
+	}
+	d.charge(time.Since(t0), relational)
+	return d.p.db.tempTable(out), nil
+}
+
+// thetaPred combines declarative conditions and the residual predicate.
+func thetaPred(lop *plan.Operator) plan.PredFunc {
+	conds := lop.Conditions
+	base := lop.Pred
+	return func(l, r data.Record) (bool, error) {
+		for _, c := range conds {
+			if !c.Op.Eval(l.Field(c.LeftField), r.Field(c.RightField)) {
+				return false, nil
+			}
+		}
+		if base != nil {
+			return base(l, r)
+		}
+		return true, nil
+	}
+}
+
+// Register creates the platform over db (fresh if nil), registers it
+// and its mappings, and returns it. Declared costs mirror the
+// simulated-time profile: relational shapes are scaled down, UDF
+// shapes up, plus the per-statement connect overhead.
+func Register(reg *engine.Registry, db *DB, cfg Config) (*Platform, error) {
+	p := New(db, cfg)
+	if err := reg.RegisterPlatform(p); err != nil {
+		return nil, err
+	}
+	c := p.cfg
+	const perRec = 200 * time.Nanosecond // calibrated to the shared kernels (see EXPERIMENTS.md)
+	rel := func(m cost.Model) cost.Model {
+		return cost.WithStartup(cost.Scaled(m, c.RelationalBoost), c.ConnectOverhead)
+	}
+	udf := func(m cost.Model) cost.Model {
+		return cost.WithStartup(cost.Scaled(m, c.UDFPenalty), c.ConnectOverhead)
+	}
+	linear := cost.PerRecord(0, perRec, perRec/4)
+	nlogn := cost.NLogN(0, perRec/2)
+	quadratic := cost.PairQuadratic(0, 100*time.Nanosecond)
+
+	type md struct {
+		kind plan.OpKind
+		algo physical.Algorithm
+		m    cost.Model
+		hint string
+	}
+	decls := []md{
+		{plan.KindSource, physical.Default, rel(cost.PerRecord(0, 0, perRec)), "bulk load"},
+		{plan.KindMap, physical.Default, udf(linear), "per-tuple UDF call"},
+		{plan.KindFlatMap, physical.Default, udf(linear), "per-tuple UDF call"},
+		{plan.KindFilter, physical.Default, udf(linear), "per-tuple UDF call"},
+		{plan.KindGroupBy, physical.HashGroupBy, rel(linear), "hash aggregate"},
+		{plan.KindGroupBy, physical.SortGroupBy, rel(nlogn), "sorted aggregate"},
+		{plan.KindReduceByKey, physical.HashGroupBy, rel(linear), "hash aggregate"},
+		{plan.KindReduceByKey, physical.SortGroupBy, rel(nlogn), "sorted aggregate"},
+		{plan.KindReduce, physical.Default, rel(linear), "aggregate"},
+		{plan.KindSort, physical.Default, rel(nlogn), "order by"},
+		{plan.KindDistinct, physical.HashDistinct, rel(linear), ""},
+		{plan.KindDistinct, physical.SortDistinct, rel(nlogn), ""},
+		{plan.KindUnion, physical.Default, rel(linear), "union all"},
+		{plan.KindJoin, physical.HashJoin, rel(linear), "hash join"},
+		{plan.KindJoin, physical.SortMergeJoin, rel(nlogn), "merge join"},
+		{plan.KindThetaJoin, physical.NestedLoop, rel(quadratic), "nested loop"},
+		{plan.KindThetaJoin, physical.IEJoin, rel(cost.NLogN(0, 300*time.Nanosecond)), "ie join"},
+		{plan.KindCartesian, physical.Default, rel(quadratic), "cross join"},
+		{plan.KindCount, physical.Default, rel(linear), "count(*)"},
+		{plan.KindSample, physical.Default, rel(linear), "limit"},
+		{plan.KindSink, physical.Default, cost.ConstModel(cost.Cost{}), ""},
+		{plan.KindRepeat, physical.Default, cost.ConstModel(cost.Cost{}), "loop driven by executor"},
+		{plan.KindDoWhile, physical.Default, cost.ConstModel(cost.Cost{}), "loop driven by executor"},
+		{plan.KindLoopInput, physical.Default, cost.ConstModel(cost.Cost{Startup: c.ConnectOverhead}), "each loop iteration is a statement"},
+	}
+	for _, d := range decls {
+		if err := reg.RegisterMapping(engine.Mapping{
+			Platform: ID, Kind: d.kind, Algo: d.algo, Cost: d.m, Hint: d.hint,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,266 @@
+package relengine
+
+import (
+	"context"
+	"testing"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/core/engine"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+func peopleSchema() *data.Schema {
+	return data.MustSchema(
+		data.Field{Name: "id", Type: data.KindInt},
+		data.Field{Name: "name", Type: data.KindString},
+		data.Field{Name: "age", Type: data.KindInt},
+	)
+}
+
+func seedPeople(t *testing.T, tab *Table) {
+	t.Helper()
+	err := tab.Insert(
+		data.NewRecord(data.Int(1), data.Str("ann"), data.Int(30)),
+		data.NewRecord(data.Int(2), data.Str("bob"), data.Int(25)),
+		data.NewRecord(data.Int(3), data.Str("cyd"), data.Int(30)),
+		data.NewRecord(data.Int(4), data.Str("dan"), data.Int(41)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogBasics(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTable("people", peopleSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("people", peopleSchema()); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	got, ok := db.Table("people")
+	if !ok || got != tab {
+		t.Error("table lookup failed")
+	}
+	if len(db.TableNames()) != 1 {
+		t.Error("TableNames wrong")
+	}
+	db.DropTable("people")
+	if _, ok := db.Table("people"); ok {
+		t.Error("dropped table still present")
+	}
+}
+
+func TestInsertValidatesSchema(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("people", peopleSchema())
+	if err := tab.Insert(data.NewRecord(data.Str("wrong"), data.Str("x"), data.Int(1))); err == nil {
+		t.Error("type-mismatched row accepted")
+	}
+	if err := tab.Insert(data.NewRecord(data.Int(1))); err == nil {
+		t.Error("arity-mismatched row accepted")
+	}
+	if tab.NumRows() != 0 {
+		t.Error("failed insert left rows behind")
+	}
+}
+
+func TestHashIndexLookup(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("people", peopleSchema())
+	seedPeople(t, tab)
+	if err := tab.CreateHashIndex("age"); err != nil {
+		t.Fatal(err)
+	}
+	rows, indexed, err := tab.LookupEq("age", data.Int(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !indexed {
+		t.Error("index not used")
+	}
+	if len(rows) != 2 {
+		t.Errorf("got %d rows", len(rows))
+	}
+	// Insert after index creation is indexed too.
+	if err := tab.Insert(data.NewRecord(data.Int(5), data.Str("eve"), data.Int(30))); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, _ = tab.LookupEq("age", data.Int(30))
+	if len(rows) != 3 {
+		t.Errorf("post-insert lookup got %d rows", len(rows))
+	}
+	// Without an index a scan answers.
+	rows, indexed, err = tab.LookupEq("name", data.Str("bob"))
+	if err != nil || indexed || len(rows) != 1 {
+		t.Errorf("scan lookup: %v indexed=%v n=%d", err, indexed, len(rows))
+	}
+	if _, _, err := tab.LookupEq("ghost", data.Int(1)); err == nil {
+		t.Error("lookup on missing column accepted")
+	}
+}
+
+func TestOrderedIndexRange(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("people", peopleSchema())
+	seedPeople(t, tab)
+	if err := tab.CreateOrderedIndex("age"); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := data.Int(26), data.Int(40)
+	rows, indexed, err := tab.LookupRange("age", &lo, &hi)
+	if err != nil || !indexed {
+		t.Fatalf("range lookup: %v indexed=%v", err, indexed)
+	}
+	if len(rows) != 2 {
+		t.Errorf("range [26,40] got %d rows", len(rows))
+	}
+	// Open bounds.
+	rows, _, _ = tab.LookupRange("age", nil, &hi)
+	if len(rows) != 3 {
+		t.Errorf("range (-∞,40] got %d rows", len(rows))
+	}
+	rows, _, _ = tab.LookupRange("age", &lo, nil)
+	if len(rows) != 3 {
+		t.Errorf("range [26,∞) got %d rows", len(rows))
+	}
+	// Insert into an ordered index keeps order.
+	if err := tab.Insert(data.NewRecord(data.Int(9), data.Str("zed"), data.Int(33))); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, _ = tab.LookupRange("age", &lo, &hi)
+	if len(rows) != 3 {
+		t.Errorf("post-insert range got %d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if data.Compare(rows[i-1].Field(2), rows[i].Field(2)) > 0 {
+			t.Error("range result out of order")
+		}
+	}
+	// Scan fallback without index.
+	rows, indexed, _ = tab.LookupRange("id", &lo, nil)
+	if indexed || len(rows) != 0 {
+		t.Errorf("id range: indexed=%v n=%d", indexed, len(rows))
+	}
+}
+
+func TestRowsIsACopy(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("people", peopleSchema())
+	seedPeople(t, tab)
+	rows := tab.Rows()
+	rows[0] = data.NewRecord(data.Int(99), data.Str("hack"), data.Int(0))
+	if tab.Rows()[0].Field(0).Int() == 99 {
+		t.Error("Rows exposed internal storage")
+	}
+}
+
+func TestTempTablesAndRelease(t *testing.T) {
+	db := NewDB()
+	tmp := db.tempTable([]data.Record{data.NewRecord(data.Int(1))})
+	if tmp.NumRows() != 1 {
+		t.Error("temp table rows wrong")
+	}
+	if _, ok := db.Table(tmp.Name); !ok {
+		t.Error("temp table not in catalog")
+	}
+	if _, err := db.CreateTable("keep", peopleSchema()); err != nil {
+		t.Fatal(err)
+	}
+	db.ReleaseTemp()
+	if _, ok := db.Table(tmp.Name); ok {
+		t.Error("temp table survived ReleaseTemp")
+	}
+	if _, ok := db.Table("keep"); !ok {
+		t.Error("ReleaseTemp dropped a real table")
+	}
+}
+
+func TestConvertersRoundTrip(t *testing.T) {
+	p := New(nil, Config{})
+	reg := channel.NewRegistry()
+	p.RegisterConverters(reg)
+	in := channel.NewCollection([]data.Record{
+		data.NewRecord(data.Int(1)), data.NewRecord(data.Int(2)),
+	})
+	tch, _, _, err := reg.Convert(in, channel.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := tableOf(tch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("table rows = %d", tab.NumRows())
+	}
+	back, _, _, err := reg.Convert(tch, channel.Collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := back.AsCollection()
+	if len(recs) != 2 {
+		t.Errorf("round trip rows = %d", len(recs))
+	}
+}
+
+func TestExecuteAtomAggregation(t *testing.T) {
+	p := New(nil, Config{})
+	b := plan.NewBuilder("agg")
+	s := b.Source("s", plan.Collection([]data.Record{
+		data.NewRecord(data.Int(1), data.Float(10)),
+		data.NewRecord(data.Int(1), data.Float(5)),
+		data.NewRecord(data.Int(2), data.Float(7)),
+	}))
+	g := b.ReduceByKey(s, plan.FieldKey(0), plan.SumField(1))
+	b.Collect(g)
+	pp, err := physical.FromLogical(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	atom := &engine.TaskAtom{ID: 0, Kind: engine.AtomCompute, Platform: ID,
+		Ops: pp.Ops, Exits: []*physical.Operator{pp.SinkOp}}
+	exits, m, err := p.ExecuteAtom(context.Background(), atom, engine.AtomInputs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sim < p.cfg.ConnectOverhead {
+		t.Errorf("sim %v below connect overhead", m.Sim)
+	}
+	tab, err := tableOf(exits[pp.SinkOp.ID])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("aggregation rows = %d", tab.NumRows())
+	}
+}
+
+func TestSimTimeProfileFavoursRelationalOps(t *testing.T) {
+	cfg := Config{RelationalBoost: 0.5, UDFPenalty: 2.0}
+	cfg.defaults()
+	d := &datasetOps{p: New(nil, cfg)}
+	d.charge(100, true)
+	relSim := d.sim
+	d2 := &datasetOps{p: New(nil, cfg)}
+	d2.charge(100, false)
+	if relSim >= d2.sim {
+		t.Errorf("relational charge %v not cheaper than UDF charge %v", relSim, d2.sim)
+	}
+}
+
+func TestProfileAndFormat(t *testing.T) {
+	p := New(nil, Config{})
+	if !p.Profile().Relational {
+		t.Error("not marked relational")
+	}
+	if p.NativeFormat() != channel.Table {
+		t.Error("native format wrong")
+	}
+	if p.DB() == nil {
+		t.Error("DB not exposed")
+	}
+}

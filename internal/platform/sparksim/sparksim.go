@@ -1,0 +1,241 @@
+// Package sparksim is a from-scratch simulator of a Spark-like
+// distributed dataflow platform — the reproduction's substitute for the
+// real Spark cluster of the paper's experiments (DESIGN.md §3).
+//
+// The simulator really executes every operator: datasets are hash- or
+// range-partitioned [][]data.Record collections, wide operators really
+// shuffle records between partitions, joins really co-partition, and
+// broadcasts really replicate — so results are exact and testable. What
+// is simulated is *time*: a virtual cluster clock models
+//
+//   - a fixed job-submission overhead per task atom execution
+//     (Config.JobOverhead) — the dominant term for small inputs and the
+//     cause of Figure 2's crossover;
+//   - per-task dispatch overhead and slot-limited scheduling: each
+//     stage's tasks run in waves of Workers×SlotsPerWorker, each wave
+//     as slow as its slowest task (measured per-partition wall time
+//     divided across simulated slots);
+//   - shuffle and broadcast network time as bytes over bandwidth.
+//
+// Measured per-partition compute is real; only parallelism and cluster
+// overheads are modelled. See bench_test.go and EXPERIMENTS.md for the
+// calibration used to regenerate the paper's figures.
+package sparksim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/core/engine"
+	"rheem/internal/data"
+)
+
+// ID is the platform identifier.
+const ID engine.PlatformID = "spark"
+
+// Config describes the simulated cluster.
+type Config struct {
+	Workers        int // default 4
+	SlotsPerWorker int // default 2
+	// Partitions is the default parallelism. Default Workers×Slots.
+	Partitions int
+	// JobOverhead is charged to simulated time once per atom execution
+	// (job submission, DAG scheduling, task serialization). Default 50ms.
+	JobOverhead time.Duration
+	// TaskOverhead is charged per scheduling wave per stage. Default 1ms.
+	TaskOverhead time.Duration
+	// ShuffleBandwidth is the simulated aggregate shuffle throughput in
+	// bytes/second. Default 200 MB/s.
+	ShuffleBandwidth float64
+	// BroadcastBandwidth is the simulated broadcast throughput in
+	// bytes/second. Default 500 MB/s.
+	BroadcastBandwidth float64
+	// AutoTunePartitions enables the platform-layer optimization phase
+	// of the paper (§4.3, "plugged-in platform-specific optimization
+	// tools ... e.g. Starfish"): instead of always materialising the
+	// static default parallelism, each parallelize/shuffle re-chooses
+	// its partition count from the observed cardinality, aiming for
+	// TargetRecordsPerTask records per task. Small inputs then pay for
+	// fewer task dispatches.
+	AutoTunePartitions bool
+	// TargetRecordsPerTask is the auto-tuning goal. Default 10000.
+	TargetRecordsPerTask int
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.SlotsPerWorker <= 0 {
+		c.SlotsPerWorker = 2
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = c.Workers * c.SlotsPerWorker
+	}
+	if c.JobOverhead == 0 {
+		c.JobOverhead = 50 * time.Millisecond
+	}
+	if c.TaskOverhead == 0 {
+		c.TaskOverhead = time.Millisecond
+	}
+	if c.ShuffleBandwidth == 0 {
+		c.ShuffleBandwidth = 200 << 20
+	}
+	if c.BroadcastBandwidth == 0 {
+		c.BroadcastBandwidth = 500 << 20
+	}
+	if c.TargetRecordsPerTask <= 0 {
+		c.TargetRecordsPerTask = 10_000
+	}
+}
+
+// tunedPartitions applies the platform-layer partition-count tuning
+// for the given cardinality; without auto-tuning it returns the static
+// default parallelism.
+func (c Config) tunedPartitions(records int64) int {
+	if !c.AutoTunePartitions {
+		return c.Partitions
+	}
+	n := int((records + int64(c.TargetRecordsPerTask) - 1) / int64(c.TargetRecordsPerTask))
+	if n < 1 {
+		n = 1
+	}
+	if n > c.Partitions {
+		n = c.Partitions
+	}
+	return n
+}
+
+// Slots returns the cluster's concurrent task capacity.
+func (c Config) Slots() int { return c.Workers * c.SlotsPerWorker }
+
+// Platform is the simulated Spark-like engine.
+type Platform struct {
+	cfg Config
+}
+
+// New returns a platform simulating the configured cluster.
+func New(cfg Config) *Platform {
+	cfg.defaults()
+	return &Platform{cfg: cfg}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// ID implements engine.Platform.
+func (p *Platform) ID() engine.PlatformID { return ID }
+
+// Profile implements engine.Platform.
+func (p *Platform) Profile() engine.Profile {
+	return engine.Profile{Description: "simulated distributed dataflow cluster", Distributed: true}
+}
+
+// NativeFormat implements engine.Platform.
+func (p *Platform) NativeFormat() channel.Format { return channel.Partitioned }
+
+// RegisterConverters implements engine.Platform: partitioned ↔
+// collection, priced as cluster↔driver movement.
+func (p *Platform) RegisterConverters(reg *channel.Registry) {
+	perByte := 1e9 / p.cfg.ShuffleBandwidth // ns per byte
+	reg.Register(channel.Converter{
+		From: channel.Collection, To: channel.Partitioned,
+		Fixed: 2 * time.Millisecond, PerByteNS: perByte,
+		Convert: func(ch *channel.Channel) (*channel.Channel, error) {
+			recs, err := ch.AsCollection()
+			if err != nil {
+				return nil, err
+			}
+			return newPartChannel(splitEven(recs, p.cfg.tunedPartitions(int64(len(recs))))), nil
+		},
+	})
+	reg.Register(channel.Converter{
+		From: channel.Partitioned, To: channel.Collection,
+		Fixed: 2 * time.Millisecond, PerByteNS: perByte,
+		Convert: func(ch *channel.Channel) (*channel.Channel, error) {
+			parts, err := partsOf(ch)
+			if err != nil {
+				return nil, err
+			}
+			return channel.NewCollection(flatten(parts)), nil
+		},
+	})
+}
+
+// newPartChannel wraps partitions in a Partitioned channel with
+// volume metadata.
+func newPartChannel(parts [][]data.Record) *channel.Channel {
+	var n, bytes int64
+	for _, p := range parts {
+		n += int64(len(p))
+		bytes += data.TotalBytes(p)
+	}
+	return &channel.Channel{Format: channel.Partitioned, Payload: parts, Records: n, Bytes: bytes}
+}
+
+// partsOf extracts the partition payload of a Partitioned channel.
+func partsOf(ch *channel.Channel) ([][]data.Record, error) {
+	if ch.Format != channel.Partitioned {
+		return nil, fmt.Errorf("sparksim: channel format %s is not partitioned", ch.Format)
+	}
+	parts, ok := ch.Payload.([][]data.Record)
+	if !ok {
+		return nil, fmt.Errorf("sparksim: partitioned channel holds %T", ch.Payload)
+	}
+	return parts, nil
+}
+
+func flatten(parts [][]data.Record) []data.Record {
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]data.Record, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// splitEven distributes records round-robin-in-chunks into n partitions.
+func splitEven(recs []data.Record, n int) [][]data.Record {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([][]data.Record, n)
+	chunk := (len(recs) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := i * chunk
+		if lo >= len(recs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		parts[i] = recs[lo:hi]
+	}
+	return parts
+}
+
+// ExecuteAtom implements engine.Platform: one atom execution is one
+// simulated job.
+func (p *Platform) ExecuteAtom(ctx context.Context, atom *engine.TaskAtom, inputs engine.AtomInputs) (map[int]*channel.Channel, engine.Metrics, error) {
+	start := time.Now()
+	d := &datasetOps{cfg: p.cfg}
+	exits, err := engine.RunAtom(ctx, d, atom, inputs)
+	m := engine.Metrics{
+		Wall:          time.Since(start),
+		Sim:           p.cfg.JobOverhead + d.clock,
+		Jobs:          1,
+		InRecords:     d.inRecords,
+		OutRecords:    d.outRecords,
+		ShuffledBytes: d.shuffled,
+	}
+	if err != nil {
+		return nil, m, err
+	}
+	return exits, m, nil
+}

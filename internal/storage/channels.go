@@ -1,0 +1,124 @@
+package storage
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/data"
+)
+
+// Ref is the payload of a store-format channel: a named dataset inside
+// an execution store. Processing platforms never look inside — they
+// convert through the graph to their native format.
+type Ref struct {
+	Store   Store
+	Dataset string
+}
+
+var tempSeq atomic.Int64
+
+// ConnectChannels registers converters between a store's native format
+// and the hub Collection format in the processing layer's conversion
+// graph. This is what makes the storage abstraction and the processing
+// abstraction one system (§6): a DFS-resident dataset can feed a
+// Spark-simulator atom through DFSFile → Collection → Partitioned, and
+// the optimizer prices that chain with the store's own read costs.
+//
+// Stores whose native format already is Collection (memstore) need no
+// converters.
+func ConnectChannels(reg *channel.Registry, s Store) {
+	format := s.Format()
+	if format == channel.Collection {
+		return
+	}
+	cost := s.Cost()
+	reg.Register(channel.Converter{
+		From: format, To: channel.Collection,
+		Fixed: cost.ReadFixed, PerByteNS: cost.ReadPerByteNS,
+		Convert: func(ch *channel.Channel) (*channel.Channel, error) {
+			ref, ok := ch.Payload.(Ref)
+			if !ok {
+				return nil, fmt.Errorf("storage: %s channel holds %T, want storage.Ref", format, ch.Payload)
+			}
+			_, recs, err := ref.Store.Read(ref.Dataset)
+			if err != nil {
+				return nil, err
+			}
+			return channel.NewCollection(recs), nil
+		},
+	})
+	reg.Register(channel.Converter{
+		From: channel.Collection, To: format,
+		Fixed: cost.WriteFixed, PerByteNS: cost.WritePerByteNS,
+		Convert: func(ch *channel.Channel) (*channel.Channel, error) {
+			recs, err := ch.AsCollection()
+			if err != nil {
+				return nil, err
+			}
+			name := fmt.Sprintf("_chan_%d", tempSeq.Add(1))
+			schema, err := inferSchema(recs)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Write(name, schema, recs); err != nil {
+				return nil, err
+			}
+			return &channel.Channel{
+				Format:  format,
+				Payload: Ref{Store: s, Dataset: name},
+				Records: int64(len(recs)),
+				Bytes:   data.TotalBytes(recs),
+			}, nil
+		},
+	})
+}
+
+// Channel wraps a stored dataset as a channel in the store's native
+// format, the zero-copy entry point for processing jobs over stored
+// data.
+func (m *Manager) Channel(dataset string) (*channel.Channel, error) {
+	store, err := m.owner(dataset)
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.Stat(dataset)
+	if err != nil {
+		return nil, err
+	}
+	if store.Format() == channel.Collection {
+		_, recs, err := store.Read(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return channel.NewCollection(recs), nil
+	}
+	return &channel.Channel{
+		Format:  store.Format(),
+		Payload: Ref{Store: store, Dataset: dataset},
+		Records: st.Records,
+		Bytes:   st.Bytes,
+	}, nil
+}
+
+// inferSchema derives a column-typed schema from the first record of a
+// batch (anonymous columns c0..cn), falling back to an empty one-field
+// schema for empty batches. Store writes need *some* schema; datasets
+// written through channel conversion are intermediate and reread
+// through the same code, so derived names are fine.
+func inferSchema(recs []data.Record) (*data.Schema, error) {
+	if len(recs) == 0 {
+		return data.NewSchema(data.Field{Name: "c0", Type: data.KindNull})
+	}
+	first := recs[0]
+	fields := make([]data.Field, first.Len())
+	for i := range fields {
+		kind := first.Field(i).Kind()
+		// Null first values: scan down for a typed one.
+		for j := 1; j < len(recs) && kind == data.KindNull; j++ {
+			kind = recs[j].Field(i).Kind()
+		}
+		fields[i] = data.Field{Name: fmt.Sprintf("c%d", i), Type: kind}
+	}
+	return data.NewSchema(fields...)
+}

@@ -1,0 +1,104 @@
+package storage_test
+
+import (
+	"testing"
+
+	"rheem"
+	"rheem/internal/core/channel"
+	"rheem/internal/data/datagen"
+	"rheem/internal/storage"
+	"rheem/internal/storage/dfs"
+	"rheem/internal/storage/memstore"
+)
+
+// TestStoreChannelsFeedClusterFormat proves the unified-abstraction
+// path: a DFS-resident dataset reaches the Spark simulator's
+// partitioned format through the conversion graph, with the store's
+// read costs priced into the chain.
+func TestStoreChannelsFeedClusterFormat(t *testing.T) {
+	ctx, err := rheem.NewContext(rheem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := ctx.Registry().Channels()
+
+	m := storage.NewManager(0, reg.PathCost)
+	d, err := dfs.New(t.TempDir(), dfs.Config{BlockRecords: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	storage.ConnectChannels(reg, d)
+
+	recs := datagen.Tax(datagen.TaxConfig{N: 500, Zips: 10, ErrorRate: 0, Seed: 1})
+	if _, err := m.Put(storage.PutRequest{Dataset: "t", Schema: datagen.TaxSchema, Records: recs}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A native-format channel for the stored dataset…
+	ch, err := m.Channel("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Format != channel.DFSFile || ch.Records != 500 {
+		t.Fatalf("channel = %+v", ch)
+	}
+	// …converts to the cluster's partitioned format via the hub.
+	out, cost, steps, err := reg.Convert(ch, channel.Partitioned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Format != channel.Partitioned || steps < 2 {
+		t.Errorf("format %s after %d steps", out.Format, steps)
+	}
+	if cost <= 0 {
+		t.Error("movement not priced")
+	}
+	if out.Records != 500 {
+		t.Errorf("records = %d", out.Records)
+	}
+
+	// And the reverse: collection → DFS writes a real dataset.
+	coll := channel.NewCollection(recs[:50])
+	back, _, _, err := reg.Convert(coll, channel.DFSFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, ok := back.Payload.(storage.Ref)
+	if !ok {
+		t.Fatalf("payload %T", back.Payload)
+	}
+	_, stored, err := ref.Store.Read(ref.Dataset)
+	if err != nil || len(stored) != 50 {
+		t.Errorf("written dataset: %d records, %v", len(stored), err)
+	}
+}
+
+func TestManagerChannelCollectionStore(t *testing.T) {
+	// A memstore-resident dataset surfaces directly as a Collection
+	// channel — no conversion needed.
+	m := storage.NewManager(0, nil)
+	if err := m.Register(memstore.New(0)); err != nil {
+		t.Fatal(err)
+	}
+	recs := datagen.Tax(datagen.TaxConfig{N: 20, Zips: 5, ErrorRate: 0, Seed: 2})
+	if _, err := m.Put(storage.PutRequest{Dataset: "d", Schema: datagen.TaxSchema, Records: recs}); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := m.Channel("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Format != channel.Collection {
+		t.Fatalf("format %s", ch.Format)
+	}
+	got, err := ch.AsCollection()
+	if err != nil || len(got) != 20 {
+		t.Errorf("%d records, %v", len(got), err)
+	}
+	if _, err := m.Channel("ghost"); err == nil {
+		t.Error("channel for missing dataset accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package storage_test
+
+import (
+	"errors"
+	"testing"
+
+	"rheem/internal/data"
+	"rheem/internal/data/datagen"
+	"rheem/internal/storage"
+	"rheem/internal/storage/csvstore"
+	"rheem/internal/storage/dfs"
+	"rheem/internal/storage/memstore"
+)
+
+// eachStore runs a conformance check against every bundled store.
+func eachStore(t *testing.T, check func(t *testing.T, s storage.Store)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) { check(t, memstore.New(0)) })
+	t.Run("csv", func(t *testing.T) {
+		s, err := csvstore.New(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, s)
+	})
+	t.Run("dfs", func(t *testing.T) {
+		s, err := dfs.New(t.TempDir(), dfs.Config{BlockRecords: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, s)
+	})
+}
+
+func taxSample(n int) (*data.Schema, []data.Record) {
+	return datagen.TaxSchema, datagen.Tax(datagen.TaxConfig{N: n, Zips: 10, ErrorRate: 0.1, Seed: 4})
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	eachStore(t, func(t *testing.T, s storage.Store) {
+		schema, recs := taxSample(100)
+		if err := s.Write("tax", schema, recs); err != nil {
+			t.Fatal(err)
+		}
+		gotSchema, gotRecs, err := s.Read("tax")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSchema.Spec() != schema.Spec() {
+			t.Errorf("schema %s vs %s", gotSchema, schema)
+		}
+		if len(gotRecs) != len(recs) {
+			t.Fatalf("%d records back, want %d", len(gotRecs), len(recs))
+		}
+		for i := range recs {
+			if !data.EqualRecords(gotRecs[i], recs[i]) {
+				t.Fatalf("record %d mismatch: %s vs %s", i, gotRecs[i], recs[i])
+			}
+		}
+	})
+}
+
+func TestStoreOverwriteListDelete(t *testing.T) {
+	eachStore(t, func(t *testing.T, s storage.Store) {
+		schema, recs := taxSample(20)
+		if err := s.Write("a", schema, recs); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Write("a", schema, recs[:5]); err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := s.Read("a")
+		if err != nil || len(got) != 5 {
+			t.Fatalf("overwrite: %d records, err %v", len(got), err)
+		}
+		if err := s.Write("b", schema, recs); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(s.List()); got != 2 {
+			t.Errorf("List = %d entries", got)
+		}
+		st, err := s.Stat("a")
+		if err != nil || st.Records != 5 || st.Bytes <= 0 {
+			t.Errorf("Stat = %+v, %v", st, err)
+		}
+		if err := s.Delete("a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Read("a"); !errors.Is(err, storage.ErrNotFound) {
+			t.Errorf("read after delete: %v", err)
+		}
+		if err := s.Delete("a"); !errors.Is(err, storage.ErrNotFound) {
+			t.Errorf("double delete: %v", err)
+		}
+	})
+}
+
+func TestStoreMissingDataset(t *testing.T) {
+	eachStore(t, func(t *testing.T, s storage.Store) {
+		if _, _, err := s.Read("ghost"); !errors.Is(err, storage.ErrNotFound) {
+			t.Errorf("Read(ghost) = %v", err)
+		}
+		if _, err := s.Stat("ghost"); !errors.Is(err, storage.ErrNotFound) {
+			t.Errorf("Stat(ghost) = %v", err)
+		}
+	})
+}
+
+func TestStoreEmptyDataset(t *testing.T) {
+	eachStore(t, func(t *testing.T, s storage.Store) {
+		schema, _ := taxSample(0)
+		if err := s.Write("empty", schema, nil); err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := s.Read("empty")
+		if err != nil || len(got) != 0 {
+			t.Errorf("empty read: %d records, %v", len(got), err)
+		}
+	})
+}
+
+func TestStoreCostsOrdered(t *testing.T) {
+	// The placement optimizer's premise: mem < dfs < csv per byte.
+	mem := memstore.New(0).Cost()
+	csvS, _ := csvstore.New(t.TempDir())
+	dfsS, _ := dfs.New(t.TempDir(), dfs.Config{})
+	const mb = int64(1 << 20)
+	if !(mem.ReadCost(mb) < dfsS.Cost().ReadCost(mb) && dfsS.Cost().ReadCost(mb) < csvS.Cost().ReadCost(mb)) {
+		t.Errorf("per-byte read costs not ordered: mem=%v dfs=%v csv=%v",
+			mem.ReadCost(mb), dfsS.Cost().ReadCost(mb), csvS.Cost().ReadCost(mb))
+	}
+}

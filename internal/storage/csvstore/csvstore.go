@@ -1,0 +1,155 @@
+// Package csvstore is the local-filesystem execution store: one
+// typed-header CSV file per dataset under a root directory. It is the
+// human-readable, tool-friendly store — slower than memory, cheaper
+// than memory, and the natural landing zone for exports.
+package csvstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/data"
+	"rheem/internal/storage"
+)
+
+// ID is the store identifier.
+const ID storage.StoreID = "csv"
+
+// Store persists datasets as CSV files.
+type Store struct {
+	mu   sync.Mutex
+	root string
+}
+
+// New returns a store rooted at dir, creating it if needed.
+func New(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("csvstore: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// ID implements storage.Store.
+func (s *Store) ID() storage.StoreID { return ID }
+
+// Format implements storage.Store.
+func (s *Store) Format() channel.Format { return channel.CSVFile }
+
+// Cost implements storage.Store: disk I/O plus text codec work.
+func (s *Store) Cost() storage.StoreCost {
+	return storage.StoreCost{
+		ReadFixed: 2e6, WriteFixed: 2e6, // 2ms open/close
+		ReadPerByteNS: 4, WritePerByteNS: 6,
+	}
+}
+
+// Fits implements storage.Store: the local disk is assumed ample.
+func (s *Store) Fits(int64) bool { return true }
+
+// path maps a dataset name to its file, rejecting names that escape
+// the root.
+func (s *Store) path(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, `/\`) || strings.Contains(name, "..") {
+		return "", fmt.Errorf("csvstore: invalid dataset name %q", name)
+	}
+	return filepath.Join(s.root, name+".csv"), nil
+}
+
+// Write implements storage.Store.
+func (s *Store) Write(name string, schema *data.Schema, recs []data.Record) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := p + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("csvstore: %w", err)
+	}
+	if err := data.WriteCSV(f, schema, recs); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("csvstore: %w", err)
+	}
+	return os.Rename(tmp, p)
+}
+
+// Read implements storage.Store.
+func (s *Store) Read(name string) (*data.Schema, []data.Record, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Open(p)
+	if os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("%w: %q in csvstore", storage.ErrNotFound, name)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("csvstore: %w", err)
+	}
+	defer f.Close()
+	return data.ReadCSV(f)
+}
+
+// Delete implements storage.Store.
+func (s *Store) Delete(name string) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); os.IsNotExist(err) {
+		return fmt.Errorf("%w: %q in csvstore", storage.ErrNotFound, name)
+	} else if err != nil {
+		return fmt.Errorf("csvstore: %w", err)
+	}
+	return nil
+}
+
+// List implements storage.Store.
+func (s *Store) List() []string {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".csv"); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Stat implements storage.Store. Records are counted by re-reading the
+// file; CSV keeps no footer.
+func (s *Store) Stat(name string) (storage.Stats, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return storage.Stats{}, err
+	}
+	fi, err := os.Stat(p)
+	if os.IsNotExist(err) {
+		return storage.Stats{}, fmt.Errorf("%w: %q in csvstore", storage.ErrNotFound, name)
+	}
+	if err != nil {
+		return storage.Stats{}, fmt.Errorf("csvstore: %w", err)
+	}
+	_, recs, err := s.Read(name)
+	if err != nil {
+		return storage.Stats{}, err
+	}
+	return storage.Stats{Records: int64(len(recs)), Bytes: fi.Size()}, nil
+}
+
+// Path exposes a dataset's file location for external tools.
+func (s *Store) Path(name string) (string, error) { return s.path(name) }

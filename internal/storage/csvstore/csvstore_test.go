@@ -1,0 +1,112 @@
+package csvstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/data"
+)
+
+var schema = data.MustSchema(
+	data.Field{Name: "id", Type: data.KindInt},
+	data.Field{Name: "name", Type: data.KindString},
+)
+
+func recs() []data.Record {
+	return []data.Record{
+		data.NewRecord(data.Int(1), data.Str("ann")),
+		data.NewRecord(data.Int(2), data.Str("bob")),
+	}
+}
+
+func TestInvalidNamesRejected(t *testing.T) {
+	s, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "a/b", `a\b`, "../escape", "a..b"} {
+		if err := s.Write(bad, schema, recs()); err == nil {
+			t.Errorf("Write(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFilesAreRealCSV(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("people", schema, recs()); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Path("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(raw), "id:int,name:string\n") {
+		t.Errorf("file content:\n%s", raw)
+	}
+	// No temp files left behind.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+	if filepath.Dir(p) != dir {
+		t.Error("Path outside root")
+	}
+}
+
+func TestAtomicOverwrite(t *testing.T) {
+	s, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("d", schema, recs()); err != nil {
+		t.Fatal(err)
+	}
+	// A failing write (validation error) must not clobber the old file.
+	bad := []data.Record{data.NewRecord(data.Str("wrong"), data.Str("arity"))}
+	if err := s.Write("d", schema, bad); err == nil {
+		t.Fatal("invalid rows accepted")
+	}
+	_, got, err := s.Read("d")
+	if err != nil || len(got) != 2 {
+		t.Errorf("old data lost after failed overwrite: %d rows, %v", len(got), err)
+	}
+}
+
+func TestFormatAndFits(t *testing.T) {
+	s, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Format() != channel.CSVFile {
+		t.Error("format wrong")
+	}
+	if !s.Fits(1 << 40) {
+		t.Error("Fits should be unbounded")
+	}
+	if s.ID() != ID {
+		t.Error("id wrong")
+	}
+}
+
+func TestNewCreatesDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "store")
+	if _, err := New(dir); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Error("root directory not created")
+	}
+}

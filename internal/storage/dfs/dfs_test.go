@@ -1,0 +1,133 @@
+package dfs
+
+import (
+	"strings"
+	"testing"
+
+	"rheem/internal/data"
+	"rheem/internal/data/datagen"
+)
+
+func newStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := New(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var wordSchema = data.MustSchema(data.Field{Name: "w", Type: data.KindString})
+
+func TestBlockLayout(t *testing.T) {
+	s := newStore(t, Config{BlockRecords: 10, Nodes: 4, Replication: 2})
+	recs := datagen.Words(35, 1)
+	if err := s.Write("words", wordSchema, recs); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := s.Blocks("words")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 4 { // ceil(35/10)
+		t.Fatalf("%d blocks, want 4", len(blocks))
+	}
+	for i, replicas := range blocks {
+		if len(replicas) != 2 {
+			t.Errorf("block %d has %d replicas", i, len(replicas))
+		}
+		if len(replicas) == 2 && replicas[0] == replicas[1] {
+			t.Errorf("block %d replicas on the same node", i)
+		}
+	}
+	st, err := s.Stat("words")
+	if err != nil || st.Records != 35 || st.Bytes <= 0 {
+		t.Errorf("Stat = %+v, %v", st, err)
+	}
+}
+
+func TestReadSurvivesSingleNodeFailure(t *testing.T) {
+	s := newStore(t, Config{BlockRecords: 8, Nodes: 4, Replication: 2})
+	recs := datagen.Words(50, 2)
+	if err := s.Write("w", wordSchema, recs); err != nil {
+		t.Fatal(err)
+	}
+	s.RemoveNode(0)
+	defer s.RestoreNode(0)
+	_, got, err := s.Read("w")
+	if err != nil {
+		t.Fatalf("read with one dead node: %v", err)
+	}
+	if len(got) != 50 {
+		t.Errorf("%d records after node failure", len(got))
+	}
+}
+
+func TestReadFailsWhenAllReplicasDown(t *testing.T) {
+	s := newStore(t, Config{BlockRecords: 8, Nodes: 2, Replication: 2})
+	recs := datagen.Words(10, 3)
+	if err := s.Write("w", wordSchema, recs); err != nil {
+		t.Fatal(err)
+	}
+	s.RemoveNode(0)
+	s.RemoveNode(1)
+	if _, _, err := s.Read("w"); err == nil {
+		t.Error("read succeeded with every replica down")
+	}
+	s.RestoreNode(0)
+	if _, _, err := s.Read("w"); err != nil {
+		t.Errorf("read after restore: %v", err)
+	}
+}
+
+func TestWriteRequiresEnoughLiveNodes(t *testing.T) {
+	s := newStore(t, Config{Nodes: 2, Replication: 2})
+	s.RemoveNode(1)
+	if err := s.Write("w", wordSchema, datagen.Words(5, 4)); err == nil {
+		t.Error("write succeeded without enough live nodes")
+	}
+}
+
+func TestReplicationCappedAtNodes(t *testing.T) {
+	s := newStore(t, Config{Nodes: 2, Replication: 5, BlockRecords: 100})
+	if err := s.Write("w", wordSchema, datagen.Words(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := s.Blocks("w")
+	if len(blocks[0]) != 2 {
+		t.Errorf("replication %d, want capped at 2", len(blocks[0]))
+	}
+}
+
+func TestInvalidNamesRejected(t *testing.T) {
+	s := newStore(t, Config{})
+	for _, bad := range []string{"", "a/b", `a\b`, "a..b"} {
+		if err := s.Write(bad, wordSchema, nil); err == nil {
+			t.Errorf("Write(%q) accepted", bad)
+		}
+		if !strings.Contains(bad, "..") && bad != "" {
+			continue
+		}
+		if _, _, err := s.Read(bad); err == nil {
+			t.Errorf("Read(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBlockSpreadAcrossNodes(t *testing.T) {
+	// With many blocks, every node should hold some replicas.
+	s := newStore(t, Config{BlockRecords: 4, Nodes: 4, Replication: 2})
+	if err := s.Write("w", wordSchema, datagen.Words(100, 6)); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := s.Blocks("w")
+	used := map[int]bool{}
+	for _, replicas := range blocks {
+		for _, n := range replicas {
+			used[n] = true
+		}
+	}
+	if len(used) != 4 {
+		t.Errorf("blocks spread over %d of 4 nodes", len(used))
+	}
+}

@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+
+	"rheem/internal/data"
+)
+
+// HotBuffer is the storage abstraction's hot-data cache: an LRU over
+// datasets in decoded, processing-native form, so repeated reads of a
+// popular dataset skip both the store's I/O and its format decoding —
+// the paper's "specialized buffers for embracing frequently accessed
+// data in their native format" (§6).
+type HotBuffer struct {
+	mu       sync.Mutex
+	capBytes int64
+	curBytes int64
+	order    *list.List               // front = most recent
+	entries  map[string]*list.Element // dataset name → element
+	hits     int64
+	misses   int64
+}
+
+type hotEntry struct {
+	name   string
+	schema *data.Schema
+	recs   []data.Record
+	bytes  int64
+}
+
+// NewHotBuffer returns a buffer bounded to capBytes (≤0 disables
+// caching entirely).
+func NewHotBuffer(capBytes int64) *HotBuffer {
+	return &HotBuffer{
+		capBytes: capBytes,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached dataset, marking it most-recently-used.
+func (h *HotBuffer) Get(name string) (*data.Schema, []data.Record, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	el, ok := h.entries[name]
+	if !ok {
+		h.misses++
+		return nil, nil, false
+	}
+	h.hits++
+	h.order.MoveToFront(el)
+	e := el.Value.(*hotEntry)
+	return e.schema, e.recs, true
+}
+
+// Put caches a dataset, evicting least-recently-used entries until the
+// capacity bound holds. Datasets larger than the whole buffer are not
+// cached.
+func (h *HotBuffer) Put(name string, schema *data.Schema, recs []data.Record) {
+	bytes := data.TotalBytes(recs)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.capBytes <= 0 || bytes > h.capBytes {
+		return
+	}
+	if el, ok := h.entries[name]; ok {
+		h.curBytes -= el.Value.(*hotEntry).bytes
+		h.order.Remove(el)
+		delete(h.entries, name)
+	}
+	for h.curBytes+bytes > h.capBytes {
+		back := h.order.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*hotEntry)
+		h.order.Remove(back)
+		delete(h.entries, victim.name)
+		h.curBytes -= victim.bytes
+	}
+	el := h.order.PushFront(&hotEntry{name: name, schema: schema, recs: recs, bytes: bytes})
+	h.entries[name] = el
+	h.curBytes += bytes
+}
+
+// Invalidate removes a dataset (after overwrite or delete).
+func (h *HotBuffer) Invalidate(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if el, ok := h.entries[name]; ok {
+		h.curBytes -= el.Value.(*hotEntry).bytes
+		h.order.Remove(el)
+		delete(h.entries, name)
+	}
+}
+
+// Stats reports hit/miss counters and current occupancy.
+func (h *HotBuffer) Stats() (hits, misses, bytes int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.hits, h.misses, h.curBytes
+}

@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"rheem/internal/data"
+)
+
+func rec(payload string) []data.Record {
+	return []data.Record{data.NewRecord(data.Str(payload))}
+}
+
+func TestHotBufferLRUEviction(t *testing.T) {
+	// Each entry is ~16+16+len bytes; cap to fit roughly two entries.
+	one := rec("aaaaaaaaaaaaaaaaaaaaaaaa")
+	perEntry := data.TotalBytes(one)
+	h := NewHotBuffer(2 * perEntry)
+
+	h.Put("a", nil, rec("aaaaaaaaaaaaaaaaaaaaaaaa"))
+	h.Put("b", nil, rec("bbbbbbbbbbbbbbbbbbbbbbbb"))
+	if _, _, ok := h.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	// Touch a so b becomes the LRU victim.
+	h.Put("c", nil, rec("cccccccccccccccccccccccc"))
+	if _, _, ok := h.Get("b"); ok {
+		t.Error("LRU victim b still cached")
+	}
+	if _, _, ok := h.Get("a"); !ok {
+		t.Error("recently used a evicted")
+	}
+	if _, _, ok := h.Get("c"); !ok {
+		t.Error("new entry c missing")
+	}
+}
+
+func TestHotBufferOversizedEntrySkipped(t *testing.T) {
+	h := NewHotBuffer(8)
+	h.Put("big", nil, rec("this will never fit in eight bytes"))
+	if _, _, ok := h.Get("big"); ok {
+		t.Error("oversized entry cached")
+	}
+}
+
+func TestHotBufferDisabled(t *testing.T) {
+	h := NewHotBuffer(0)
+	h.Put("x", nil, rec("x"))
+	if _, _, ok := h.Get("x"); ok {
+		t.Error("disabled buffer cached")
+	}
+}
+
+func TestHotBufferInvalidate(t *testing.T) {
+	h := NewHotBuffer(1 << 20)
+	h.Put("x", nil, rec("x"))
+	h.Invalidate("x")
+	if _, _, ok := h.Get("x"); ok {
+		t.Error("invalidated entry served")
+	}
+	h.Invalidate("never-existed") // must not panic
+	_, _, bytes := h.Stats()
+	if bytes != 0 {
+		t.Errorf("bytes = %d after invalidation", bytes)
+	}
+}
+
+func TestHotBufferReplaceSameKey(t *testing.T) {
+	h := NewHotBuffer(1 << 20)
+	h.Put("x", nil, rec("old"))
+	h.Put("x", nil, rec("new-value"))
+	_, recs, ok := h.Get("x")
+	if !ok || recs[0].Field(0).Str() != "new-value" {
+		t.Error("replacement not visible")
+	}
+	_, _, bytes := h.Stats()
+	if bytes != data.TotalBytes(rec("new-value")) {
+		t.Errorf("occupancy %d not updated on replace", bytes)
+	}
+}
+
+func TestHotBufferManyEntries(t *testing.T) {
+	h := NewHotBuffer(1 << 20)
+	for i := 0; i < 500; i++ {
+		h.Put(fmt.Sprintf("k%d", i), nil, rec(fmt.Sprintf("value-%d", i)))
+	}
+	for i := 0; i < 500; i++ {
+		if _, _, ok := h.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d missing", i)
+		}
+	}
+}
+
+func TestTransformationPlanString(t *testing.T) {
+	var nilPlan *TransformationPlan
+	if nilPlan.String() != "identity" {
+		t.Error("nil plan string")
+	}
+	p := &TransformationPlan{Steps: []Transform{Project("a"), SortBy("a")}}
+	if p.String() == "" || p.String() == "identity" {
+		t.Errorf("plan string = %q", p.String())
+	}
+	// nil plan Run is identity.
+	s, recs, err := nilPlan.Run(nil, rec("x"))
+	if err != nil || s != nil || len(recs) != 1 {
+		t.Error("nil plan Run not identity")
+	}
+}

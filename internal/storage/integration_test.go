@@ -1,0 +1,86 @@
+package storage_test
+
+import (
+	"testing"
+
+	"rheem"
+	"rheem/internal/core/channel"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+	"rheem/internal/data/datagen"
+	"rheem/internal/storage"
+	"rheem/internal/storage/dfs"
+	"rheem/internal/storage/memstore"
+)
+
+// TestStorageFeedsProcessing wires the two abstractions together the
+// way the paper intends (§6): the storage manager prices placements
+// with the *processing* layer's conversion graph, and a stored dataset
+// feeds a RHEEM job.
+func TestStorageFeedsProcessing(t *testing.T) {
+	ctx, err := rheem.NewContext(rheem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conversion costs come from the processing layer's channel graph —
+	// storage placement sees the same movement prices the executor pays.
+	m := storage.NewManager(1<<20, ctx.Registry().Channels().PathCost)
+	if err := m.Register(memstore.New(1 << 24)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := dfs.New(t.TempDir(), dfs.Config{BlockRecords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(d); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := datagen.Tax(datagen.TaxConfig{N: 2_000, Zips: 40, ErrorRate: 0, Seed: 9})
+	pl, err := m.Put(storage.PutRequest{
+		Dataset: "tax", Schema: datagen.TaxSchema, Records: recs,
+		ExpectedReads: 3, PreferFormat: channel.Collection,
+		Transform: &storage.TransformationPlan{Steps: []storage.Transform{
+			storage.Project("id", "state", "salary"),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Store == "" {
+		t.Fatal("no placement")
+	}
+
+	// Read back through the manager and aggregate with RHEEM.
+	schema, stored, err := m.Get("tax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Len() != 3 {
+		t.Fatalf("stored schema %s", schema)
+	}
+	out, _, err := ctx.NewJob("agg-over-storage").
+		ReadCollection("tax", stored).
+		Map(func(r data.Record) (data.Record, error) {
+			return data.NewRecord(r.Field(1), data.Float(r.Field(2).Float()), data.Int(1)), nil
+		}).
+		ReduceByKey(plan.FieldKey(0), func(a, b data.Record) (data.Record, error) {
+			return data.NewRecord(a.Field(0),
+				data.Float(a.Field(1).Float()+b.Field(1).Float()),
+				data.Int(a.Field(2).Int()+b.Field(2).Int())), nil
+		}).
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || len(out) > 8 {
+		t.Errorf("%d states aggregated", len(out))
+	}
+	var total int64
+	for _, r := range out {
+		total += r.Field(2).Int()
+	}
+	if total != 2_000 {
+		t.Errorf("aggregation lost rows: %d", total)
+	}
+}

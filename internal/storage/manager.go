@@ -1,0 +1,252 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/data"
+)
+
+// PutRequest is a logical storage request (l-store level): what to
+// store and how it will be used, with no mention of a storage engine.
+type PutRequest struct {
+	// Dataset names the stored object.
+	Dataset string
+	// Schema and Records are the raw data quanta.
+	Schema  *data.Schema
+	Records []data.Record
+	// Transform is the Cartilage-style upload pipeline (nil = none).
+	Transform *TransformationPlan
+	// ExpectedReads hints how often the dataset will be read back; the
+	// placement optimizer weighs read cost by it (0 = assume 1).
+	ExpectedReads int
+	// PreferFormat, when set, is the channel format the expected
+	// consumer computes in; stores whose native format matches avoid a
+	// conversion charge.
+	PreferFormat channel.Format
+	// Pin forces a specific store, bypassing the optimizer.
+	Pin StoreID
+}
+
+// Placement is the optimizer's storage decision — the execution
+// storage plan's header.
+type Placement struct {
+	Store     StoreID
+	Transform string // rendered transformation plan
+	Estimated time.Duration
+	Why       string
+}
+
+// Manager is the storage abstraction's core layer: it owns the
+// registered stores, runs the placement optimizer, executes
+// transformation plans, and serves reads through the hot buffer.
+type Manager struct {
+	mu       sync.Mutex
+	stores   map[StoreID]Store
+	order    []StoreID
+	where    map[string]StoreID // dataset → owning store
+	hot      *HotBuffer
+	convCost func(from, to channel.Format, bytes int64) (time.Duration, bool)
+}
+
+// NewManager returns a manager with the given hot-buffer capacity.
+// convCost prices a format conversion (nil = conversions free); wiring
+// the processing layer's channel registry here is what lets storage
+// placement see processing-side conversion costs, the paper's reason
+// for a *unified* abstraction.
+func NewManager(hotBytes int64, convCost func(from, to channel.Format, bytes int64) (time.Duration, bool)) *Manager {
+	return &Manager{
+		stores:   make(map[StoreID]Store),
+		where:    make(map[string]StoreID),
+		hot:      NewHotBuffer(hotBytes),
+		convCost: convCost,
+	}
+}
+
+// Register adds a storage engine.
+func (m *Manager) Register(s Store) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.stores[s.ID()]; dup {
+		return fmt.Errorf("storage: store %q registered twice", s.ID())
+	}
+	m.stores[s.ID()] = s
+	m.order = append(m.order, s.ID())
+	return nil
+}
+
+// Stores lists registered store IDs in registration order.
+func (m *Manager) Stores() []StoreID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]StoreID(nil), m.order...)
+}
+
+// HotBuffer exposes the hot-data cache for inspection.
+func (m *Manager) HotBuffer() *HotBuffer { return m.hot }
+
+// Put runs the transformation plan, places the dataset on the best
+// store (the WWHow!-style decision), and writes it.
+func (m *Manager) Put(req PutRequest) (Placement, error) {
+	if req.Dataset == "" {
+		return Placement{}, fmt.Errorf("storage: empty dataset name")
+	}
+	schema, recs, err := req.Transform.Run(req.Schema, req.Records)
+	if err != nil {
+		return Placement{}, err
+	}
+	bytes := data.TotalBytes(recs)
+	placement, store, err := m.place(req, bytes)
+	if err != nil {
+		return Placement{}, err
+	}
+	if err := store.Write(req.Dataset, schema, recs); err != nil {
+		return Placement{}, err
+	}
+	m.mu.Lock()
+	m.where[req.Dataset] = store.ID()
+	m.mu.Unlock()
+	m.hot.Invalidate(req.Dataset)
+	placement.Transform = req.Transform.String()
+	return placement, nil
+}
+
+// place scores each feasible store: write cost + expected reads ×
+// (read cost + conversion-to-preferred-format cost).
+func (m *Manager) place(req PutRequest, bytes int64) (Placement, Store, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if req.Pin != "" {
+		s, ok := m.stores[req.Pin]
+		if !ok {
+			return Placement{}, nil, fmt.Errorf("storage: pinned store %q not registered", req.Pin)
+		}
+		if !s.Fits(bytes) {
+			return Placement{}, nil, fmt.Errorf("storage: pinned store %q cannot hold %d bytes", req.Pin, bytes)
+		}
+		return Placement{Store: req.Pin, Why: "pinned"}, s, nil
+	}
+	reads := req.ExpectedReads
+	if reads <= 0 {
+		reads = 1
+	}
+	type scored struct {
+		id    StoreID
+		cost  time.Duration
+		store Store
+	}
+	var candidates []scored
+	for _, id := range m.order {
+		s := m.stores[id]
+		if !s.Fits(bytes) {
+			continue
+		}
+		c := s.Cost().WriteCost(bytes) + time.Duration(reads)*s.Cost().ReadCost(bytes)
+		if req.PreferFormat != "" && s.Format() != req.PreferFormat && m.convCost != nil {
+			cc, ok := m.convCost(s.Format(), req.PreferFormat, bytes)
+			if !ok {
+				continue // unreachable format: infeasible for this consumer
+			}
+			c += time.Duration(reads) * cc
+		}
+		candidates = append(candidates, scored{id: id, cost: c, store: s})
+	}
+	if len(candidates) == 0 {
+		return Placement{}, nil, fmt.Errorf("storage: no store can hold %d bytes of %q", bytes, req.Dataset)
+	}
+	sort.SliceStable(candidates, func(i, j int) bool { return candidates[i].cost < candidates[j].cost })
+	best := candidates[0]
+	why := fmt.Sprintf("cheapest of %d candidates for %d expected reads", len(candidates), reads)
+	return Placement{Store: best.id, Estimated: best.cost, Why: why}, best.store, nil
+}
+
+// Get reads a dataset, serving repeat reads from the hot buffer.
+func (m *Manager) Get(dataset string) (*data.Schema, []data.Record, error) {
+	if schema, recs, ok := m.hot.Get(dataset); ok {
+		return schema, recs, nil
+	}
+	store, err := m.owner(dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema, recs, err := store.Read(dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.hot.Put(dataset, schema, recs)
+	return schema, recs, nil
+}
+
+// Where reports the store holding a dataset.
+func (m *Manager) Where(dataset string) (StoreID, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.where[dataset]
+	return id, ok
+}
+
+// Delete removes a dataset from its store and the hot buffer.
+func (m *Manager) Delete(dataset string) error {
+	store, err := m.owner(dataset)
+	if err != nil {
+		return err
+	}
+	if err := store.Delete(dataset); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.where, dataset)
+	m.mu.Unlock()
+	m.hot.Invalidate(dataset)
+	return nil
+}
+
+// Move migrates a dataset to another store — the "transform their
+// datasets from one platform to another" half of the abstraction's
+// interoperability promise.
+func (m *Manager) Move(dataset string, to StoreID) error {
+	src, err := m.owner(dataset)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	dst, ok := m.stores[to]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("storage: unknown target store %q", to)
+	}
+	if src.ID() == to {
+		return nil
+	}
+	schema, recs, err := src.Read(dataset)
+	if err != nil {
+		return err
+	}
+	if !dst.Fits(data.TotalBytes(recs)) {
+		return fmt.Errorf("storage: store %q cannot hold %q", to, dataset)
+	}
+	if err := dst.Write(dataset, schema, recs); err != nil {
+		return err
+	}
+	if err := src.Delete(dataset); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.where[dataset] = to
+	m.mu.Unlock()
+	m.hot.Invalidate(dataset)
+	return nil
+}
+
+func (m *Manager) owner(dataset string) (Store, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.where[dataset]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, dataset)
+	}
+	return m.stores[id], nil
+}

@@ -1,0 +1,278 @@
+package storage_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/data"
+	"rheem/internal/storage"
+	"rheem/internal/storage/csvstore"
+	"rheem/internal/storage/dfs"
+	"rheem/internal/storage/memstore"
+)
+
+func newManager(t *testing.T, memCap int64) (*storage.Manager, *memstore.Store) {
+	t.Helper()
+	m := storage.NewManager(1<<20, nil)
+	mem := memstore.New(memCap)
+	if err := m.Register(mem); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := csvstore.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(cs); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dfs.New(t.TempDir(), dfs.Config{BlockRecords: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(ds); err != nil {
+		t.Fatal(err)
+	}
+	return m, mem
+}
+
+func TestManagerPutGetRoundTrip(t *testing.T) {
+	m, _ := newManager(t, 0)
+	schema, recs := taxSample(50)
+	pl, err := m.Put(storage.PutRequest{Dataset: "tax", Schema: schema, Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Store == "" {
+		t.Error("no placement store")
+	}
+	gotSchema, gotRecs, err := m.Get("tax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSchema.Spec() != schema.Spec() || len(gotRecs) != 50 {
+		t.Errorf("round trip: %s, %d records", gotSchema, len(gotRecs))
+	}
+	if where, ok := m.Where("tax"); !ok || where != pl.Store {
+		t.Errorf("Where = %s, %v", where, ok)
+	}
+}
+
+func TestPlacementPrefersMemoryForHotSmallData(t *testing.T) {
+	m, _ := newManager(t, 1<<30)
+	schema, recs := taxSample(100)
+	pl, err := m.Put(storage.PutRequest{
+		Dataset: "hot", Schema: schema, Records: recs, ExpectedReads: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Store != memstore.ID {
+		t.Errorf("hot small dataset placed on %s (%s)", pl.Store, pl.Why)
+	}
+}
+
+func TestPlacementOverflowsBoundedMemory(t *testing.T) {
+	m, _ := newManager(t, 10) // 10-byte memstore: nothing fits
+	schema, recs := taxSample(20000)
+	pl, err := m.Put(storage.PutRequest{Dataset: "big", Schema: schema, Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Store == memstore.ID {
+		t.Error("oversized dataset placed in bounded memory")
+	}
+	// At megabytes, DFS's per-byte advantage beats CSV's lower fixed
+	// costs, so the spill lands on DFS.
+	if pl.Store != dfs.ID {
+		t.Errorf("spill went to %s, want dfs (%s)", pl.Store, pl.Why)
+	}
+	// A tiny spill, by contrast, goes to CSV: fixed costs dominate.
+	schemaS, recsS := taxSample(10)
+	plS, err := m.Put(storage.PutRequest{Dataset: "small", Schema: schemaS, Records: recsS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plS.Store != csvstore.ID {
+		t.Errorf("tiny spill went to %s, want csv (%s)", plS.Store, plS.Why)
+	}
+}
+
+func TestPlacementHonoursPreferredFormat(t *testing.T) {
+	// With conversions priced, a consumer preferring DFSFile should
+	// pull placement toward the DFS store even though memory reads are
+	// cheaper.
+	conv := func(from, to channel.Format, bytes int64) (time.Duration, bool) {
+		if from == to {
+			return 0, true
+		}
+		return time.Duration(bytes) * time.Microsecond, true // brutal conversion cost
+	}
+	m := storage.NewManager(0, conv)
+	if err := m.Register(memstore.New(0)); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dfs.New(t.TempDir(), dfs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(ds); err != nil {
+		t.Fatal(err)
+	}
+	schema, recs := taxSample(200)
+	pl, err := m.Put(storage.PutRequest{
+		Dataset: "d", Schema: schema, Records: recs,
+		ExpectedReads: 50, PreferFormat: channel.DFSFile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Store != dfs.ID {
+		t.Errorf("format-preferring placement chose %s (%s)", pl.Store, pl.Why)
+	}
+}
+
+func TestPinnedPlacement(t *testing.T) {
+	m, _ := newManager(t, 1<<30)
+	schema, recs := taxSample(10)
+	pl, err := m.Put(storage.PutRequest{Dataset: "p", Schema: schema, Records: recs, Pin: csvstore.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Store != csvstore.ID || pl.Why != "pinned" {
+		t.Errorf("pin ignored: %+v", pl)
+	}
+	if _, err := m.Put(storage.PutRequest{Dataset: "q", Schema: schema, Records: recs, Pin: "ghost"}); err == nil {
+		t.Error("pin to unknown store accepted")
+	}
+}
+
+func TestTransformationPlanAppliedOnUpload(t *testing.T) {
+	m, _ := newManager(t, 1<<30)
+	schema, recs := taxSample(100)
+	tp := &storage.TransformationPlan{Steps: []storage.Transform{
+		storage.FilterRows("highEarners", func(r data.Record) bool {
+			return r.Field(7).Float() > 100000
+		}),
+		storage.Project("zip", "city", "salary"),
+		storage.SortBy("salary"),
+	}}
+	pl, err := m.Put(storage.PutRequest{Dataset: "t", Schema: schema, Records: recs, Transform: tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Transform == "identity" {
+		t.Error("transformation plan not recorded")
+	}
+	gotSchema, gotRecs, err := m.Get("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSchema.Len() != 3 || gotSchema.IndexOf("salary") != 2 {
+		t.Errorf("projected schema = %s", gotSchema)
+	}
+	for i, r := range gotRecs {
+		if r.Field(2).Float() <= 100000 {
+			t.Errorf("filter atom not applied: %s", r)
+		}
+		if i > 0 && gotRecs[i-1].Field(2).Float() > r.Field(2).Float() {
+			t.Error("sort atom not applied")
+		}
+	}
+	if len(gotRecs) == 0 || len(gotRecs) == 100 {
+		t.Errorf("filter kept %d records", len(gotRecs))
+	}
+}
+
+func TestTransformErrorPropagates(t *testing.T) {
+	m, _ := newManager(t, 0)
+	schema, recs := taxSample(5)
+	tp := &storage.TransformationPlan{Steps: []storage.Transform{storage.Project("nonexistent")}}
+	if _, err := m.Put(storage.PutRequest{Dataset: "x", Schema: schema, Records: recs, Transform: tp}); err == nil {
+		t.Error("bad transformation accepted")
+	}
+}
+
+func TestHotBufferServesRepeatReads(t *testing.T) {
+	m, _ := newManager(t, 1<<30)
+	schema, recs := taxSample(50)
+	if _, err := m.Put(storage.PutRequest{Dataset: "h", Schema: schema, Records: recs}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := m.Get("h"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, bytes := m.HotBuffer().Stats()
+	if hits != 4 || misses != 1 {
+		t.Errorf("hot buffer hits=%d misses=%d", hits, misses)
+	}
+	if bytes <= 0 {
+		t.Error("hot buffer empty after reads")
+	}
+	// Overwrite invalidates.
+	if _, err := m.Put(storage.PutRequest{Dataset: "h", Schema: schema, Records: recs[:1]}); err != nil {
+		t.Fatal(err)
+	}
+	_, got, _ := m.Get("h")
+	if len(got) != 1 {
+		t.Errorf("stale hot buffer served %d records", len(got))
+	}
+}
+
+func TestManagerMove(t *testing.T) {
+	m, _ := newManager(t, 1<<30)
+	schema, recs := taxSample(30)
+	if _, err := m.Put(storage.PutRequest{Dataset: "mv", Schema: schema, Records: recs, Pin: memstore.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Move("mv", dfs.ID); err != nil {
+		t.Fatal(err)
+	}
+	if where, _ := m.Where("mv"); where != dfs.ID {
+		t.Errorf("Where after move = %s", where)
+	}
+	_, got, err := m.Get("mv")
+	if err != nil || len(got) != 30 {
+		t.Fatalf("read after move: %d, %v", len(got), err)
+	}
+	// Moving to the same store is a no-op; unknown store errors.
+	if err := m.Move("mv", dfs.ID); err != nil {
+		t.Errorf("same-store move: %v", err)
+	}
+	if err := m.Move("mv", "ghost"); err == nil {
+		t.Error("move to unknown store accepted")
+	}
+}
+
+func TestManagerDelete(t *testing.T) {
+	m, _ := newManager(t, 0)
+	schema, recs := taxSample(5)
+	if _, err := m.Put(storage.PutRequest{Dataset: "d", Schema: schema, Records: recs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Get("d"); !errors.Is(err, storage.ErrNotFound) {
+		t.Errorf("get after delete: %v", err)
+	}
+	if err := m.Delete("d"); !errors.Is(err, storage.ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestManagerDuplicateStore(t *testing.T) {
+	m := storage.NewManager(0, nil)
+	if err := m.Register(memstore.New(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(memstore.New(0)); err == nil {
+		t.Error("duplicate store accepted")
+	}
+	if len(m.Stores()) != 1 {
+		t.Error("Stores wrong")
+	}
+}

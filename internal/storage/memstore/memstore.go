@@ -1,0 +1,121 @@
+// Package memstore is the in-memory execution store: datasets live as
+// decoded record slices in driver memory. It is the fastest store by
+// far but capacity-bounded, which is what forces the placement
+// optimizer to send big datasets elsewhere.
+package memstore
+
+import (
+	"fmt"
+	"sync"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/data"
+	"rheem/internal/storage"
+)
+
+// ID is the store identifier.
+const ID storage.StoreID = "mem"
+
+// Store keeps datasets in memory.
+type Store struct {
+	mu       sync.RWMutex
+	capBytes int64
+	curBytes int64
+	objects  map[string]object
+}
+
+type object struct {
+	schema *data.Schema
+	recs   []data.Record
+	bytes  int64
+}
+
+// New returns a memory store bounded to capBytes (≤0 = unbounded).
+func New(capBytes int64) *Store {
+	return &Store{capBytes: capBytes, objects: make(map[string]object)}
+}
+
+// ID implements storage.Store.
+func (s *Store) ID() storage.StoreID { return ID }
+
+// Format implements storage.Store: records are already in the hub
+// format.
+func (s *Store) Format() channel.Format { return channel.Collection }
+
+// Cost implements storage.Store: memory accesses are essentially free
+// compared to the other stores.
+func (s *Store) Cost() storage.StoreCost {
+	return storage.StoreCost{ReadPerByteNS: 0.05, WritePerByteNS: 0.1}
+}
+
+// Fits implements storage.Store against the capacity bound.
+func (s *Store) Fits(bytes int64) bool {
+	if s.capBytes <= 0 {
+		return true
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.curBytes+bytes <= s.capBytes
+}
+
+// Write implements storage.Store.
+func (s *Store) Write(name string, schema *data.Schema, recs []data.Record) error {
+	bytes := data.TotalBytes(recs)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.objects[name]; ok {
+		s.curBytes -= old.bytes
+	}
+	if s.capBytes > 0 && s.curBytes+bytes > s.capBytes {
+		return fmt.Errorf("memstore: %q (%d bytes) exceeds capacity", name, bytes)
+	}
+	s.objects[name] = object{schema: schema, recs: data.CloneRecords(recs), bytes: bytes}
+	s.curBytes += bytes
+	return nil
+}
+
+// Read implements storage.Store.
+func (s *Store) Read(name string) (*data.Schema, []data.Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q in memstore", storage.ErrNotFound, name)
+	}
+	return o.schema, data.CloneRecords(o.recs), nil
+}
+
+// Delete implements storage.Store.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[name]
+	if !ok {
+		return fmt.Errorf("%w: %q in memstore", storage.ErrNotFound, name)
+	}
+	s.curBytes -= o.bytes
+	delete(s.objects, name)
+	return nil
+}
+
+// List implements storage.Store.
+func (s *Store) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.objects))
+	for n := range s.objects {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Stat implements storage.Store.
+func (s *Store) Stat(name string) (storage.Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[name]
+	if !ok {
+		return storage.Stats{}, fmt.Errorf("%w: %q in memstore", storage.ErrNotFound, name)
+	}
+	return storage.Stats{Records: int64(len(o.recs)), Bytes: o.bytes}, nil
+}

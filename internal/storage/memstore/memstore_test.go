@@ -1,0 +1,89 @@
+package memstore
+
+import (
+	"testing"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/data"
+)
+
+func words(n int) []data.Record {
+	out := make([]data.Record, n)
+	for i := range out {
+		out[i] = data.NewRecord(data.Str("wwwwwwwwwwwwwwww"))
+	}
+	return out
+}
+
+var schema = data.MustSchema(data.Field{Name: "w", Type: data.KindString})
+
+func TestCapacityEnforced(t *testing.T) {
+	one := data.TotalBytes(words(1))
+	s := New(3 * one)
+	if !s.Fits(2 * one) {
+		t.Error("Fits(2) false on empty store")
+	}
+	if err := s.Write("a", schema, words(2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fits(2 * one) {
+		t.Error("Fits(2) true with 1 slot left")
+	}
+	if err := s.Write("b", schema, words(2)); err == nil {
+		t.Error("over-capacity write accepted")
+	}
+	// Overwriting frees the old copy first.
+	if err := s.Write("a", schema, words(3)); err != nil {
+		t.Errorf("overwrite within capacity rejected: %v", err)
+	}
+}
+
+func TestUnboundedStore(t *testing.T) {
+	s := New(0)
+	if !s.Fits(1 << 40) {
+		t.Error("unbounded store refused a petabyte")
+	}
+}
+
+func TestReadIsolation(t *testing.T) {
+	s := New(0)
+	if err := s.Write("a", schema, words(2)); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := s.Read("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs[0] = data.NewRecord(data.Str("mutated"))
+	_, again, _ := s.Read("a")
+	if again[0].Field(0).Str() == "mutated" {
+		t.Error("Read exposed internal storage")
+	}
+}
+
+func TestFormatAndCost(t *testing.T) {
+	s := New(0)
+	if s.Format() != channel.Collection {
+		t.Error("format wrong")
+	}
+	if s.Cost().ReadCost(1<<20) >= s.Cost().WriteCost(1<<20)*10 {
+		t.Error("read cost implausible")
+	}
+	if s.ID() != ID {
+		t.Error("id wrong")
+	}
+}
+
+func TestDeleteFreesCapacity(t *testing.T) {
+	one := data.TotalBytes(words(1))
+	s := New(2 * one)
+	if err := s.Write("a", schema, words(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("b", schema, words(2)); err != nil {
+		t.Errorf("capacity not freed by delete: %v", err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package rheem is a Go implementation of RHEEM, the cross-platform
+// data analytics system envisioned in "Road to Freedom in Big Data
+// Analytics" (Agrawal et al., EDBT 2016).
+//
+// RHEEM frees analytic applications from being tied to a single data
+// processing platform. Tasks are written once against logical
+// operators (UDF templates over data quanta); a multi-platform
+// optimizer translates them through platform-independent physical
+// operators into execution operators on the platform — or combination
+// of platforms — predicted to be fastest, moving data across platform
+// boundaries through priced conversion channels.
+//
+// This implementation bundles three platforms: a single-node in-process
+// engine, a simulated Spark-like distributed engine, and a mini
+// relational engine (see DESIGN.md for the substitution rationale).
+// New platforms plug in through the engine.Platform SPI plus
+// declarative operator mappings, without touching the optimizer.
+//
+// # Quick start
+//
+//	ctx, _ := rheem.NewContext(rheem.Config{})
+//	job := ctx.NewJob("wordcount")
+//	out, _, err := job.ReadCollection(words).
+//		ReduceByKey(plan.FieldKey(0), countReducer).
+//		Collect()
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the
+// reproduction of the paper's figures.
+package rheem
+
+import (
+	"fmt"
+
+	"rheem/internal/core/engine"
+	"rheem/internal/core/executor"
+	"rheem/internal/core/optimizer"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+	"rheem/internal/platform/javaengine"
+	"rheem/internal/platform/relengine"
+	"rheem/internal/platform/sparksim"
+)
+
+// Config selects and tunes the bundled platforms. The zero value
+// enables all three with defaults.
+type Config struct {
+	DisableJava       bool
+	DisableSpark      bool
+	DisableRelational bool
+
+	Java       javaengine.Config
+	Spark      sparksim.Config
+	Relational relengine.Config
+	// DB shares an existing relational catalog with the context; nil
+	// creates a fresh one.
+	DB *relengine.DB
+}
+
+// Context owns the platform registry and is the entry point for
+// building and executing jobs. A Context is safe to reuse across jobs.
+type Context struct {
+	reg   *engine.Registry
+	java  *javaengine.Platform
+	spark *sparksim.Platform
+	rel   *relengine.Platform
+}
+
+// NewContext registers the configured platforms and their mappings.
+func NewContext(cfg Config) (*Context, error) {
+	c := &Context{reg: engine.NewRegistry()}
+	var err error
+	if !cfg.DisableJava {
+		if c.java, err = javaengine.Register(c.reg, cfg.Java); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.DisableSpark {
+		if c.spark, err = sparksim.Register(c.reg, cfg.Spark); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.DisableRelational {
+		if c.rel, err = relengine.Register(c.reg, cfg.DB, cfg.Relational); err != nil {
+			return nil, err
+		}
+	}
+	if len(c.reg.Platforms()) == 0 {
+		return nil, fmt.Errorf("rheem: no platforms enabled")
+	}
+	return c, nil
+}
+
+// Registry exposes the platform registry, through which additional
+// platforms and operator mappings can be plugged in.
+func (c *Context) Registry() *engine.Registry { return c.reg }
+
+// DB returns the relational platform's catalog, or nil if the platform
+// is disabled.
+func (c *Context) DB() *relengine.DB {
+	if c.rel == nil {
+		return nil
+	}
+	return c.rel.DB()
+}
+
+// SparkConfig returns the effective Spark-simulator configuration (for
+// experiment reporting); the second result is false if the platform is
+// disabled.
+func (c *Context) SparkConfig() (sparksim.Config, bool) {
+	if c.spark == nil {
+		return sparksim.Config{}, false
+	}
+	return c.spark.Config(), true
+}
+
+// RunOption customises one execution.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	opt  optimizer.Options
+	exec executor.Options
+}
+
+// OnPlatform pins the whole job to one platform — the single-platform
+// baselines of the experiments, and an escape hatch for users who know
+// better than the optimizer.
+func OnPlatform(id engine.PlatformID) RunOption {
+	return func(rc *runConfig) { rc.opt.FixedPlatform = id }
+}
+
+// WithMonitor subscribes to executor progress events.
+func WithMonitor(f func(executor.Event)) RunOption {
+	return func(rc *runConfig) { rc.exec.Monitor = f }
+}
+
+// WithMaxRetries overrides the executor's failure retry bound.
+func WithMaxRetries(n int) RunOption {
+	return func(rc *runConfig) { rc.exec.MaxRetries = n }
+}
+
+// WithoutRules disables optimizer rewrite rules for this run.
+func WithoutRules() RunOption {
+	return func(rc *runConfig) { rc.opt.DisableRules = true }
+}
+
+// WithReOptimize toggles adaptive re-optimization: when the executor's
+// cardinality audit exposes a gross estimation miss at an atom
+// boundary, the remaining plan is re-planned with the observed
+// statistics.
+func WithReOptimize(on bool) RunOption {
+	return func(rc *runConfig) { rc.exec.ReOptimize = on }
+}
+
+// Report describes how a job ran: the chosen execution plan and the
+// aggregate metrics (wall time, simulated cluster time, shuffled and
+// moved bytes, jobs, retries).
+type Report struct {
+	// Plan is the execution plan that finished the run (after adaptive
+	// re-optimization, the replacement plan).
+	Plan    *optimizer.ExecutionPlan
+	Metrics engine.Metrics
+	// Mismatches lists cardinality estimates the executor's audit
+	// flagged as grossly wrong.
+	Mismatches []executor.CardMismatch
+	// Reoptimized reports whether adaptive re-optimization replaced
+	// the plan mid-run.
+	Reoptimized bool
+}
+
+// Execute optimizes and runs a logical plan, returning the sink's
+// records and the run report.
+func (c *Context) Execute(p *plan.Plan, opts ...RunOption) ([]data.Record, *Report, error) {
+	var rc runConfig
+	for _, o := range opts {
+		o(&rc)
+	}
+	phys, err := physical.FromLogical(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	ep, err := optimizer.Optimize(phys, c.reg, rc.opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := executor.Run(ep, c.reg, rc.exec)
+	if err != nil {
+		return nil, &Report{Plan: ep}, err
+	}
+	finalPlan := res.FinalPlan
+	if finalPlan == nil {
+		finalPlan = ep
+	}
+	return res.Records, &Report{
+		Plan:        finalPlan,
+		Metrics:     res.Metrics,
+		Mismatches:  res.Mismatches,
+		Reoptimized: res.Reoptimized,
+	}, nil
+}
+
+// Explain optimizes a logical plan and renders the execution plan —
+// platform assignments, algorithms, task atoms — without running it.
+func (c *Context) Explain(p *plan.Plan, opts ...RunOption) (string, error) {
+	var rc runConfig
+	for _, o := range opts {
+		o(&rc)
+	}
+	phys, err := physical.FromLogical(p)
+	if err != nil {
+		return "", err
+	}
+	ep, err := optimizer.Optimize(phys, c.reg, rc.opt)
+	if err != nil {
+		return "", err
+	}
+	return ep.String(), nil
+}

@@ -1,0 +1,343 @@
+package rheem_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"rheem"
+	"rheem/internal/core/engine"
+	"rheem/internal/core/executor"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+	"rheem/internal/data/datagen"
+	"rheem/internal/platform/javaengine"
+	"rheem/internal/platform/relengine"
+	"rheem/internal/platform/sparksim"
+)
+
+// allPlatforms are the run configurations every correctness test is
+// repeated under: each platform pinned, plus free optimizer choice.
+var allPlatforms = []struct {
+	name string
+	opts []rheem.RunOption
+}{
+	{"java", []rheem.RunOption{rheem.OnPlatform(javaengine.ID)}},
+	{"spark", []rheem.RunOption{rheem.OnPlatform(sparksim.ID)}},
+	{"relational", []rheem.RunOption{rheem.OnPlatform(relengine.ID)}},
+	{"optimizer", nil},
+}
+
+func newCtx(t *testing.T) *rheem.Context {
+	t.Helper()
+	// Small overheads keep tests fast while still exercising the
+	// virtual clock.
+	ctx, err := rheem.NewContext(rheem.Config{
+		Spark: sparksim.Config{JobOverhead: 1e6, TaskOverhead: 1e5}, // 1ms, 0.1ms
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func sortedStrings(recs []data.Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertSameResult(t *testing.T, build func(*rheem.Job) *rheem.DataQuanta) {
+	t.Helper()
+	ctx := newCtx(t)
+	var want []string
+	for _, pc := range allPlatforms {
+		recs, rep, err := build(ctx.NewJob("t-" + pc.name)).Collect(pc.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", pc.name, err)
+		}
+		got := sortedStrings(recs)
+		if want == nil {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d records, want %d\n got: %v\nwant: %v", pc.name, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: record %d = %s, want %s", pc.name, i, got[i], want[i])
+			}
+		}
+		if rep.Metrics.Jobs < 1 {
+			t.Errorf("%s: no jobs recorded", pc.name)
+		}
+		if rep.Metrics.Sim <= 0 {
+			t.Errorf("%s: simulated time not accounted", pc.name)
+		}
+	}
+}
+
+func TestWordCountAllPlatforms(t *testing.T) {
+	words := datagen.Words(500, 1)
+	assertSameResult(t, func(j *rheem.Job) *rheem.DataQuanta {
+		return j.ReadCollection("words", words).
+			Map(func(r data.Record) (data.Record, error) {
+				return r.Append(data.Int(1)), nil
+			}).
+			ReduceByKey(plan.FieldKey(0), plan.SumField(1))
+	})
+}
+
+func TestFilterSortAllPlatforms(t *testing.T) {
+	recs := datagen.ZipfInts(300, 50, 3)
+	assertSameResult(t, func(j *rheem.Job) *rheem.DataQuanta {
+		return j.ReadCollection("ints", recs).
+			Filter(func(r data.Record) (bool, error) {
+				return r.Field(0).Int()%2 == 0, nil
+			}, 0.5).
+			Distinct().
+			Sort(plan.FieldKey(0), false)
+	})
+}
+
+func TestJoinAllPlatforms(t *testing.T) {
+	var left, right []data.Record
+	for i := int64(0); i < 60; i++ {
+		left = append(left, data.NewRecord(data.Int(i%10), data.Int(i)))
+	}
+	for i := int64(0); i < 20; i++ {
+		right = append(right, data.NewRecord(data.Int(i%10), data.Str("r")))
+	}
+	assertSameResult(t, func(j *rheem.Job) *rheem.DataQuanta {
+		l := j.ReadCollection("l", left)
+		r := j.ReadCollection("r", right)
+		return l.Join(r, plan.FieldKey(0), plan.FieldKey(0))
+	})
+}
+
+func TestThetaJoinIEConditionsAllPlatforms(t *testing.T) {
+	var left, right []data.Record
+	for i := int64(0); i < 40; i++ {
+		left = append(left, data.NewRecord(data.Int(i%13), data.Int((i*7)%11)))
+		right = append(right, data.NewRecord(data.Int(i%7), data.Int(i%5)))
+	}
+	conds := []plan.IECondition{
+		{LeftField: 0, Op: plan.Greater, RightField: 0},
+		{LeftField: 1, Op: plan.Less, RightField: 1},
+	}
+	assertSameResult(t, func(j *rheem.Job) *rheem.DataQuanta {
+		l := j.ReadCollection("l", left)
+		r := j.ReadCollection("r", right)
+		return l.ThetaJoin(r, nil, conds...)
+	})
+}
+
+func TestCartesianCountAllPlatforms(t *testing.T) {
+	a := datagen.Words(15, 5)
+	b := datagen.Words(11, 6)
+	assertSameResult(t, func(j *rheem.Job) *rheem.DataQuanta {
+		return j.ReadCollection("a", a).
+			Cartesian(j.ReadCollection("b", b)).
+			Count()
+	})
+}
+
+func TestUnionGroupByAllPlatforms(t *testing.T) {
+	a := datagen.ZipfInts(100, 10, 7)
+	b := datagen.ZipfInts(80, 10, 8)
+	assertSameResult(t, func(j *rheem.Job) *rheem.DataQuanta {
+		return j.ReadCollection("a", a).
+			Union(j.ReadCollection("b", b)).
+			GroupBy(plan.FieldKey(0), func(k data.Value, grp []data.Record) ([]data.Record, error) {
+				return []data.Record{data.NewRecord(k, data.Int(int64(len(grp))))}, nil
+			}).
+			Sort(plan.FieldKey(0), false)
+	})
+}
+
+func TestRepeatLoopAllPlatforms(t *testing.T) {
+	// State: single record holding a counter; the body increments it.
+	init := []data.Record{data.NewRecord(data.Int(0))}
+	assertSameResult(t, func(j *rheem.Job) *rheem.DataQuanta {
+		return j.ReadCollection("init", init).
+			Repeat(7, func(_ *rheem.LoopBody, state *rheem.DataQuanta) *rheem.DataQuanta {
+				return state.Map(func(r data.Record) (data.Record, error) {
+					return data.NewRecord(data.Int(r.Field(0).Int() + 1)), nil
+				})
+			})
+	})
+	// And explicitly check the value.
+	ctx := newCtx(t)
+	recs, _, err := ctx.NewJob("repeat").ReadCollection("init", init).
+		Repeat(7, func(_ *rheem.LoopBody, state *rheem.DataQuanta) *rheem.DataQuanta {
+			return state.Map(func(r data.Record) (data.Record, error) {
+				return data.NewRecord(data.Int(r.Field(0).Int() + 1)), nil
+			})
+		}).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Field(0).Int() != 7 {
+		t.Fatalf("loop result = %v", recs)
+	}
+}
+
+func TestDoWhileLoop(t *testing.T) {
+	ctx := newCtx(t)
+	init := []data.Record{data.NewRecord(data.Int(1))}
+	recs, _, err := ctx.NewJob("dowhile").ReadCollection("init", init).
+		DoWhile(func(_ int, state []data.Record) (bool, error) {
+			return state[0].Field(0).Int() < 100, nil
+		}, 50, func(_ *rheem.LoopBody, state *rheem.DataQuanta) *rheem.DataQuanta {
+			return state.Map(func(r data.Record) (data.Record, error) {
+				return data.NewRecord(data.Int(r.Field(0).Int() * 2)), nil
+			})
+		}).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 →2→4→...→128 (first value ≥ 100 stops the loop).
+	if len(recs) != 1 || recs[0].Field(0).Int() != 128 {
+		t.Fatalf("dowhile result = %v", recs)
+	}
+}
+
+func TestLoopBodyWithSource(t *testing.T) {
+	// The body joins loop state (a threshold) with data read inside the
+	// body — the broadcast-style pattern the ML application uses.
+	points := datagen.ZipfInts(50, 30, 9)
+	ctx := newCtx(t)
+	init := []data.Record{data.NewRecord(data.Int(0))}
+	recs, _, err := ctx.NewJob("bodysource").ReadCollection("init", init).
+		Repeat(3, func(lb *rheem.LoopBody, state *rheem.DataQuanta) *rheem.DataQuanta {
+			pts := lb.ReadCollection("points", points)
+			// state × points, keep the max point value seen, add 1.
+			return state.Cartesian(pts).
+				Reduce(plan.MaxByField(1)).
+				Map(func(r data.Record) (data.Record, error) {
+					return data.NewRecord(data.Int(r.Field(1).Int() + 1)), nil
+				})
+		}).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxVal int64
+	for _, p := range points {
+		if p.Field(0).Int() > maxVal {
+			maxVal = p.Field(0).Int()
+		}
+	}
+	if len(recs) != 1 || recs[0].Field(0).Int() != maxVal+1 {
+		t.Fatalf("body-source loop = %v, want %d", recs, maxVal+1)
+	}
+}
+
+func TestExplainShowsAtomsAndAlgorithms(t *testing.T) {
+	ctx := newCtx(t)
+	recs := datagen.ZipfInts(1000, 20, 2)
+	j := ctx.NewJob("explain")
+	q := j.ReadCollection("in", recs).
+		ReduceByKey(plan.FieldKey(0), plan.SumField(0)).
+		Sort(plan.FieldKey(0), false)
+	p, err := q.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.Explain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "atom#") {
+		t.Errorf("Explain lacks atoms:\n%s", out)
+	}
+	if !strings.Contains(out, "groupby") && !strings.Contains(out, "GroupBy") && !strings.Contains(out, "ReduceByKey") {
+		t.Errorf("Explain lacks operators:\n%s", out)
+	}
+}
+
+func TestMonitorEvents(t *testing.T) {
+	ctx := newCtx(t)
+	var starts, dones int
+	_, _, err := ctx.NewJob("mon").
+		ReadCollection("in", datagen.Words(50, 3)).
+		Distinct().
+		Collect(rheem.WithMonitor(func(e executor.Event) {
+			switch e.Kind {
+			case executor.EventAtomStart:
+				starts++
+			case executor.EventAtomDone:
+				dones++
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starts == 0 || dones != starts {
+		t.Errorf("monitor saw %d starts, %d dones", starts, dones)
+	}
+}
+
+func TestOptimizerPrefersJavaForTinyInput(t *testing.T) {
+	// A tiny input with per-job Spark overhead should land on the
+	// single-node engine under free choice.
+	ctx, err := rheem.NewContext(rheem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := datagen.Words(100, 4)
+	j := ctx.NewJob("tiny")
+	p, err := j.ReadCollection("in", recs).
+		Map(func(r data.Record) (data.Record, error) { return r, nil }).Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.Explain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "@spark") {
+		t.Errorf("tiny input scheduled on spark:\n%s", out)
+	}
+}
+
+func TestCrossJobCombineRejected(t *testing.T) {
+	ctx := newCtx(t)
+	a := ctx.NewJob("a").ReadCollection("x", datagen.Words(5, 1))
+	b := ctx.NewJob("b").ReadCollection("y", datagen.Words(5, 2))
+	if _, _, err := a.Union(b).Collect(); err == nil {
+		t.Error("union across jobs accepted")
+	}
+}
+
+func TestContextRequiresAPlatform(t *testing.T) {
+	_, err := rheem.NewContext(rheem.Config{DisableJava: true, DisableSpark: true, DisableRelational: true})
+	if err == nil {
+		t.Error("context without platforms accepted")
+	}
+}
+
+func TestPlatformRegistryExposed(t *testing.T) {
+	ctx := newCtx(t)
+	if len(ctx.Registry().Platforms()) != 3 {
+		t.Errorf("got %d platforms", len(ctx.Registry().Platforms()))
+	}
+	if ctx.DB() == nil {
+		t.Error("relational catalog not exposed")
+	}
+	if _, ok := ctx.SparkConfig(); !ok {
+		t.Error("spark config not exposed")
+	}
+	ids := map[engine.PlatformID]bool{}
+	for _, p := range ctx.Registry().Platforms() {
+		ids[p.ID()] = true
+	}
+	for _, want := range []engine.PlatformID{javaengine.ID, sparksim.ID, relengine.ID} {
+		if !ids[want] {
+			t.Errorf("platform %s missing", want)
+		}
+	}
+}
