@@ -5,12 +5,15 @@
 package rheem_test
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"rheem"
 	"rheem/internal/apps/cleaning"
 	"rheem/internal/apps/graph"
 	"rheem/internal/apps/ml"
+	"rheem/internal/bench"
 	"rheem/internal/core/engine"
 	"rheem/internal/core/plan"
 	"rheem/internal/data"
@@ -213,6 +216,31 @@ func BenchmarkOptimizeOnly(b *testing.B) {
 		if _, err := ctx.Explain(p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- E8 / concurrent DAG scheduler ----------------------------------------
+
+// BenchmarkExecutorParallelism runs the wide fan-out diamond (8 map
+// branches pinned across platforms, per-record work in each branch) at
+// different scheduler worker-pool bounds. Parallelism 1 reproduces the
+// sequential executor; higher bounds overlap independent atoms.
+func BenchmarkExecutorParallelism(b *testing.B) {
+	ctx := benchCtx(b)
+	const branches, recs = 8, 20
+	const delay = 500 * time.Microsecond
+	for _, par := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunFanOut(ctx.Registry(), branches, recs, delay, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Records) != branches*recs {
+					b.Fatalf("%d records", len(res.Records))
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rheem/internal/core/engine"
+	"rheem/internal/core/executor"
+	"rheem/internal/core/optimizer"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+	"rheem/internal/platform/javaengine"
+	"rheem/internal/platform/relengine"
+	"rheem/internal/platform/sparksim"
+)
+
+func init() {
+	register("parallelism", parallelism)
+}
+
+// FanOutPlan builds the concurrent-scheduler workload: one source
+// fanning out into `branches` independent map branches (each sleeping
+// `delay` per record to stand in for real per-tuple work), folded back
+// through a union chain into the sink. The shape is a wide diamond —
+// exactly the inter-atom parallelism the executor's DAG scheduler is
+// built to exploit.
+func FanOutPlan(branches, recs int, delay time.Duration) (*physical.Plan, error) {
+	b := plan.NewBuilder("fanout")
+	src := make([]data.Record, recs)
+	for i := range src {
+		src[i] = data.NewRecord(data.Int(int64(i)))
+	}
+	s := b.Source("src", plan.Collection(src))
+	s.CardHint = int64(recs)
+	var outs []*plan.Operator
+	for i := 0; i < branches; i++ {
+		off := int64(i)
+		outs = append(outs, b.Map(s, func(r data.Record) (data.Record, error) {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			return data.NewRecord(data.Int(r.Field(0).Int()*int64(branches) + off)), nil
+		}))
+	}
+	u := outs[0]
+	for _, o := range outs[1:] {
+		u = b.Union(u, o)
+	}
+	b.Collect(u)
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return physical.FromLogical(p)
+}
+
+// FanOutAssignments pins the diamond across platforms so it cannot
+// fuse into a single atom: source, unions and sink on the relational
+// engine, map branches alternating between java and spark. The
+// execution plan then has branches+2 task atoms.
+func FanOutAssignments(pp *physical.Plan) map[int]engine.PlatformID {
+	fa := make(map[int]engine.PlatformID, len(pp.Ops))
+	branch := 0
+	for _, op := range pp.Ops {
+		if op.Kind() == plan.KindMap {
+			if branch%2 == 0 {
+				fa[op.ID] = javaengine.ID
+			} else {
+				fa[op.ID] = sparksim.ID
+			}
+			branch++
+		} else {
+			fa[op.ID] = relengine.ID
+		}
+	}
+	return fa
+}
+
+// RunFanOut optimizes a fresh fan-out plan against the registry and
+// executes it at the given scheduler parallelism.
+func RunFanOut(reg *engine.Registry, branches, recs int, delay time.Duration, par int) (*executor.Result, error) {
+	pp, err := FanOutPlan(branches, recs, delay)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := optimizer.Optimize(pp, reg, optimizer.Options{
+		DisableRules:      true,
+		ForcedAssignments: FanOutAssignments(pp),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return executor.Run(ep, reg, executor.Options{Parallelism: par})
+}
+
+// parallelism measures the executor's concurrent DAG scheduler on the
+// wide fan-out diamond: wall time at parallelism 1 (the sequential
+// executor) versus bounded worker pools. Records and job counts must
+// not change with parallelism — only the wall clock does.
+func parallelism(cfg Config) ([]*Table, error) {
+	ctx, err := newCtx()
+	if err != nil {
+		return nil, err
+	}
+	branches, recs, delay := 8, 100, 2*time.Millisecond
+	if cfg.Quick {
+		recs, delay = 10, 500*time.Microsecond
+	}
+	t := &Table{
+		Title: fmt.Sprintf("E8 — concurrent DAG scheduler (%d branches × %s records, %v work per record)",
+			branches, Count(recs), delay),
+		Note:    "The same multi-platform diamond executed with different worker-pool bounds; records and job counts are invariant, wall time shrinks with available parallelism.",
+		Columns: []string{"parallelism", "wall", "sim", "jobs", "speedup"},
+	}
+	var base time.Duration
+	for _, par := range []int{1, 2, 4, 8} {
+		cfg.logf("parallelism: par=%d", par)
+		res, err := RunFanOut(ctx.Registry(), branches, recs, delay, par)
+		if err != nil {
+			return nil, err
+		}
+		wall := res.Metrics.Wall
+		if par == 1 {
+			base = wall
+		}
+		t.AddRow(fmt.Sprint(par), Dur(wall), Dur(res.Metrics.Sim),
+			fmt.Sprint(res.Metrics.Jobs), Speedup(base, wall))
+	}
+	return []*Table{t}, nil
+}

@@ -16,6 +16,7 @@ package channel
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"rheem/internal/data"
@@ -93,8 +94,11 @@ func (c Converter) cost(bytes int64) time.Duration {
 
 // Registry is the conversion graph. Platforms and stores register
 // converters for their formats at startup; the optimizer prices paths
-// and the executor executes them.
+// and the executor executes them — concurrently, when independent
+// atoms convert their inputs in parallel, so the graph is guarded by
+// a read-write lock.
 type Registry struct {
+	mu    sync.RWMutex
 	edges map[Format][]Converter
 }
 
@@ -105,6 +109,8 @@ func NewRegistry() *Registry {
 
 // Register adds a converter edge.
 func (r *Registry) Register(c Converter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.edges[c.From] = append(r.edges[c.From], c)
 }
 
@@ -144,8 +150,11 @@ func (r *Registry) Convert(ch *Channel, to Format) (*Channel, time.Duration, int
 
 // shortestPath runs Dijkstra over the (tiny) format graph. The volume
 // is assumed preserved along the chain, which is accurate enough for
-// pricing.
+// pricing. The returned converters are executed by the caller without
+// the lock held — converter functions may themselves use the registry.
 func (r *Registry) shortestPath(from, to Format, bytes int64) ([]Converter, time.Duration, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	type state struct {
 		cost time.Duration
 		via  []Converter
@@ -187,6 +196,8 @@ func (r *Registry) shortestPath(from, to Format, bytes int64) ([]Converter, time
 // Formats returns all formats reachable as sources of converter edges,
 // for diagnostics.
 func (r *Registry) Formats() []Format {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]Format, 0, len(r.edges))
 	for f := range r.edges {
 		out = append(out, f)

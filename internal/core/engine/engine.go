@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"rheem/internal/core/channel"
@@ -143,6 +144,15 @@ type Platform interface {
 	// ExecuteAtom runs a compute atom: it converts nothing (inputs
 	// arrive already in native format), executes the atom's operators
 	// in order, and returns a native-format channel per exit operator.
+	//
+	// ExecuteAtom MUST be safe for concurrent calls: the executor
+	// schedules independent atoms in parallel, so any state shared
+	// across executions (a table catalog, stage accounting, caches)
+	// has to be synchronized by the platform. Per-execution state
+	// should live in a per-call value, the way the bundled platforms
+	// allocate a fresh DatasetOps per atom. Input channels may be
+	// shared with concurrently executing atoms and must be treated as
+	// immutable.
 	ExecuteAtom(ctx context.Context, atom *TaskAtom, inputs AtomInputs) (map[int]*channel.Channel, Metrics, error)
 	// RegisterConverters adds the platform's channel converters
 	// (native ↔ Collection at minimum) to the conversion graph.
@@ -164,8 +174,11 @@ type Mapping struct {
 // Registry holds the registered platforms, their declarative operator
 // mappings, and the shared channel-conversion graph. It is the single
 // source the optimizer and executor consult; applications never talk
-// to platforms directly.
+// to platforms directly. Lookups and registrations are safe for
+// concurrent use — the executor resolves platforms and mappings from
+// many scheduler goroutines at once.
 type Registry struct {
+	mu        sync.RWMutex
 	platforms map[PlatformID]Platform
 	order     []PlatformID
 	mappings  []Mapping
@@ -182,6 +195,8 @@ func NewRegistry() *Registry {
 
 // RegisterPlatform adds a platform and its channel converters.
 func (r *Registry) RegisterPlatform(p Platform) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, dup := r.platforms[p.ID()]; dup {
 		return fmt.Errorf("engine: platform %q registered twice", p.ID())
 	}
@@ -194,6 +209,8 @@ func (r *Registry) RegisterPlatform(p Platform) error {
 // RegisterMapping adds a declarative operator mapping. The platform
 // must already be registered.
 func (r *Registry) RegisterMapping(m Mapping) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, ok := r.platforms[m.Platform]; !ok {
 		return fmt.Errorf("engine: mapping for unknown platform %q", m.Platform)
 	}
@@ -206,12 +223,16 @@ func (r *Registry) RegisterMapping(m Mapping) error {
 
 // Platform resolves a platform by id.
 func (r *Registry) Platform(id PlatformID) (Platform, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	p, ok := r.platforms[id]
 	return p, ok
 }
 
 // Platforms returns all platforms in registration order.
 func (r *Registry) Platforms() []Platform {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]Platform, 0, len(r.order))
 	for _, id := range r.order {
 		out = append(out, r.platforms[id])
@@ -223,6 +244,8 @@ func (r *Registry) Platforms() []Platform {
 // pair, falling back to the platform's Default-algorithm mapping for
 // the kind when no exact algorithm match exists.
 func (r *Registry) MappingFor(p PlatformID, kind plan.OpKind, algo physical.Algorithm) (Mapping, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var fallback Mapping
 	haveFallback := false
 	for _, m := range r.mappings {
@@ -241,6 +264,8 @@ func (r *Registry) MappingFor(p PlatformID, kind plan.OpKind, algo physical.Algo
 
 // PlatformsFor lists platforms declaring any mapping for the kind.
 func (r *Registry) PlatformsFor(kind plan.OpKind) []PlatformID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	seen := map[PlatformID]bool{}
 	var out []PlatformID
 	for _, id := range r.order {
@@ -262,6 +287,8 @@ func (r *Registry) Channels() *channel.Registry { return r.channels }
 // paper envisions mappings as first-class declarative data the
 // optimizer consumes (§3.1, §8.1); this is that data, made inspectable.
 func (r *Registry) DescribeMappings() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var sb strings.Builder
 	for _, id := range r.order {
 		for _, m := range r.mappings {

@@ -5,18 +5,25 @@
 // plan execution, (iii) coping with failures, and (iv) aggregating and
 // returning results to users".
 //
-// Concretely it walks the task atoms in topological order, inserts
-// channel conversions at every cross-platform edge (performing the
-// data movement the optimizer priced), retries failed atom executions
-// up to a bound, unrolls loop atoms by repeatedly executing the loop
-// body's execution plan (charging the body platform's per-job overhead
-// every iteration — the mechanism behind the paper's Figure 2), emits
-// monitoring events, and aggregates metrics and the sink's records.
+// Concretely it schedules the task atoms concurrently as their data
+// dependencies resolve (see scheduler.go): independent atoms — the two
+// scan legs of a join, sibling branches of a fan-out — overlap on a
+// bounded worker pool, while every atom still sees exactly the input
+// channels the sequential executor would have handed it. Channel
+// conversions are inserted at every cross-platform edge (performing
+// the data movement the optimizer priced), failed atom executions are
+// retried up to a bound, loop atoms are unrolled by repeatedly
+// executing the loop body's execution plan (charging the body
+// platform's per-job overhead every iteration — the mechanism behind
+// the paper's Figure 2), monitoring events are emitted, and metrics
+// and the sink's records are aggregated.
 package executor
 
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"time"
 
 	"rheem/internal/core/channel"
 	"rheem/internal/core/cost"
@@ -37,24 +44,38 @@ const (
 	EventAtomRetry
 	EventLoopIteration
 	EventPlanDone
+	// EventReplan reports that adaptive re-optimization replaced the
+	// remaining execution plan mid-run.
+	EventReplan
 )
 
-// Event is one monitoring notification.
+// Event is one monitoring notification. Monitor callbacks are
+// serialized: the executor never invokes the monitor from two
+// goroutines at once, and events of one atom arrive in that atom's
+// program order (start, retries in attempt order, done).
 type Event struct {
 	Kind      EventKind
 	Atom      *engine.TaskAtom
 	Iteration int
-	Metrics   engine.Metrics
-	Err       error
+	// Attempt numbers the failed execution attempt on EventAtomRetry
+	// events, starting at 1; per atom it is strictly increasing.
+	Attempt int
+	Metrics engine.Metrics
+	Err     error
 }
 
 // Options configures a run.
 type Options struct {
 	// Context cancels execution between (and inside) atoms.
 	Context context.Context
+	// Parallelism bounds how many task atoms execute concurrently
+	// (default runtime.NumCPU()). 1 reproduces the sequential
+	// executor: atoms run one at a time in topological order.
+	Parallelism int
 	// MaxRetries bounds re-executions of a failed atom (default 2).
 	MaxRetries int
-	// Monitor, when set, receives progress events synchronously.
+	// Monitor, when set, receives progress events. Calls are
+	// serialized; the callback itself need not be thread-safe.
 	Monitor func(Event)
 	// AuditFactor flags operators whose actual output cardinality is
 	// off the optimizer's estimate by more than this factor in either
@@ -64,15 +85,18 @@ type Options struct {
 	AuditFactor float64
 	// ReOptimize enables adaptive re-optimization: when the audit
 	// flags a gross cardinality mismatch at a top-level atom boundary,
-	// the executor re-plans the remaining operators with the observed
-	// cardinalities, keeping completed atoms frozen. At most one
-	// re-optimization happens per run.
+	// the executor quiesces in-flight atoms and re-plans the remaining
+	// operators with the observed cardinalities, keeping completed
+	// atoms frozen. At most one re-optimization happens per run.
 	ReOptimize bool
 }
 
 func (o *Options) defaults() {
 	if o.Context == nil {
 		o.Context = context.Background()
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
 	}
 	if o.MaxRetries == 0 {
 		o.MaxRetries = 2
@@ -95,7 +119,9 @@ type CardMismatch struct {
 type Result struct {
 	// Records is the sink's output, converted to driver records.
 	Records []data.Record
-	// Metrics is the whole-plan aggregate.
+	// Metrics is the whole-plan aggregate. Its Wall is the run's
+	// elapsed host time — under concurrent scheduling that is less
+	// than the sum of the per-atom Wall values in AtomMetrics.
 	Metrics engine.Metrics
 	// AtomMetrics holds per-atom aggregates, keyed by atom ID of the
 	// top-level plan.
@@ -114,13 +140,18 @@ type Result struct {
 // Run executes an optimized plan over the registry's platforms.
 func Run(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts Options) (*Result, error) {
 	opts.defaults()
-	res := &Result{AtomMetrics: make(map[int]engine.Metrics)}
+	ctx, cancel := context.WithCancel(opts.Context)
+	defer cancel()
+	opts.Context = ctx
+
+	start := time.Now()
+	res := &Result{AtomMetrics: make(map[int]engine.Metrics), FinalPlan: ep}
+	st := &runState{cancel: cancel, res: res, audited: map[int]bool{}}
 	channels := make(map[int]*channel.Channel)
-	audited := map[int]bool{}
-	res.FinalPlan = ep
-	if err := runPlan(ep, reg, &opts, res, channels, audited, true); err != nil {
+	if err := runPlan(ep, reg, &opts, st, channels, true); err != nil {
 		return nil, err
 	}
+	// All atoms have drained; the remaining accesses are single-threaded.
 	ep = res.FinalPlan
 	sinkCh := channels[ep.Physical.SinkOp.ID]
 	if sinkCh == nil {
@@ -137,54 +168,20 @@ func Run(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts Options) (*Resu
 		return nil, err
 	}
 	res.Records = recs
-	emit(&opts, Event{Kind: EventPlanDone, Metrics: res.Metrics})
+	res.Metrics.Wall = time.Since(start)
+	emit(&opts, st, Event{Kind: EventPlanDone, Metrics: res.Metrics})
 	return res, nil
 }
 
-func emit(opts *Options, e Event) {
-	if opts.Monitor != nil {
-		opts.Monitor(e)
+// emit delivers one monitoring event; st.monMu serializes delivery so
+// user callbacks never run concurrently.
+func emit(opts *Options, st *runState, e Event) {
+	if opts.Monitor == nil {
+		return
 	}
-}
-
-// runPlan executes one execution plan's atoms against a shared channel
-// map (loop bodies are nested runPlan calls with the LoopInput channel
-// pre-seeded).
-func runPlan(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, res *Result, channels map[int]*channel.Channel, audited map[int]bool, topLevel bool) error {
-	for i := 0; i < len(ep.Atoms); i++ {
-		atom := ep.Atoms[i]
-		if err := opts.Context.Err(); err != nil {
-			return err
-		}
-		if atomDone(atom, channels) {
-			continue // outputs already available (re-optimized run)
-		}
-		mismatchesBefore := len(res.Mismatches)
-		switch atom.Kind {
-		case engine.AtomLoop:
-			if err := runLoop(ep, atom, reg, opts, res, channels, audited); err != nil {
-				return err
-			}
-		default:
-			if err := runComputeAtom(atom, ep.Estimates, reg, opts, res, channels, audited); err != nil {
-				return err
-			}
-		}
-		// Adaptive re-optimization: gross estimate misses at a
-		// top-level atom boundary trigger one re-planning of the
-		// remaining work with observed statistics.
-		if topLevel && opts.ReOptimize && !res.Reoptimized && len(res.Mismatches) > mismatchesBefore {
-			newEP, err := reoptimize(ep, reg, opts, channels)
-			if err != nil {
-				return fmt.Errorf("executor: re-optimization: %w", err)
-			}
-			res.Reoptimized = true
-			res.FinalPlan = newEP
-			ep = newEP
-			i = -1 // restart; completed atoms are skipped via atomDone
-		}
-	}
-	return nil
+	st.monMu.Lock()
+	defer st.monMu.Unlock()
+	opts.Monitor(e)
 }
 
 // atomDone reports whether every output the atom owes the rest of the
@@ -207,7 +204,8 @@ func atomDone(atom *engine.TaskAtom, channels map[int]*channel.Channel) bool {
 // reoptimize re-plans the physical plan with observed cardinalities:
 // operators whose outputs exist keep their platforms and are frozen
 // into skippable atoms; everything downstream is re-costed and may
-// move to a different platform.
+// move to a different platform. The caller must have quiesced all
+// in-flight atoms — reoptimize reads the channel map unlocked.
 func reoptimize(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, channels map[int]*channel.Channel) (*optimizer.ExecutionPlan, error) {
 	overrides := map[int]int64{}
 	for id, ch := range channels {
@@ -240,7 +238,11 @@ func reoptimize(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options
 
 // runComputeAtom gathers external inputs (converting formats as
 // needed), executes the atom with retries, and publishes exit channels.
-func runComputeAtom(atom *engine.TaskAtom, est *cost.Estimates, reg *engine.Registry, opts *Options, res *Result, channels map[int]*channel.Channel, audited map[int]bool) error {
+// It may run concurrently with other atoms: the shared channel map and
+// Result are touched only under st.mu, and the platform call itself
+// runs unlocked (Platform.ExecuteAtom must be safe for concurrent
+// calls — see engine.Platform).
+func runComputeAtom(atom *engine.TaskAtom, est *cost.Estimates, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel) error {
 	platform, ok := reg.Platform(atom.Platform)
 	if !ok {
 		return fmt.Errorf("executor: unknown platform %q", atom.Platform)
@@ -252,7 +254,9 @@ func runComputeAtom(atom *engine.TaskAtom, est *cost.Estimates, reg *engine.Regi
 			if atom.Contains(in.ID) {
 				continue
 			}
+			st.mu.Lock()
 			src := channels[in.ID]
+			st.mu.Unlock()
 			if src == nil {
 				return fmt.Errorf("executor: %s needs output of op %d which is not available", atom, in.ID)
 			}
@@ -272,7 +276,7 @@ func runComputeAtom(atom *engine.TaskAtom, est *cost.Estimates, reg *engine.Regi
 		}
 	}
 
-	emit(opts, Event{Kind: EventAtomStart, Atom: atom})
+	emit(opts, st, Event{Kind: EventAtomStart, Atom: atom})
 	var exits map[int]*channel.Channel
 	var m engine.Metrics
 	var err error
@@ -282,38 +286,43 @@ func runComputeAtom(atom *engine.TaskAtom, est *cost.Estimates, reg *engine.Regi
 			break
 		}
 		moveMetrics.Retries++
-		emit(opts, Event{Kind: EventAtomRetry, Atom: atom, Err: err, Metrics: m})
-		res.Metrics.Add(m) // failed attempts still cost time
+		emit(opts, st, Event{Kind: EventAtomRetry, Atom: atom, Attempt: attempt + 1, Err: err, Metrics: m})
+		st.mu.Lock()
+		st.res.Metrics.Add(m) // failed attempts still cost time
+		st.mu.Unlock()
 	}
 	m.Add(moveMetrics)
 	if err != nil {
-		emit(opts, Event{Kind: EventAtomDone, Atom: atom, Err: err, Metrics: m})
+		emit(opts, st, Event{Kind: EventAtomDone, Atom: atom, Err: err, Metrics: m})
 		return fmt.Errorf("executor: %s failed after retries: %w", atom, err)
 	}
-	res.Metrics.Add(m)
-	am := res.AtomMetrics[atom.ID]
+	st.mu.Lock()
+	st.res.Metrics.Add(m)
+	am := st.res.AtomMetrics[atom.ID]
 	am.Add(m)
-	res.AtomMetrics[atom.ID] = am
-	emit(opts, Event{Kind: EventAtomDone, Atom: atom, Metrics: m})
+	st.res.AtomMetrics[atom.ID] = am
 	for id, ch := range exits {
 		channels[id] = ch
 	}
-	auditCards(atom, est, exits, opts, res, audited)
+	auditCardsLocked(atom, est, exits, opts, st)
+	st.mu.Unlock()
+	emit(opts, st, Event{Kind: EventAtomDone, Atom: atom, Metrics: m})
 	return nil
 }
 
-// auditCards compares observed exit cardinalities against the
-// optimizer's estimates and records gross mismatches.
-func auditCards(atom *engine.TaskAtom, est *cost.Estimates, exits map[int]*channel.Channel, opts *Options, res *Result, audited map[int]bool) {
+// auditCardsLocked compares observed exit cardinalities against the
+// optimizer's estimates and records gross mismatches. The caller holds
+// st.mu.
+func auditCardsLocked(atom *engine.TaskAtom, est *cost.Estimates, exits map[int]*channel.Channel, opts *Options, st *runState) {
 	if opts.AuditFactor <= 1 || est == nil {
 		return
 	}
 	for _, ex := range atom.Exits {
 		ch := exits[ex.ID]
-		if ch == nil || ch.Records < 0 || audited[ex.ID] {
+		if ch == nil || ch.Records < 0 || st.audited[ex.ID] {
 			continue
 		}
-		audited[ex.ID] = true
+		st.audited[ex.ID] = true
 		estimate := est.Cards[ex.ID]
 		actual := ch.Records
 		lo, hi := estimate, actual
@@ -324,7 +333,7 @@ func auditCards(atom *engine.TaskAtom, est *cost.Estimates, exits map[int]*chann
 			lo = 1
 		}
 		if float64(hi)/float64(lo) > opts.AuditFactor {
-			res.Mismatches = append(res.Mismatches, CardMismatch{
+			st.res.Mismatches = append(st.res.Mismatches, CardMismatch{
 				OpName: ex.Name(), Estimated: estimate, Actual: actual,
 			})
 		}
@@ -334,7 +343,9 @@ func auditCards(atom *engine.TaskAtom, est *cost.Estimates, exits map[int]*chann
 // runLoop unrolls a Repeat/DoWhile atom: each iteration executes the
 // body's execution plan with the LoopInput channel bound to the
 // current state, then feeds the body output back as the next state.
-func runLoop(ep *optimizer.ExecutionPlan, atom *engine.TaskAtom, reg *engine.Registry, opts *Options, res *Result, channels map[int]*channel.Channel, audited map[int]bool) error {
+// Iterations stay strictly sequential, but each iteration's body plan
+// runs under the same concurrent scheduler as the top level.
+func runLoop(ep *optimizer.ExecutionPlan, atom *engine.TaskAtom, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel) error {
 	loopOp := atom.LoopOp
 	body := ep.LoopBodies[loopOp.ID]
 	if body == nil {
@@ -344,7 +355,9 @@ func runLoop(ep *optimizer.ExecutionPlan, atom *engine.TaskAtom, reg *engine.Reg
 	if loopInput == nil {
 		return fmt.Errorf("executor: loop body of %s has no LoopInput", loopOp.Name())
 	}
+	st.mu.Lock()
 	state := channels[loopOp.Inputs[0].ID]
+	st.mu.Unlock()
 	if state == nil {
 		return fmt.Errorf("executor: loop %s input not available", loopOp.Name())
 	}
@@ -361,14 +374,14 @@ func runLoop(ep *optimizer.ExecutionPlan, atom *engine.TaskAtom, reg *engine.Reg
 	for iter := 0; iter < maxIter; iter++ {
 		bodyChannels := make(map[int]*channel.Channel)
 		bodyChannels[loopInput.ID] = state
-		if err := runPlan(body, reg, opts, res, bodyChannels, audited, false); err != nil {
+		if err := runPlan(body, reg, opts, st, bodyChannels, false); err != nil {
 			return fmt.Errorf("executor: loop %s iteration %d: %w", loopOp.Name(), iter, err)
 		}
 		state = bodyChannels[body.Physical.SinkOp.ID]
 		if state == nil {
 			return fmt.Errorf("executor: loop %s iteration %d produced no output", loopOp.Name(), iter)
 		}
-		emit(opts, Event{Kind: EventLoopIteration, Atom: atom, Iteration: iter})
+		emit(opts, st, Event{Kind: EventLoopIteration, Atom: atom, Iteration: iter})
 
 		if lop.Kind() == plan.KindDoWhile {
 			// Evaluate the condition on driver-side records, like a
@@ -377,8 +390,10 @@ func runLoop(ep *optimizer.ExecutionPlan, atom *engine.TaskAtom, reg *engine.Reg
 			if err != nil {
 				return fmt.Errorf("executor: loop %s condition input: %w", loopOp.Name(), err)
 			}
-			res.Metrics.Sim += cost
-			res.Metrics.Conversions += steps
+			st.mu.Lock()
+			st.res.Metrics.Sim += cost
+			st.res.Metrics.Conversions += steps
+			st.mu.Unlock()
 			recs, err := conv.AsCollection()
 			if err != nil {
 				return err
@@ -393,7 +408,9 @@ func runLoop(ep *optimizer.ExecutionPlan, atom *engine.TaskAtom, reg *engine.Reg
 			}
 		}
 	}
+	st.mu.Lock()
 	channels[loopOp.ID] = state
+	st.mu.Unlock()
 	return nil
 }
 

@@ -1,0 +1,239 @@
+package executor
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/core/cost"
+	"rheem/internal/core/engine"
+	"rheem/internal/core/optimizer"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+	"rheem/internal/platform/javaengine"
+)
+
+// errBoom is the permanent failure the fault tests inject.
+var errBoom = errors.New("boom: permanent atom failure")
+
+// boomPlatform fails every atom execution.
+type boomPlatform struct{ *javaengine.Platform }
+
+func (p *boomPlatform) ID() engine.PlatformID { return "boom" }
+
+func (p *boomPlatform) ExecuteAtom(ctx context.Context, atom *engine.TaskAtom, inputs engine.AtomInputs) (map[int]*channel.Channel, engine.Metrics, error) {
+	return nil, engine.Metrics{Jobs: 1}, errBoom
+}
+
+// stallPlatform blocks until its context is cancelled, recording that
+// the cancellation arrived — the probe for first-error-wins semantics.
+type stallPlatform struct {
+	*javaengine.Platform
+	mu        sync.Mutex
+	cancelled bool
+}
+
+func (p *stallPlatform) ID() engine.PlatformID { return "stall" }
+
+func (p *stallPlatform) ExecuteAtom(ctx context.Context, atom *engine.TaskAtom, inputs engine.AtomInputs) (map[int]*channel.Channel, engine.Metrics, error) {
+	select {
+	case <-ctx.Done():
+		p.mu.Lock()
+		p.cancelled = true
+		p.mu.Unlock()
+		return nil, engine.Metrics{}, ctx.Err()
+	case <-time.After(10 * time.Second): // safety net: never hang the suite
+		return nil, engine.Metrics{}, errors.New("stall: cancellation never arrived")
+	}
+}
+
+func (p *stallPlatform) sawCancellation() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cancelled
+}
+
+// retryPlatform fails the first failures executions of every atom,
+// tracking per-atom attempt counts under a lock so concurrent atoms
+// can retry independently.
+type retryPlatform struct {
+	*javaengine.Platform
+	mu       sync.Mutex
+	failures int
+	calls    map[int]int
+}
+
+func (p *retryPlatform) ID() engine.PlatformID { return "retry" }
+
+func (p *retryPlatform) ExecuteAtom(ctx context.Context, atom *engine.TaskAtom, inputs engine.AtomInputs) (map[int]*channel.Channel, engine.Metrics, error) {
+	p.mu.Lock()
+	p.calls[atom.ID]++
+	fail := p.calls[atom.ID] <= p.failures
+	p.mu.Unlock()
+	if fail {
+		return nil, engine.Metrics{Jobs: 1}, errors.New("transient failure")
+	}
+	return p.Platform.ExecuteAtom(ctx, atom, inputs)
+}
+
+// registerMapKinds declares java-like mappings for the kinds the fault
+// fixtures use on the given wrapper platform.
+func registerMapKinds(t *testing.T, reg *engine.Registry, id engine.PlatformID) {
+	t.Helper()
+	for _, kind := range []plan.OpKind{plan.KindSource, plan.KindMap, plan.KindUnion, plan.KindSink} {
+		if err := reg.RegisterMapping(engine.Mapping{
+			Platform: id, Kind: kind, Algo: physical.Default,
+			Cost: cost.ConstModel(cost.Cost{CPU: time.Microsecond}),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// faultPlan is a two-branch diamond with each branch pinned to its own
+// platform so the branches become separate atoms that run concurrently.
+func faultPlan(t *testing.T, branchPlatforms []engine.PlatformID) (*physical.Plan, map[int]engine.PlatformID) {
+	t.Helper()
+	b := plan.NewBuilder("fault")
+	s := b.Source("src", plan.Collection(intRecords(8)))
+	s.CardHint = 8
+	var outs []*plan.Operator
+	for range branchPlatforms {
+		outs = append(outs, b.Map(s, plan.Identity()))
+	}
+	u := outs[0]
+	for _, o := range outs[1:] {
+		u = b.Union(u, o)
+	}
+	b.Collect(u)
+	pp, err := physical.FromLogical(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := map[int]engine.PlatformID{}
+	branch := 0
+	for _, op := range pp.Ops {
+		if op.Kind() == plan.KindMap {
+			fa[op.ID] = branchPlatforms[branch]
+			branch++
+		} else {
+			fa[op.ID] = javaengine.ID
+		}
+	}
+	return pp, fa
+}
+
+// TestPermanentFailureCancelsSiblings injects a permanently failing
+// atom next to one that blocks until cancelled: Run must return the
+// failing atom's error, propagate cancellation to the in-flight
+// sibling, and never report plan completion.
+func TestPermanentFailureCancelsSiblings(t *testing.T) {
+	reg := engine.NewRegistry()
+	if _, err := javaengine.Register(reg, javaengine.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	stall := &stallPlatform{Platform: javaengine.New(javaengine.Config{})}
+	if err := reg.RegisterPlatform(stall); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterPlatform(&boomPlatform{Platform: javaengine.New(javaengine.Config{})}); err != nil {
+		t.Fatal(err)
+	}
+	registerMapKinds(t, reg, "stall")
+	registerMapKinds(t, reg, "boom")
+
+	pp, fa := faultPlan(t, []engine.PlatformID{"boom", "stall"})
+	ep, err := optimizer.Optimize(pp, reg, optimizer.Options{DisableRules: true, ForcedAssignments: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var planDone bool
+	_, err = Run(ep, reg, Options{Parallelism: 4, MaxRetries: 1, Monitor: func(e Event) {
+		if e.Kind == EventPlanDone {
+			planDone = true
+		}
+	}})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("Run error = %v, want the injected failure", err)
+	}
+	if !stall.sawCancellation() {
+		t.Error("in-flight sibling atom was not cancelled after the failure")
+	}
+	if planDone {
+		t.Error("EventPlanDone emitted for a failed run")
+	}
+}
+
+// TestRetryAttemptsMonotonicPerAtom retries two concurrent atoms and
+// checks the monitoring contract: each atom's EventAtomRetry attempts
+// arrive strictly increasing from 1, even when retries interleave
+// across atoms.
+func TestRetryAttemptsMonotonicPerAtom(t *testing.T) {
+	reg := engine.NewRegistry()
+	if _, err := javaengine.Register(reg, javaengine.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	rp := &retryPlatform{Platform: javaengine.New(javaengine.Config{}), failures: 2, calls: map[int]int{}}
+	if err := reg.RegisterPlatform(rp); err != nil {
+		t.Fatal(err)
+	}
+	registerMapKinds(t, reg, "retry")
+
+	pp, fa := faultPlan(t, []engine.PlatformID{"retry", "retry"})
+	ep, err := optimizer.Optimize(pp, reg, optimizer.Options{DisableRules: true, ForcedAssignments: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	attempts := map[int][]int{} // atom ID → observed retry attempt numbers
+	res, err := Run(ep, reg, Options{Parallelism: 2, MaxRetries: 2, Monitor: func(e Event) {
+		if e.Kind == EventAtomRetry {
+			attempts[e.Atom.ID] = append(attempts[e.Atom.ID], e.Attempt)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 16 {
+		t.Errorf("%d records", len(res.Records))
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("atoms with retries = %d, want the 2 branch atoms (%v)", len(attempts), attempts)
+	}
+	for id, seq := range attempts {
+		if len(seq) != 2 || seq[0] != 1 || seq[1] != 2 {
+			t.Errorf("atom %d retry attempts = %v, want [1 2]", id, seq)
+		}
+	}
+	if res.Metrics.Retries != 4 {
+		t.Errorf("metrics retries = %d, want 4", res.Metrics.Retries)
+	}
+}
+
+// TestFailureUnderStress repeats the failure/cancellation scenario at
+// high parallelism; under -race it checks the error path for races.
+func TestFailureUnderStress(t *testing.T) {
+	reg := engine.NewRegistry()
+	if _, err := javaengine.Register(reg, javaengine.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterPlatform(&boomPlatform{Platform: javaengine.New(javaengine.Config{})}); err != nil {
+		t.Fatal(err)
+	}
+	registerMapKinds(t, reg, "boom")
+
+	for i := 0; i < 25; i++ {
+		pp, fa := faultPlan(t, []engine.PlatformID{"boom", javaengine.ID, "boom", javaengine.ID})
+		ep, err := optimizer.Optimize(pp, reg, optimizer.Options{DisableRules: true, ForcedAssignments: fa})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(ep, reg, Options{Parallelism: 8, MaxRetries: 1}); !errors.Is(err, errBoom) {
+			t.Fatalf("run %d: error = %v, want the injected failure", i, err)
+		}
+	}
+}

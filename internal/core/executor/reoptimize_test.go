@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"rheem/internal/core/plan"
 	"rheem/internal/data"
 	"rheem/internal/platform/javaengine"
+	"rheem/internal/platform/relengine"
 	"rheem/internal/platform/sparksim"
 )
 
@@ -130,6 +132,93 @@ func TestReoptimizationCheaperThanStubborn(t *testing.T) {
 	adaptive := run(true)
 	if adaptive >= stubborn {
 		t.Errorf("re-optimization did not pay off: adaptive %v vs stubborn %v", adaptive, stubborn)
+	}
+}
+
+// lyingDiamondPlan is a two-branch diamond whose first source lies
+// about its cardinality by 10,000x. With the sources, union and sink
+// pinned to the relational engine and the branch maps to java and
+// spark, the plan schedules several atoms concurrently; the honest
+// branch carries per-record sleeps so it is still in flight when the
+// liar's audit mismatch lands.
+func lyingDiamondPlan(t *testing.T) (*physical.Plan, map[int]engine.PlatformID) {
+	t.Helper()
+	b := plan.NewBuilder("lying-diamond")
+	liar := b.Source("liar", plan.Collection(intRecords(60)))
+	liar.CardHint = 600_000
+	honest := b.Source("honest", plan.Collection(intRecords(20)))
+	honest.CardHint = 20
+	ml := b.Map(liar, func(r data.Record) (data.Record, error) {
+		return data.NewRecord(data.Int(r.Field(0).Int() * 2)), nil
+	})
+	mh := b.Map(honest, func(r data.Record) (data.Record, error) {
+		time.Sleep(time.Millisecond)
+		return data.NewRecord(data.Int(r.Field(0).Int()*2 + 1)), nil
+	})
+	b.Collect(b.Union(ml, mh))
+	pp, err := physical.FromLogical(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := map[int]engine.PlatformID{}
+	mapsSeen := 0
+	for _, op := range pp.Ops {
+		if op.Kind() == plan.KindMap {
+			if mapsSeen == 0 {
+				fa[op.ID] = javaengine.ID // liar's branch (built first)
+			} else {
+				fa[op.ID] = sparksim.ID
+			}
+			mapsSeen++
+		} else {
+			fa[op.ID] = relengine.ID
+		}
+	}
+	return pp, fa
+}
+
+// TestReoptimizeOncePerRunUnderParallelism triggers a mid-wave audit
+// mismatch at every parallelism degree and demands deterministic
+// adaptive behavior: exactly one re-plan per run (after quiescing the
+// in-flight atoms) and records byte-identical to the sequential run.
+func TestReoptimizeOncePerRunUnderParallelism(t *testing.T) {
+	reg := triRegistry(t)
+	var baseline []byte
+	for _, par := range []int{1, 2, 8} {
+		pp, fa := lyingDiamondPlan(t)
+		ep, err := optimizer.Optimize(pp, reg, optimizer.Options{
+			DisableRules:      true,
+			ForcedAssignments: fa,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replans := 0
+		res, err := Run(ep, reg, Options{ReOptimize: true, Parallelism: par, Monitor: func(e Event) {
+			if e.Kind == EventReplan {
+				replans++
+			}
+		}})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !res.Reoptimized {
+			t.Fatalf("parallelism %d: lying source did not trigger re-optimization", par)
+		}
+		if replans != 1 {
+			t.Errorf("parallelism %d: %d re-plans, want exactly 1", par, replans)
+		}
+		if res.FinalPlan == ep {
+			t.Errorf("parallelism %d: FinalPlan still the original plan", par)
+		}
+		got := recordBytes(t, res.Records)
+		if baseline == nil {
+			baseline = got
+			continue
+		}
+		if !bytes.Equal(baseline, got) {
+			t.Errorf("parallelism %d: records differ from the sequential run", par)
+		}
 	}
 }
 

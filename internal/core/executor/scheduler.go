@@ -1,0 +1,237 @@
+// The concurrent task-atom scheduler. The optimizer's execution plan
+// already exposes inter-atom parallelism — independent branches of a
+// multi-platform plan, the scan legs of a join, siblings produced by
+// the shared-scan rewrite — and the scheduler exploits it: each atom's
+// predecessor set is derived from its external inputs, ready atoms are
+// dispatched onto a bounded worker pool (Options.Parallelism), and
+// exit channels published by one atom unblock its dependents.
+//
+// Concurrency contract (see also DESIGN.md §executor):
+//
+//   - the channel map, Result accumulation, and the audit ledger are
+//     guarded by runState.mu; Monitor callbacks are serialized by
+//     runState.monMu;
+//   - the first atom error wins: it cancels the run context so
+//     in-flight siblings abort, their (context) errors are discarded,
+//     and Run returns the original error without emitting
+//     EventPlanDone;
+//   - adaptive re-optimization quiesces: on a mismatch the dispatcher
+//     stops launching atoms, drains the ones in flight, and only then
+//     re-plans — so the re-optimizer sees a frozen, consistent
+//     channel map. At most one re-plan happens per run;
+//   - loop atoms keep sequential per-iteration semantics, but each
+//     iteration's body plan is scheduled concurrently by the same
+//     machinery (with its own channel map and worker budget).
+package executor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/core/engine"
+	"rheem/internal/core/optimizer"
+)
+
+// runState is the mutable state one run shares across concurrently
+// executing atoms and nested loop-body plans.
+type runState struct {
+	mu      sync.Mutex // guards res, every plan's channel map, audited
+	monMu   sync.Mutex // serializes Monitor callbacks
+	cancel  context.CancelFunc
+	res     *Result
+	audited map[int]bool
+}
+
+// atomNode is one schedulable atom with its dependency bookkeeping.
+// All fields are owned by the dispatcher goroutine.
+type atomNode struct {
+	atom       *engine.TaskAtom
+	waits      int // unmet producer atoms
+	dependents []*atomNode
+}
+
+// externalInputIDs lists the physical operator IDs whose channels the
+// atom needs before it can start: for compute atoms the inputs that
+// cross the atom boundary, for loop atoms the loop operator's inputs.
+func externalInputIDs(atom *engine.TaskAtom) []int {
+	if atom.Kind == engine.AtomLoop {
+		ids := make([]int, 0, len(atom.LoopOp.Inputs))
+		for _, in := range atom.LoopOp.Inputs {
+			ids = append(ids, in.ID)
+		}
+		return ids
+	}
+	var ids []int
+	for _, op := range atom.Ops {
+		for _, in := range op.Inputs {
+			if !atom.Contains(in.ID) {
+				ids = append(ids, in.ID)
+			}
+		}
+	}
+	return ids
+}
+
+// runPlan executes one execution plan's atoms against a shared channel
+// map (loop bodies are nested runPlan calls with the LoopInput channel
+// pre-seeded), re-planning at most once when the top-level schedule
+// requests adaptive re-optimization.
+func runPlan(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel, topLevel bool) error {
+	for {
+		replan, err := scheduleAtoms(ep, reg, opts, st, channels, topLevel)
+		if err != nil {
+			return err
+		}
+		if !replan {
+			return nil
+		}
+		// Quiesced: every worker has drained, so the channel map is
+		// stable and single-threaded access is safe.
+		newEP, err := reoptimize(ep, reg, opts, channels)
+		if err != nil {
+			return fmt.Errorf("executor: re-optimization: %w", err)
+		}
+		st.mu.Lock()
+		st.res.Reoptimized = true
+		st.res.FinalPlan = newEP
+		st.mu.Unlock()
+		emit(opts, st, Event{Kind: EventReplan})
+		ep = newEP
+		// Completed atoms of the old plan are skipped via atomDone.
+	}
+}
+
+// scheduleAtoms runs one plan's pending atoms to completion on a
+// bounded worker pool. It returns replan=true when a cardinality
+// mismatch at the top level requests adaptive re-optimization (after
+// all in-flight atoms have drained), or the first atom error after
+// cancelling its in-flight siblings.
+func scheduleAtoms(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel, topLevel bool) (bool, error) {
+	// Graph setup is single-threaded: no workers are live yet, so the
+	// channel map can be read unlocked. Contains calls here also
+	// pre-build each atom's operator set before goroutines share it.
+	producer := make(map[int]*atomNode)
+	var nodes []*atomNode
+	for _, atom := range ep.Atoms {
+		if atomDone(atom, channels) {
+			continue // outputs already available (re-optimized run)
+		}
+		n := &atomNode{atom: atom}
+		nodes = append(nodes, n)
+		if atom.Kind == engine.AtomLoop {
+			producer[atom.LoopOp.ID] = n
+		} else {
+			for _, op := range atom.Ops {
+				producer[op.ID] = n
+			}
+		}
+	}
+	var ready []*atomNode
+	for _, n := range nodes {
+		seen := make(map[*atomNode]bool)
+		for _, id := range externalInputIDs(n.atom) {
+			if channels[id] != nil {
+				continue // pre-seeded or produced by a completed atom
+			}
+			// A needed channel with no pending producer is left for
+			// the atom itself to report, preserving the sequential
+			// executor's error message.
+			p := producer[id]
+			if p == nil || p == n || seen[p] {
+				continue
+			}
+			seen[p] = true
+			n.waits++
+			p.dependents = append(p.dependents, n)
+		}
+		if n.waits == 0 {
+			ready = append(ready, n)
+		}
+	}
+
+	type doneMsg struct {
+		n        *atomNode
+		err      error
+		mismatch bool // the atom's audit recorded new mismatches
+	}
+	doneCh := make(chan doneMsg)
+	inflight, finished := 0, 0
+	stopping, replan := false, false
+	var firstErr error
+
+	for {
+		// FIFO dispatch keeps Parallelism=1 runs in the plan's
+		// topological atom order — the sequential executor's behavior.
+		for !stopping && inflight < opts.Parallelism && len(ready) > 0 {
+			n := ready[0]
+			ready = ready[1:]
+			inflight++
+			go func(n *atomNode) {
+				if err := opts.Context.Err(); err != nil {
+					doneCh <- doneMsg{n: n, err: err}
+					return
+				}
+				st.mu.Lock()
+				before := len(st.res.Mismatches)
+				st.mu.Unlock()
+				var err error
+				if n.atom.Kind == engine.AtomLoop {
+					err = runLoop(ep, n.atom, reg, opts, st, channels)
+				} else {
+					err = runComputeAtom(n.atom, ep.Estimates, reg, opts, st, channels)
+				}
+				st.mu.Lock()
+				mismatch := len(st.res.Mismatches) > before
+				st.mu.Unlock()
+				doneCh <- doneMsg{n: n, err: err, mismatch: mismatch}
+			}(n)
+		}
+		if inflight == 0 {
+			break
+		}
+		m := <-doneCh
+		inflight--
+		if m.err != nil {
+			if firstErr == nil {
+				firstErr = m.err
+				st.cancel() // first error wins; abort in-flight siblings
+			}
+			stopping = true
+			continue
+		}
+		finished++
+		if stopping {
+			continue // draining; dependents stay parked
+		}
+		for _, d := range m.n.dependents {
+			d.waits--
+			if d.waits == 0 {
+				ready = append(ready, d)
+			}
+		}
+		if topLevel && opts.ReOptimize && m.mismatch && !replan {
+			st.mu.Lock()
+			already := st.res.Reoptimized
+			st.mu.Unlock()
+			if !already {
+				// Quiesce for re-planning: stop dispatching and let
+				// the atoms already in flight drain.
+				stopping = true
+				replan = true
+			}
+		}
+	}
+
+	if firstErr != nil {
+		return false, firstErr
+	}
+	if replan {
+		return true, nil
+	}
+	if finished < len(nodes) {
+		return false, fmt.Errorf("executor: scheduler stalled after %d of %d atoms in plan %q", finished, len(nodes), ep.Physical.Name)
+	}
+	return false, nil
+}

@@ -19,6 +19,7 @@ package physical
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"rheem/internal/core/plan"
 )
@@ -78,7 +79,10 @@ type Plan struct {
 	Name   string
 	Ops    []*Operator
 	SinkOp *Operator
-	nextID *int // shared across the plan tree
+	// nextID is shared across the plan tree and bumped atomically so
+	// enhancer insertion stays race-free even if rules run while other
+	// goroutines (e.g. the executor's audit) hold plan references.
+	nextID *atomic.Int64
 }
 
 // FromLogical translates a validated logical plan into a physical plan
@@ -90,15 +94,14 @@ func FromLogical(p *plan.Plan) (*Plan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("physical: %w", err)
 	}
-	return fromLogical(p, new(int))
+	return fromLogical(p, new(atomic.Int64))
 }
 
-func fromLogical(p *plan.Plan, counter *int) (*Plan, error) {
+func fromLogical(p *plan.Plan, counter *atomic.Int64) (*Plan, error) {
 	out := &Plan{Name: p.Name(), nextID: counter}
 	byLogical := make(map[int]*Operator, len(p.Operators()))
 	for _, lop := range p.Operators() {
-		pop := &Operator{ID: *counter, Logical: lop}
-		*counter++
+		pop := &Operator{ID: int(counter.Add(1) - 1), Logical: lop}
 		for _, in := range lop.Inputs() {
 			pop.Inputs = append(pop.Inputs, byLogical[in.ID()])
 		}
@@ -216,15 +219,14 @@ func (p *Plan) String() string {
 // mid-plan).
 func (p *Plan) NewEnhancer(logical *plan.Operator, inputs ...*Operator) *Operator {
 	if p.nextID == nil {
-		p.nextID = new(int)
+		p.nextID = new(atomic.Int64)
 		for _, op := range p.Ops {
-			if op.ID >= *p.nextID {
-				*p.nextID = op.ID + 1
+			if int64(op.ID) >= p.nextID.Load() {
+				p.nextID.Store(int64(op.ID) + 1)
 			}
 		}
 	}
-	op := &Operator{ID: *p.nextID, Logical: logical, Enhancer: true, Inputs: inputs}
-	*p.nextID++
+	op := &Operator{ID: int(p.nextID.Add(1) - 1), Logical: logical, Enhancer: true, Inputs: inputs}
 	p.Ops = append(p.Ops, op)
 	return op
 }

@@ -62,7 +62,14 @@ func (t *Table) Rows() []data.Record {
 }
 
 // rowsUnsafe returns the live row slice for internal read-only use.
-func (t *Table) rowsUnsafe() []data.Record { return t.rows }
+// The slice header is fetched under the read lock so concurrent
+// Inserts (which may reallocate the backing array) never race the
+// read; rows already in the snapshot are immutable.
+func (t *Table) rowsUnsafe() []data.Record {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
 
 // Insert appends rows after validating them against the schema, and
 // maintains any indexes.

@@ -139,6 +139,13 @@ func WithMaxRetries(n int) RunOption {
 	return func(rc *runConfig) { rc.exec.MaxRetries = n }
 }
 
+// WithParallelism bounds how many independent task atoms the executor
+// schedules concurrently. 1 forces sequential execution in plan order;
+// values below 1 (including the default) mean runtime.NumCPU().
+func WithParallelism(n int) RunOption {
+	return func(rc *runConfig) { rc.exec.Parallelism = n }
+}
+
 // WithoutRules disables optimizer rewrite rules for this run.
 func WithoutRules() RunOption {
 	return func(rc *runConfig) { rc.opt.DisableRules = true }
