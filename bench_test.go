@@ -244,6 +244,36 @@ func BenchmarkExecutorParallelism(b *testing.B) {
 	}
 }
 
+// BenchmarkFailover compares the fan-out diamond on a healthy branch
+// platform against the same plan when that platform dies after one
+// execution: the delta is the cost of the retry → circuit-breaker →
+// cross-platform-failover recovery path (re-planning included).
+func BenchmarkFailover(b *testing.B) {
+	const branches, recs = 4, 20
+	for _, sc := range []struct {
+		name      string
+		failAfter int
+	}{
+		{"clean", -1},
+		{"failover", 1},
+	} {
+		b.Run(sc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunChaos(branches, recs, 0, sc.failAfter)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Records) != branches*recs {
+					b.Fatalf("%d records", len(res.Records))
+				}
+				if sc.failAfter >= 0 && res.Failovers == 0 {
+					b.Fatal("platform died but no failover happened")
+				}
+			}
+		})
+	}
+}
+
 // --- application-level extras ---------------------------------------------
 
 func BenchmarkPageRank(b *testing.B) {

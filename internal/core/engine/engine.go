@@ -183,6 +183,7 @@ type Registry struct {
 	order     []PlatformID
 	mappings  []Mapping
 	channels  *channel.Registry
+	health    *Health
 }
 
 // NewRegistry returns an empty registry with a fresh conversion graph.
@@ -190,6 +191,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		platforms: make(map[PlatformID]Platform),
 		channels:  channel.NewRegistry(),
+		health:    newHealth(),
 	}
 }
 
@@ -281,6 +283,45 @@ func (r *Registry) PlatformsFor(kind plan.OpKind) []PlatformID {
 
 // Channels returns the shared conversion graph.
 func (r *Registry) Channels() *channel.Registry { return r.channels }
+
+// Health returns the registry's platform health tracker (one circuit
+// breaker per platform, fed by the executor).
+func (r *Registry) Health() *Health { return r.health }
+
+// Mappings returns a copy of every registered operator mapping.
+func (r *Registry) Mappings() []Mapping {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Mapping, len(r.mappings))
+	copy(out, r.mappings)
+	return out
+}
+
+// CloneMappings registers, for the platform to, a copy of every mapping
+// the platform from declares (same kind, algorithm, cost model, hint).
+// It is how a wrapper platform — a fault injector, a proxy — inherits
+// the operator coverage of the platform it wraps. Both platforms must
+// already be registered.
+func (r *Registry) CloneMappings(from, to PlatformID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.platforms[to]; !ok {
+		return fmt.Errorf("engine: cloning mappings to unknown platform %q", to)
+	}
+	var cloned int
+	for _, m := range r.mappings {
+		if m.Platform != from {
+			continue
+		}
+		m.Platform = to
+		r.mappings = append(r.mappings, m)
+		cloned++
+	}
+	if cloned == 0 {
+		return fmt.Errorf("engine: platform %q has no mappings to clone", from)
+	}
+	return nil
+}
 
 // DescribeMappings renders the declarative mapping table — one line
 // per (platform, operator kind, algorithm) with its context hint. The

@@ -1,0 +1,65 @@
+package engine
+
+import "errors"
+
+// Error classification for the executor's retry policy (the paper's
+// §4.2 "coping with failures" duty). A platform — or any layer between
+// the executor and a platform — wraps an error to tell the executor how
+// to react:
+//
+//   - Fatal errors are deterministic: re-running the atom, on this or
+//     any other platform, would fail identically (a UDF bug, a plan
+//     inconsistency). The executor fails the run immediately, without
+//     retries and without cross-platform failover.
+//   - Transient errors are environmental: a re-execution may succeed
+//     (an injected fault, a lost worker, a timeout). Unclassified
+//     errors are treated as transient too — platforms do not have to
+//     opt in to be retried — so Transient exists to make the contract
+//     explicit at injection sites.
+//
+// Both wrappers are invisible to errors.Is/errors.As chains: they
+// implement Unwrap, so callers keep matching the underlying cause.
+
+// fatalError marks an error as non-retryable.
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+func (e *fatalError) Unwrap() error { return e.err }
+
+// Fatal marks err as non-retryable: the executor fails the run without
+// retrying or failing over. Fatal(nil) returns nil.
+func Fatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &fatalError{err: err}
+}
+
+// IsFatal reports whether err (or anything it wraps) was marked Fatal.
+func IsFatal(err error) bool {
+	var f *fatalError
+	return errors.As(err, &f)
+}
+
+// transientError marks an error as explicitly retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient marks err as explicitly retryable. Unwrapped errors are
+// already retried by default; the wrapper documents intent at the
+// injection site and survives further fmt.Errorf("%w") wrapping.
+// Transient(nil) returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err was explicitly marked Transient.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}

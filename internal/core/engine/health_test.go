@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestErrorClassification(t *testing.T) {
+	base := errors.New("boom")
+	if Fatal(nil) != nil || Transient(nil) != nil {
+		t.Error("wrapping nil must stay nil")
+	}
+	f := Fatal(base)
+	if !IsFatal(f) || IsTransient(f) {
+		t.Errorf("Fatal classification wrong: fatal=%v transient=%v", IsFatal(f), IsTransient(f))
+	}
+	tr := Transient(base)
+	if !IsTransient(tr) || IsFatal(tr) {
+		t.Errorf("Transient classification wrong")
+	}
+	// Wrappers must stay visible through further %w wrapping and keep
+	// the cause reachable.
+	wrapped := fmt.Errorf("executor: atom failed: %w", f)
+	if !IsFatal(wrapped) {
+		t.Error("Fatal lost through fmt.Errorf wrapping")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Error("cause lost through Fatal wrapper")
+	}
+	if IsFatal(tr) || IsFatal(errors.New("plain")) {
+		t.Error("IsFatal false positives")
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	h := newHealth()
+	h.Configure(HealthConfig{Threshold: 3, Cooldown: time.Hour})
+	const id = PlatformID("p")
+	for i := 0; i < 2; i++ {
+		if h.ReportFailure(id) {
+			t.Fatalf("quarantined after %d failures, threshold 3", i+1)
+		}
+	}
+	if h.State(id) != BreakerClosed {
+		t.Fatalf("state = %v before threshold", h.State(id))
+	}
+	if !h.ReportFailure(id) {
+		t.Fatal("third consecutive failure did not quarantine")
+	}
+	if !h.Quarantined(id) || h.State(id) != BreakerOpen {
+		t.Fatalf("state = %v after threshold", h.State(id))
+	}
+	if got := h.QuarantinedPlatforms(); len(got) != 1 || got[0] != id {
+		t.Errorf("QuarantinedPlatforms = %v", got)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	h := newHealth()
+	h.Configure(HealthConfig{Threshold: 3, Cooldown: time.Hour})
+	const id = PlatformID("p")
+	h.ReportFailure(id)
+	h.ReportFailure(id)
+	h.ReportSuccess(id)
+	h.ReportFailure(id)
+	h.ReportFailure(id)
+	if h.Quarantined(id) {
+		t.Error("non-consecutive failures quarantined the platform")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	h := newHealth()
+	h.Configure(HealthConfig{Threshold: 1, Cooldown: time.Minute})
+	now := time.Unix(1000, 0)
+	h.setClock(func() time.Time { return now })
+	const id = PlatformID("p")
+
+	h.ReportFailure(id)
+	if h.State(id) != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	// Before the cooldown the platform stays quarantined.
+	now = now.Add(30 * time.Second)
+	if h.State(id) != BreakerOpen {
+		t.Fatal("breaker relaxed before cooldown")
+	}
+	// After the cooldown it becomes half-open: re-admitted for a probe.
+	now = now.Add(31 * time.Second)
+	if h.State(id) != BreakerHalfOpen {
+		t.Fatalf("state = %v after cooldown, want half-open", h.State(id))
+	}
+	if h.Quarantined(id) {
+		t.Error("half-open platform still reported quarantined")
+	}
+	// A failed probe re-opens immediately; a successful one closes.
+	h.ReportFailure(id)
+	if h.State(id) != BreakerOpen {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	now = now.Add(2 * time.Minute)
+	if h.State(id) != BreakerHalfOpen {
+		t.Fatal("breaker did not relax again after second cooldown")
+	}
+	h.ReportSuccess(id)
+	if h.State(id) != BreakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if got := h.Snapshot(); got[id] != BreakerClosed {
+		t.Errorf("snapshot = %v", got)
+	}
+}
+
+func TestRegistryHealthSharedAndConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Health()
+	if h == nil {
+		t.Fatal("registry has no health tracker")
+	}
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			id := PlatformID(fmt.Sprintf("p%d", g%2))
+			for i := 0; i < 100; i++ {
+				h.ReportFailure(id)
+				h.ReportSuccess(id)
+				h.State(id)
+				h.QuarantinedPlatforms()
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}
+
+func TestContextErrorsNotFatal(t *testing.T) {
+	// RunAtom's fatal classification (a UDF error through a real
+	// platform must not be retried) is exercised end-to-end in the
+	// executor tests; here we pin the pass-through rule: cancellation
+	// errors are never classified fatal.
+	if IsFatal(context.Canceled) || IsFatal(context.DeadlineExceeded) {
+		t.Error("bare context errors misclassified as fatal")
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"rheem/internal/core/channel"
@@ -57,7 +58,13 @@ func RunAtom(ctx context.Context, d DatasetOps, atom *TaskAtom, inputs AtomInput
 		}
 		out, err := d.ExecOp(ctx, op, ins)
 		if err != nil {
-			return nil, fmt.Errorf("engine: atom#%d: %s: %w", atom.ID, op.Name(), err)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+			// Operator execution is deterministic — a UDF or kernel
+			// error would recur on any platform, so mark it Fatal: the
+			// executor must not retry or fail over.
+			return nil, Fatal(fmt.Errorf("engine: atom#%d: %s: %w", atom.ID, op.Name(), err))
 		}
 		native[op.ID] = out
 	}

@@ -1,0 +1,260 @@
+package executor
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"rheem/internal/core/engine"
+	"rheem/internal/core/fault"
+	"rheem/internal/core/optimizer"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+	"rheem/internal/platform/javaengine"
+	"rheem/internal/platform/sparksim"
+)
+
+// chaosRegistry builds a registry with the two real platforms plus a
+// fault-injecting "chaos" platform that inherits the java engine's
+// operator coverage — the survivors failover re-plans fall back to.
+func chaosRegistry(t *testing.T, opts fault.Options) (*engine.Registry, *fault.Platform) {
+	t.Helper()
+	reg := engine.NewRegistry()
+	if _, err := javaengine.Register(reg, javaengine.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sparksim.Register(reg, sparksim.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	opts.ID = "chaos"
+	p := fault.Wrap(javaengine.New(javaengine.Config{}), opts)
+	if err := fault.Register(reg, p, javaengine.ID); err != nil {
+		t.Fatal(err)
+	}
+	return reg, p
+}
+
+// sortedRecordBytes encodes each record and sorts the encodings:
+// failover may legitimately reorder union branches, so identity is
+// per-record, not positional.
+func sortedRecordBytes(t *testing.T, recs []data.Record) []string {
+	t.Helper()
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		var buf bytes.Buffer
+		if _, err := data.WriteBinary(&buf, []data.Record{r}); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = buf.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestChaosFailoverProducesIdenticalRecords is the acceptance chaos
+// test: the platform originally assigned to the diamond's branches
+// dies mid-run (one atom completes, then every execution fails), and
+// the run must still complete — via cross-platform failover — with
+// records identical to a fault-free run, the failed operators
+// re-assigned off the dead platform, and the breaker left open.
+func TestChaosFailoverProducesIdenticalRecords(t *testing.T) {
+	pp, fa := faultPlan(t, []engine.PlatformID{"chaos", "chaos"})
+
+	// Baseline: the same plan on a healthy chaos platform.
+	cleanReg, _ := chaosRegistry(t, fault.Options{})
+	cleanEP, err := optimizer.Optimize(pp, cleanReg, optimizer.Options{DisableRules: true, ForcedAssignments: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(cleanEP, cleanReg, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chaos: the platform survives exactly one execution, then dies.
+	reg, p := chaosRegistry(t, fault.Options{Schedules: []fault.Schedule{fault.FailAfterN(1, nil)}})
+	ep, err := optimizer.Optimize(pp, reg, optimizer.Options{DisableRules: true, ForcedAssignments: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failovers []Event
+	completedOnChaos := map[int]bool{} // op IDs finished on chaos pre-failover
+	res, err := Run(ep, reg, Options{Parallelism: 2, Failover: true, RetryBackoff: -1, Monitor: func(e Event) {
+		switch e.Kind {
+		case EventFailover:
+			failovers = append(failovers, e)
+		case EventAtomDone:
+			if e.Err == nil && e.Atom.Platform == "chaos" {
+				for _, op := range e.Atom.Ops {
+					completedOnChaos[op.ID] = true
+				}
+			}
+		}
+	}})
+	if err != nil {
+		t.Fatalf("chaos run failed despite failover: %v", err)
+	}
+	if p.Stats().Injected == 0 {
+		t.Fatal("fixture injected no failures")
+	}
+
+	// Byte-identical results (modulo union branch order).
+	got, want := sortedRecordBytes(t, res.Records), sortedRecordBytes(t, clean.Records)
+	if len(got) != len(want) {
+		t.Fatalf("chaos run produced %d records, clean run %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs between chaos and clean runs", i)
+		}
+	}
+
+	// The failover is visible: counted, evented, and excluded from the
+	// final assignment of every operator that was not already done.
+	if res.Failovers < 1 {
+		t.Errorf("Failovers = %d", res.Failovers)
+	}
+	if len(failovers) == 0 {
+		t.Fatal("no EventFailover observed")
+	}
+	fe := failovers[0]
+	if fe.Atom == nil || fe.Atom.Platform != "chaos" {
+		t.Errorf("failover event atom = %v", fe.Atom)
+	}
+	foundChaos := false
+	for _, id := range fe.Excluded {
+		if id == "chaos" {
+			foundChaos = true
+		}
+	}
+	if !foundChaos {
+		t.Errorf("failover event excluded %v, missing chaos", fe.Excluded)
+	}
+	for opID, pl := range res.FinalPlan.Assignment {
+		if pl == "chaos" && !completedOnChaos[opID] {
+			t.Errorf("re-planned op %d still assigned to the dead platform", opID)
+		}
+	}
+	if res.PlatformHealth["chaos"] != engine.BreakerOpen {
+		t.Errorf("chaos breaker state = %v, want open", res.PlatformHealth["chaos"])
+	}
+	if res.Reoptimized {
+		t.Error("failover must not consume the adaptive re-optimization budget")
+	}
+}
+
+// TestChaosFailoverInLoopBody kills the loop body's platform after two
+// iterations: the nested scheduler propagates the failover up without
+// cancelling the run, the loop is re-planned onto a survivor, and the
+// restarted loop still produces the exact fault-free result.
+func TestChaosFailoverInLoopBody(t *testing.T) {
+	reg, p := chaosRegistry(t, fault.Options{Schedules: []fault.Schedule{fault.FailAfterN(2, nil)}})
+
+	bb := plan.NewBodyBuilder("body")
+	li := bb.LoopInput("st")
+	m := bb.Map(li, func(r data.Record) (data.Record, error) {
+		return data.NewRecord(data.Int(r.Field(0).Int() + 1)), nil
+	})
+	bb.Collect(m)
+	body := bb.MustBuild()
+
+	b := plan.NewBuilder("loop")
+	s := b.Source("s", plan.Collection(intRecords(1)))
+	rep := b.Repeat(s, 5, body)
+	b.Collect(rep)
+	pp, err := physical.FromLogical(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := map[int]engine.PlatformID{}
+	var pin func(ops []*physical.Operator)
+	pin = func(ops []*physical.Operator) {
+		for _, op := range ops {
+			if op.Kind() == plan.KindMap {
+				fa[op.ID] = "chaos" // the loop body's worker
+			} else {
+				fa[op.ID] = javaengine.ID
+			}
+			if op.Body != nil {
+				pin(op.Body.Ops)
+			}
+		}
+	}
+	pin(pp.Ops)
+	ep, err := optimizer.Optimize(pp, reg, optimizer.Options{DisableRules: true, ForcedAssignments: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failovers int
+	res, err := Run(ep, reg, Options{Failover: true, RetryBackoff: -1, Monitor: func(e Event) {
+		if e.Kind == EventFailover {
+			failovers++
+		}
+	}})
+	if err != nil {
+		t.Fatalf("loop failover run failed: %v", err)
+	}
+	if p.Stats().Injected == 0 {
+		t.Fatal("fixture injected no failures")
+	}
+	if failovers < 1 || res.Failovers < 1 {
+		t.Errorf("failovers = %d (result %d), want ≥1", failovers, res.Failovers)
+	}
+	// 0 incremented 5 times, regardless of where the loop restarted.
+	if len(res.Records) != 1 || res.Records[0].Field(0).Int() != 5 {
+		t.Errorf("loop result = %v, want [5]", res.Records)
+	}
+	for opID, pl := range res.FinalPlan.Assignment {
+		if pl == "chaos" {
+			t.Errorf("op %d still assigned to the dead platform after loop failover", opID)
+		}
+	}
+}
+
+// TestFailoverNoCapablePlatformFails quarantines the only platform in
+// the registry: failover has nowhere to go and the run must fail,
+// reporting both the dead end and the original failure.
+func TestFailoverNoCapablePlatformFails(t *testing.T) {
+	reg := engine.NewRegistry()
+	p := wrapJava(t, reg, "chaos", fault.Options{Schedules: []fault.Schedule{failAlways(nil)}})
+	registerMapKinds(t, reg, "chaos")
+	ep, err := optimizer.Optimize(simplePlan(t, intRecords(3)), reg, optimizer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(ep, reg, Options{Failover: true, RetryBackoff: -1})
+	if err == nil {
+		t.Fatal("run succeeded with every platform dead")
+	}
+	if !strings.Contains(err.Error(), "no capable platform") {
+		t.Errorf("error does not name the failover dead end: %v", err)
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("original failure lost from the error chain: %v", err)
+	}
+	if p.Stats().Injected == 0 {
+		t.Error("fixture injected no failures")
+	}
+}
+
+// TestFailoverDisabledPropagatesError pins the default: without
+// Options.Failover the same dead platform fails the run even though
+// healthy platforms are registered.
+func TestFailoverDisabledPropagatesError(t *testing.T) {
+	pp, fa := faultPlan(t, []engine.PlatformID{"chaos", "chaos"})
+	reg, _ := chaosRegistry(t, fault.Options{Schedules: []fault.Schedule{fault.FailAfterN(1, nil)}})
+	ep, err := optimizer.Optimize(pp, reg, optimizer.Options{DisableRules: true, ForcedAssignments: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(ep, reg, Options{Parallelism: 2, RetryBackoff: -1})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Run error = %v, want the injected failure", err)
+	}
+	if !strings.Contains(err.Error(), "failed after") {
+		t.Errorf("error lacks the attempt accounting: %v", err)
+	}
+}

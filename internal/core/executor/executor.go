@@ -47,6 +47,11 @@ const (
 	// EventReplan reports that adaptive re-optimization replaced the
 	// remaining execution plan mid-run.
 	EventReplan
+	// EventFailover reports that an atom exhausted its retries on an
+	// unhealthy platform and the remaining plan was re-planned onto the
+	// surviving platforms. Atom and Err identify the failed execution;
+	// Excluded lists the platforms the replacement plan avoids.
+	EventFailover
 )
 
 // Event is one monitoring notification. Monitor callbacks are
@@ -62,7 +67,14 @@ type Event struct {
 	Attempt int
 	Metrics engine.Metrics
 	Err     error
+	// Excluded lists the quarantined platforms on EventFailover events.
+	Excluded []engine.PlatformID
 }
+
+// NoRetries is the Options.MaxRetries sentinel for "fail on the first
+// error": the zero value means "default budget", so opting out of
+// retries needs an explicit marker.
+const NoRetries = -1
 
 // Options configures a run.
 type Options struct {
@@ -73,7 +85,25 @@ type Options struct {
 	// executor: atoms run one at a time in topological order.
 	Parallelism int
 	// MaxRetries bounds re-executions of a failed atom (default 2).
+	// Pass NoRetries (-1, or any negative value) to fail on the first
+	// error; 0 selects the default. Fatal errors (engine.Fatal — e.g. a
+	// deterministic UDF failure) are never retried regardless.
 	MaxRetries int
+	// RetryBackoff is the base delay before the first re-execution;
+	// subsequent attempts back off exponentially (doubling, capped at
+	// 2s) with deterministic jitter. 0 selects the default (10ms); a
+	// negative value disables the delay entirely (as the tests do).
+	RetryBackoff time.Duration
+	// AtomTimeout bounds each execution attempt of a single atom; an
+	// attempt exceeding it fails with context.DeadlineExceeded and is
+	// retried like any transient failure. 0 disables the bound.
+	AtomTimeout time.Duration
+	// Failover enables cross-platform failover: when an atom exhausts
+	// its retries on a platform the health tracker has quarantined, the
+	// executor quiesces in-flight atoms and re-plans the remaining
+	// operators on the surviving platforms (completed atoms stay
+	// frozen). The run fails only if no capable platform remains.
+	Failover bool
 	// Monitor, when set, receives progress events. Calls are
 	// serialized; the callback itself need not be thread-safe.
 	Monitor func(Event)
@@ -100,6 +130,13 @@ func (o *Options) defaults() {
 	}
 	if o.MaxRetries == 0 {
 		o.MaxRetries = 2
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0 // NoRetries: first failure is final
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 10 * time.Millisecond
+	} else if o.RetryBackoff < 0 {
+		o.RetryBackoff = 0
 	}
 	if o.AuditFactor == 0 {
 		o.AuditFactor = 8
@@ -132,6 +169,13 @@ type Result struct {
 	// Reoptimized reports whether adaptive re-optimization replaced
 	// the execution plan mid-run.
 	Reoptimized bool
+	// Failovers counts cross-platform failover re-plans performed
+	// during the run (each quarantines at least one more platform, so
+	// the count is bounded by the registry size).
+	Failovers int
+	// PlatformHealth is the circuit-breaker state per platform at the
+	// end of the run, from the registry's health tracker.
+	PlatformHealth map[engine.PlatformID]engine.BreakerState
 	// FinalPlan is the execution plan that finished the run — the
 	// original one, or the re-optimized replacement.
 	FinalPlan *optimizer.ExecutionPlan
@@ -151,6 +195,7 @@ func Run(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts Options) (*Resu
 	if err := runPlan(ep, reg, &opts, st, channels, true); err != nil {
 		return nil, err
 	}
+	res.PlatformHealth = reg.Health().Snapshot()
 	// All atoms have drained; the remaining accesses are single-threaded.
 	ep = res.FinalPlan
 	sinkCh := channels[ep.Physical.SinkOp.ID]
@@ -204,9 +249,11 @@ func atomDone(atom *engine.TaskAtom, channels map[int]*channel.Channel) bool {
 // reoptimize re-plans the physical plan with observed cardinalities:
 // operators whose outputs exist keep their platforms and are frozen
 // into skippable atoms; everything downstream is re-costed and may
-// move to a different platform. The caller must have quiesced all
-// in-flight atoms — reoptimize reads the channel map unlocked.
-func reoptimize(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, channels map[int]*channel.Channel) (*optimizer.ExecutionPlan, error) {
+// move to a different platform. Failover re-plans additionally pass
+// the quarantined platforms as excluded, so no remaining operator is
+// assigned to them. The caller must have quiesced all in-flight atoms
+// — reoptimize reads the channel map unlocked.
+func reoptimize(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, channels map[int]*channel.Channel, excluded map[engine.PlatformID]bool) (*optimizer.ExecutionPlan, error) {
 	overrides := map[int]int64{}
 	for id, ch := range channels {
 		if ch != nil && ch.Records >= 0 {
@@ -233,6 +280,7 @@ func reoptimize(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options
 		CardOverrides:     overrides,
 		ForcedAssignments: forced,
 		Frozen:            frozen,
+		ExcludePlatforms:  excluded,
 	})
 }
 
@@ -277,12 +325,30 @@ func runComputeAtom(atom *engine.TaskAtom, est *cost.Estimates, reg *engine.Regi
 	}
 
 	emit(opts, st, Event{Kind: EventAtomStart, Atom: atom})
+	health := reg.Health()
 	var exits map[int]*channel.Channel
 	var m engine.Metrics
 	var err error
 	for attempt := 0; ; attempt++ {
-		exits, m, err = platform.ExecuteAtom(opts.Context, atom, inputs)
-		if err == nil || attempt >= opts.MaxRetries || opts.Context.Err() != nil {
+		exits, m, err = executeAttempt(platform, atom, inputs, opts)
+		if err == nil {
+			health.ReportSuccess(atom.Platform)
+			break
+		}
+		// A cancelled run is not an atom failure: return the context
+		// error itself, untouched — it must not count against the retry
+		// budget, the platform's health, or read as "failed after
+		// retries" in the run error.
+		if ctxErr := opts.Context.Err(); ctxErr != nil {
+			m.Add(moveMetrics)
+			emit(opts, st, Event{Kind: EventAtomDone, Atom: atom, Err: ctxErr, Metrics: m})
+			return ctxErr
+		}
+		fatal := engine.IsFatal(err)
+		if !fatal {
+			health.ReportFailure(atom.Platform)
+		}
+		if fatal || attempt >= opts.MaxRetries {
 			break
 		}
 		moveMetrics.Retries++
@@ -290,11 +356,22 @@ func runComputeAtom(atom *engine.TaskAtom, est *cost.Estimates, reg *engine.Regi
 		st.mu.Lock()
 		st.res.Metrics.Add(m) // failed attempts still cost time
 		st.mu.Unlock()
+		if ctxErr := backoffSleep(opts, atom.ID, attempt); ctxErr != nil {
+			emit(opts, st, Event{Kind: EventAtomDone, Atom: atom, Err: ctxErr, Metrics: moveMetrics})
+			return ctxErr
+		}
 	}
 	m.Add(moveMetrics)
 	if err != nil {
+		st.mu.Lock()
+		st.res.Metrics.Add(m) // the final attempt and its retries still cost time
+		st.mu.Unlock()
 		emit(opts, st, Event{Kind: EventAtomDone, Atom: atom, Err: err, Metrics: m})
-		return fmt.Errorf("executor: %s failed after retries: %w", atom, err)
+		wrapped := fmt.Errorf("executor: %s failed after %d attempt(s): %w", atom, moveMetrics.Retries+1, err)
+		if opts.Failover && !engine.IsFatal(err) && health.Quarantined(atom.Platform) {
+			return &failoverError{platform: atom.Platform, atom: atom, err: wrapped}
+		}
+		return wrapped
 	}
 	st.mu.Lock()
 	st.res.Metrics.Add(m)

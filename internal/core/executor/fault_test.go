@@ -1,15 +1,13 @@
 package executor
 
 import (
-	"context"
 	"errors"
-	"sync"
 	"testing"
 	"time"
 
-	"rheem/internal/core/channel"
 	"rheem/internal/core/cost"
 	"rheem/internal/core/engine"
+	"rheem/internal/core/fault"
 	"rheem/internal/core/optimizer"
 	"rheem/internal/core/physical"
 	"rheem/internal/core/plan"
@@ -19,64 +17,21 @@ import (
 // errBoom is the permanent failure the fault tests inject.
 var errBoom = errors.New("boom: permanent atom failure")
 
-// boomPlatform fails every atom execution.
-type boomPlatform struct{ *javaengine.Platform }
-
-func (p *boomPlatform) ID() engine.PlatformID { return "boom" }
-
-func (p *boomPlatform) ExecuteAtom(ctx context.Context, atom *engine.TaskAtom, inputs engine.AtomInputs) (map[int]*channel.Channel, engine.Metrics, error) {
-	return nil, engine.Metrics{Jobs: 1}, errBoom
+// failAlways is the "platform is broken" schedule.
+func failAlways(err error) fault.Schedule {
+	return fault.FailMatching(func(*engine.TaskAtom) bool { return true }, err)
 }
 
-// stallPlatform blocks until its context is cancelled, recording that
-// the cancellation arrived — the probe for first-error-wins semantics.
-type stallPlatform struct {
-	*javaengine.Platform
-	mu        sync.Mutex
-	cancelled bool
-}
-
-func (p *stallPlatform) ID() engine.PlatformID { return "stall" }
-
-func (p *stallPlatform) ExecuteAtom(ctx context.Context, atom *engine.TaskAtom, inputs engine.AtomInputs) (map[int]*channel.Channel, engine.Metrics, error) {
-	select {
-	case <-ctx.Done():
-		p.mu.Lock()
-		p.cancelled = true
-		p.mu.Unlock()
-		return nil, engine.Metrics{}, ctx.Err()
-	case <-time.After(10 * time.Second): // safety net: never hang the suite
-		return nil, engine.Metrics{}, errors.New("stall: cancellation never arrived")
+// wrapJava registers a fault-injecting wrapper around a fresh java
+// engine under the given ID.
+func wrapJava(t *testing.T, reg *engine.Registry, id engine.PlatformID, opts fault.Options) *fault.Platform {
+	t.Helper()
+	opts.ID = id
+	p := fault.Wrap(javaengine.New(javaengine.Config{}), opts)
+	if err := reg.RegisterPlatform(p); err != nil {
+		t.Fatal(err)
 	}
-}
-
-func (p *stallPlatform) sawCancellation() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.cancelled
-}
-
-// retryPlatform fails the first failures executions of every atom,
-// tracking per-atom attempt counts under a lock so concurrent atoms
-// can retry independently.
-type retryPlatform struct {
-	*javaengine.Platform
-	mu       sync.Mutex
-	failures int
-	calls    map[int]int
-}
-
-func (p *retryPlatform) ID() engine.PlatformID { return "retry" }
-
-func (p *retryPlatform) ExecuteAtom(ctx context.Context, atom *engine.TaskAtom, inputs engine.AtomInputs) (map[int]*channel.Channel, engine.Metrics, error) {
-	p.mu.Lock()
-	p.calls[atom.ID]++
-	fail := p.calls[atom.ID] <= p.failures
-	p.mu.Unlock()
-	if fail {
-		return nil, engine.Metrics{Jobs: 1}, errors.New("transient failure")
-	}
-	return p.Platform.ExecuteAtom(ctx, atom, inputs)
+	return p
 }
 
 // registerMapKinds declares java-like mappings for the kinds the fault
@@ -127,21 +82,18 @@ func faultPlan(t *testing.T, branchPlatforms []engine.PlatformID) (*physical.Pla
 }
 
 // TestPermanentFailureCancelsSiblings injects a permanently failing
-// atom next to one that blocks until cancelled: Run must return the
-// failing atom's error, propagate cancellation to the in-flight
-// sibling, and never report plan completion.
+// atom next to one that blocks (injected latency) until cancelled: Run
+// must return the failing atom's error, propagate cancellation to the
+// in-flight sibling, and never report plan completion.
 func TestPermanentFailureCancelsSiblings(t *testing.T) {
 	reg := engine.NewRegistry()
 	if _, err := javaengine.Register(reg, javaengine.Config{}); err != nil {
 		t.Fatal(err)
 	}
-	stall := &stallPlatform{Platform: javaengine.New(javaengine.Config{})}
-	if err := reg.RegisterPlatform(stall); err != nil {
-		t.Fatal(err)
-	}
-	if err := reg.RegisterPlatform(&boomPlatform{Platform: javaengine.New(javaengine.Config{})}); err != nil {
-		t.Fatal(err)
-	}
+	// The stalling branch sleeps far longer than the suite tolerates;
+	// only cancellation from the boom branch's failure lets it finish.
+	stall := wrapJava(t, reg, "stall", fault.Options{Latency: 10 * time.Second})
+	wrapJava(t, reg, "boom", fault.Options{Schedules: []fault.Schedule{failAlways(errBoom)}})
 	registerMapKinds(t, reg, "stall")
 	registerMapKinds(t, reg, "boom")
 
@@ -152,7 +104,7 @@ func TestPermanentFailureCancelsSiblings(t *testing.T) {
 	}
 
 	var planDone bool
-	_, err = Run(ep, reg, Options{Parallelism: 4, MaxRetries: 1, Monitor: func(e Event) {
+	_, err = Run(ep, reg, Options{Parallelism: 4, MaxRetries: 1, RetryBackoff: -1, Monitor: func(e Event) {
 		if e.Kind == EventPlanDone {
 			planDone = true
 		}
@@ -160,7 +112,7 @@ func TestPermanentFailureCancelsSiblings(t *testing.T) {
 	if !errors.Is(err, errBoom) {
 		t.Fatalf("Run error = %v, want the injected failure", err)
 	}
-	if !stall.sawCancellation() {
+	if stall.Stats().Cancelled == 0 {
 		t.Error("in-flight sibling atom was not cancelled after the failure")
 	}
 	if planDone {
@@ -177,10 +129,7 @@ func TestRetryAttemptsMonotonicPerAtom(t *testing.T) {
 	if _, err := javaengine.Register(reg, javaengine.Config{}); err != nil {
 		t.Fatal(err)
 	}
-	rp := &retryPlatform{Platform: javaengine.New(javaengine.Config{}), failures: 2, calls: map[int]int{}}
-	if err := reg.RegisterPlatform(rp); err != nil {
-		t.Fatal(err)
-	}
+	wrapJava(t, reg, "retry", fault.Options{Schedules: []fault.Schedule{fault.FailFirstN(2, nil)}})
 	registerMapKinds(t, reg, "retry")
 
 	pp, fa := faultPlan(t, []engine.PlatformID{"retry", "retry"})
@@ -190,7 +139,7 @@ func TestRetryAttemptsMonotonicPerAtom(t *testing.T) {
 	}
 
 	attempts := map[int][]int{} // atom ID → observed retry attempt numbers
-	res, err := Run(ep, reg, Options{Parallelism: 2, MaxRetries: 2, Monitor: func(e Event) {
+	res, err := Run(ep, reg, Options{Parallelism: 2, MaxRetries: 2, RetryBackoff: -1, Monitor: func(e Event) {
 		if e.Kind == EventAtomRetry {
 			attempts[e.Atom.ID] = append(attempts[e.Atom.ID], e.Attempt)
 		}
@@ -221,9 +170,7 @@ func TestFailureUnderStress(t *testing.T) {
 	if _, err := javaengine.Register(reg, javaengine.Config{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := reg.RegisterPlatform(&boomPlatform{Platform: javaengine.New(javaengine.Config{})}); err != nil {
-		t.Fatal(err)
-	}
+	wrapJava(t, reg, "boom", fault.Options{Schedules: []fault.Schedule{failAlways(errBoom)}})
 	registerMapKinds(t, reg, "boom")
 
 	for i := 0; i < 25; i++ {
@@ -232,7 +179,7 @@ func TestFailureUnderStress(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Run(ep, reg, Options{Parallelism: 8, MaxRetries: 1}); !errors.Is(err, errBoom) {
+		if _, err := Run(ep, reg, Options{Parallelism: 8, MaxRetries: 1, RetryBackoff: -1}); !errors.Is(err, errBoom) {
 			t.Fatalf("run %d: error = %v, want the injected failure", i, err)
 		}
 	}

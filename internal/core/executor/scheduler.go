@@ -26,7 +26,9 @@ package executor
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"rheem/internal/core/channel"
@@ -42,6 +44,11 @@ type runState struct {
 	cancel  context.CancelFunc
 	res     *Result
 	audited map[int]bool
+	// excluded accumulates platforms ruled out by failover re-plans.
+	// Only the top-level dispatcher touches it, and only while
+	// quiesced, so it needs no lock. It only grows, which bounds the
+	// failover loop by the registry size.
+	excluded map[engine.PlatformID]bool
 }
 
 // atomNode is one schedulable atom with its dependency bookkeeping.
@@ -80,16 +87,48 @@ func externalInputIDs(atom *engine.TaskAtom) []int {
 // requests adaptive re-optimization.
 func runPlan(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel, topLevel bool) error {
 	for {
-		replan, err := scheduleAtoms(ep, reg, opts, st, channels, topLevel)
+		replan, failover, err := scheduleAtoms(ep, reg, opts, st, channels, topLevel)
 		if err != nil {
 			return err
+		}
+		if failover != nil {
+			// Quiesced after a platform failure: quarantine the failed
+			// platform (plus anything else the breaker holds open) and
+			// re-plan the remaining operators onto the survivors.
+			// Completed atoms keep their channels and stay frozen.
+			if st.excluded == nil {
+				st.excluded = map[engine.PlatformID]bool{}
+			}
+			st.excluded[failover.platform] = true
+			for _, id := range reg.Health().QuarantinedPlatforms() {
+				st.excluded[id] = true
+			}
+			newEP, rerr := reoptimize(ep, reg, opts, channels, st.excluded)
+			if rerr != nil {
+				// No capable platform remains for some operator: the
+				// run fails, reporting both the failure and the dead end.
+				return fmt.Errorf("executor: failover from platform %q found no capable platform: %v (original failure: %w)",
+					failover.platform, rerr, failover.err)
+			}
+			st.mu.Lock()
+			st.res.Failovers++
+			st.res.FinalPlan = newEP
+			st.mu.Unlock()
+			excluded := make([]engine.PlatformID, 0, len(st.excluded))
+			for id := range st.excluded {
+				excluded = append(excluded, id)
+			}
+			sort.Slice(excluded, func(i, j int) bool { return excluded[i] < excluded[j] })
+			emit(opts, st, Event{Kind: EventFailover, Atom: failover.atom, Err: failover.err, Excluded: excluded})
+			ep = newEP
+			continue
 		}
 		if !replan {
 			return nil
 		}
 		// Quiesced: every worker has drained, so the channel map is
 		// stable and single-threaded access is safe.
-		newEP, err := reoptimize(ep, reg, opts, channels)
+		newEP, err := reoptimize(ep, reg, opts, channels, st.excluded)
 		if err != nil {
 			return fmt.Errorf("executor: re-optimization: %w", err)
 		}
@@ -106,9 +145,11 @@ func runPlan(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, s
 // scheduleAtoms runs one plan's pending atoms to completion on a
 // bounded worker pool. It returns replan=true when a cardinality
 // mismatch at the top level requests adaptive re-optimization (after
-// all in-flight atoms have drained), or the first atom error after
-// cancelling its in-flight siblings.
-func scheduleAtoms(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel, topLevel bool) (bool, error) {
+// all in-flight atoms have drained), a non-nil failover when a
+// quarantined platform's atom demands cross-platform failover (also
+// after draining — the survivors' outputs seed the re-plan), or the
+// first atom error after cancelling its in-flight siblings.
+func scheduleAtoms(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel, topLevel bool) (bool, *failoverError, error) {
 	// Graph setup is single-threaded: no workers are live yet, so the
 	// channel map can be read unlocked. Contains calls here also
 	// pre-build each atom's operator set before goroutines share it.
@@ -160,6 +201,7 @@ func scheduleAtoms(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Opti
 	inflight, finished := 0, 0
 	stopping, replan := false, false
 	var firstErr error
+	var failover *failoverError
 
 	for {
 		// FIFO dispatch keeps Parallelism=1 runs in the plan's
@@ -194,9 +236,29 @@ func scheduleAtoms(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Opti
 		m := <-doneCh
 		inflight--
 		if m.err != nil {
-			if firstErr == nil {
-				firstErr = m.err
-				st.cancel() // first error wins; abort in-flight siblings
+			var fe *failoverError
+			switch {
+			case topLevel && opts.Failover && errors.As(m.err, &fe):
+				// Quiesce WITHOUT cancelling: in-flight siblings finish
+				// and their outputs survive into the failover re-plan.
+				// Later failover errors during the drain are subsumed by
+				// it (their operators get re-planned too).
+				if firstErr == nil && failover == nil {
+					failover = fe
+				}
+			case !topLevel && opts.Failover && errors.As(m.err, &fe):
+				// A loop-body atom wants failover: drain this body plan
+				// uncancelled and hand the error up — the top-level
+				// scheduler re-plans, loop included.
+				if firstErr == nil {
+					firstErr = m.err
+				}
+			default:
+				if firstErr == nil {
+					firstErr = m.err
+					st.cancel() // first error wins; abort in-flight siblings
+					failover = nil
+				}
 			}
 			stopping = true
 			continue
@@ -225,13 +287,16 @@ func scheduleAtoms(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Opti
 	}
 
 	if firstErr != nil {
-		return false, firstErr
+		return false, nil, firstErr
+	}
+	if failover != nil {
+		return false, failover, nil
 	}
 	if replan {
-		return true, nil
+		return true, nil, nil
 	}
 	if finished < len(nodes) {
-		return false, fmt.Errorf("executor: scheduler stalled after %d of %d atoms in plan %q", finished, len(nodes), ep.Physical.Name)
+		return false, nil, fmt.Errorf("executor: scheduler stalled after %d of %d atoms in plan %q", finished, len(nodes), ep.Physical.Name)
 	}
-	return false, nil
+	return false, nil, nil
 }

@@ -55,6 +55,12 @@ type Options struct {
 	// ForcedAssignments pins individual operators to platforms
 	// (already-executed operators keep their original assignment).
 	ForcedAssignments map[int]engine.PlatformID
+	// ExcludePlatforms removes platforms from consideration for every
+	// not-yet-executed operator; Frozen operators keep their original
+	// (forced) assignment even on an excluded platform, since they will
+	// never execute again. The executor's cross-platform failover
+	// re-plans with the quarantined platforms excluded.
+	ExcludePlatforms map[engine.PlatformID]bool
 	// Frozen marks already-executed operators: the atom splitter never
 	// mixes frozen and unfrozen operators in one atom, so the executor
 	// can skip fully-frozen atoms whose outputs it already holds.
@@ -262,6 +268,9 @@ func assignPlatforms(p *physical.Plan, reg *engine.Registry, opts Options, est *
 				continue
 			}
 			if forced, ok := opts.ForcedAssignments[op.ID]; ok && pl != forced {
+				continue
+			}
+			if opts.ExcludePlatforms[pl] && !opts.Frozen[op.ID] {
 				continue
 			}
 			// Input picks depend only on the consumer platform.

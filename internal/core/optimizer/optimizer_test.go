@@ -244,3 +244,71 @@ func TestNoPlatformForKindFails(t *testing.T) {
 	}
 	_ = reg
 }
+
+func TestExcludePlatformsAvoidsQuarantined(t *testing.T) {
+	reg := fullRegistry(t)
+	pp := physOf(t, func(b *plan.Builder) {
+		s := b.Source("s", plan.Collection(nil))
+		s.CardHint = 100
+		b.Collect(b.Map(s, plan.Identity()))
+	})
+	// Small input would normally land on java; exclude it and demand
+	// the plan avoids it everywhere.
+	ep, err := Optimize(pp, reg, Options{
+		ExcludePlatforms: map[engine.PlatformID]bool{javaengine.ID: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, pl := range ep.Assignment {
+		if pl == javaengine.ID {
+			t.Errorf("op %d assigned to excluded platform", id)
+		}
+	}
+	// Excluding every capable platform must fail, not silently pick one.
+	_, err = Optimize(pp, reg, Options{ExcludePlatforms: map[engine.PlatformID]bool{
+		javaengine.ID: true, sparksim.ID: true, relengine.ID: true,
+	}})
+	if err == nil {
+		t.Error("optimization with every platform excluded accepted")
+	}
+}
+
+func TestExcludePlatformsKeepsFrozenAssignments(t *testing.T) {
+	reg := fullRegistry(t)
+	pp := physOf(t, func(b *plan.Builder) {
+		s := b.Source("s", plan.Collection(nil))
+		s.CardHint = 100
+		b.Collect(b.Map(s, plan.Identity()))
+	})
+	srcID := -1
+	for _, op := range pp.Ops {
+		if op.Kind() == plan.KindSource {
+			srcID = op.ID
+		}
+	}
+	if srcID < 0 {
+		t.Fatal("no source op")
+	}
+	// The frozen (already-executed) source keeps its assignment on the
+	// excluded platform — it will never run again — while everything
+	// downstream is re-planned off it. This is the failover re-planning
+	// contract.
+	ep, err := Optimize(pp, reg, Options{
+		DisableRules:      true,
+		Frozen:            map[int]bool{srcID: true},
+		ForcedAssignments: map[int]engine.PlatformID{srcID: javaengine.ID},
+		ExcludePlatforms:  map[engine.PlatformID]bool{javaengine.ID: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Assignment[srcID] != javaengine.ID {
+		t.Errorf("frozen source moved to %s", ep.Assignment[srcID])
+	}
+	for id, pl := range ep.Assignment {
+		if id != srcID && pl == javaengine.ID {
+			t.Errorf("re-planned op %d still on excluded platform", id)
+		}
+	}
+}

@@ -30,6 +30,7 @@ package rheem
 
 import (
 	"fmt"
+	"time"
 
 	"rheem/internal/core/engine"
 	"rheem/internal/core/executor"
@@ -134,9 +135,32 @@ func WithMonitor(f func(executor.Event)) RunOption {
 	return func(rc *runConfig) { rc.exec.Monitor = f }
 }
 
-// WithMaxRetries overrides the executor's failure retry bound.
+// NoRetries is the WithMaxRetries sentinel for "fail on the first
+// error" — 0 means the default budget.
+const NoRetries = executor.NoRetries
+
+// WithMaxRetries overrides the executor's failure retry bound (0
+// selects the default of 2; NoRetries disables retrying). Failed
+// attempts back off exponentially with deterministic jitter, and
+// deterministic (fatal) errors such as UDF failures are never retried.
 func WithMaxRetries(n int) RunOption {
 	return func(rc *runConfig) { rc.exec.MaxRetries = n }
+}
+
+// WithAtomTimeout bounds each execution attempt of a single task atom;
+// an attempt exceeding the timeout fails with a deadline error and is
+// retried like any transient failure. 0 disables the bound.
+func WithAtomTimeout(d time.Duration) RunOption {
+	return func(rc *runConfig) { rc.exec.AtomTimeout = d }
+}
+
+// WithFailover enables cross-platform failover: when a task atom
+// exhausts its retries on a platform the health tracker has
+// quarantined (circuit breaker open after consecutive failures), the
+// executor re-plans the remaining operators on the surviving platforms
+// and continues — the run fails only if no capable platform remains.
+func WithFailover(on bool) RunOption {
+	return func(rc *runConfig) { rc.exec.Failover = on }
 }
 
 // WithParallelism bounds how many independent task atoms the executor
@@ -173,6 +197,12 @@ type Report struct {
 	// Reoptimized reports whether adaptive re-optimization replaced
 	// the plan mid-run.
 	Reoptimized bool
+	// Failovers counts cross-platform failover re-plans (only non-zero
+	// under WithFailover).
+	Failovers int
+	// PlatformHealth is the per-platform circuit-breaker state at the
+	// end of the run.
+	PlatformHealth map[engine.PlatformID]engine.BreakerState
 }
 
 // Execute optimizes and runs a logical plan, returning the sink's
@@ -199,10 +229,12 @@ func (c *Context) Execute(p *plan.Plan, opts ...RunOption) ([]data.Record, *Repo
 		finalPlan = ep
 	}
 	return res.Records, &Report{
-		Plan:        finalPlan,
-		Metrics:     res.Metrics,
-		Mismatches:  res.Mismatches,
-		Reoptimized: res.Reoptimized,
+		Plan:           finalPlan,
+		Metrics:        res.Metrics,
+		Mismatches:     res.Mismatches,
+		Reoptimized:    res.Reoptimized,
+		Failovers:      res.Failovers,
+		PlatformHealth: res.PlatformHealth,
 	}, nil
 }
 
