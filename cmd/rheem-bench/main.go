@@ -8,18 +8,21 @@
 // Usage:
 //
 //	rheem-bench [-experiment all|fig2|fig3left|fig3right|iejoin|multiplatform|optimizer|reopt|parallelism|chaos]
-//	            [-quick] [-clock sim|wall] [-csv DIR] [-v]
+//	            [-quick] [-clock sim|wall] [-csv DIR] [-v] [-trace FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"rheem"
 	"rheem/internal/bench"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
 )
 
 func main() {
@@ -29,6 +32,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	verbose := flag.Bool("v", false, "log progress")
 	mappings := flag.Bool("mappings", false, "print the declarative operator-mapping table and exit")
+	tracePath := flag.String("trace", "", "run a traced demo job and dump its span trace as JSON lines to FILE ('-' for stdout), then exit")
 	flag.Parse()
 
 	if *mappings {
@@ -38,6 +42,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(ctx.Registry().DescribeMappings())
+		return
+	}
+
+	if *tracePath != "" {
+		out := io.WriteCloser(os.Stdout)
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rheem-bench: %v\n", err)
+				os.Exit(1)
+			}
+			out = f
+		}
+		err := traceDump(out)
+		if *tracePath != "-" {
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rheem-bench: trace: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -74,6 +101,39 @@ func main() {
 			}
 		}
 	}
+}
+
+// traceDump runs a small multi-platform demo job with tracing enabled
+// and writes the span trace as JSON lines — one self-contained object
+// per span, then one per estimate-vs-actual audit record. The output
+// is flame-friendly: every line has start/end stamps and durations in
+// nanoseconds, ready for jq or a flame-chart converter.
+func traceDump(w io.Writer) error {
+	ctx, err := rheem.NewContext(rheem.Config{})
+	if err != nil {
+		return err
+	}
+	recs := make([]data.Record, 5000)
+	for i := range recs {
+		recs[i] = data.NewRecord(data.Int(int64(i)), data.Int(int64(i%7)))
+	}
+	b := plan.NewBuilder("trace-demo")
+	src := b.Source("ints", plan.Collection(recs))
+	src.CardHint = int64(len(recs))
+	f := b.Filter(src, func(r data.Record) (bool, error) {
+		return r.Field(1).Int() != 0, nil
+	})
+	f.Selectivity = 0.5 // deliberately off (actual ≈ 6/7) so the audit has signal
+	red := b.ReduceByKey(f, plan.FieldKey(1), func(a, b data.Record) (data.Record, error) {
+		return data.NewRecord(a.Field(0), data.Int(a.Field(1).Int()+b.Field(1).Int())), nil
+	})
+	b.Collect(red)
+
+	_, rep, err := ctx.Execute(b.MustBuild(), rheem.WithTracing())
+	if err != nil {
+		return err
+	}
+	return rep.Trace.WriteJSON(w)
 }
 
 func writeCSV(dir, name string, i int, t *bench.Table) error {

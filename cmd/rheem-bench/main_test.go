@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceDumpEmitsValidJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := traceDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var spans, audits, flagged int
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", sc.Text(), err)
+		}
+		switch line["type"] {
+		case "span":
+			spans++
+			for _, key := range []string{"id", "platform", "wall_ns", "started_at", "ended_at", "est_cost_ns"} {
+				if _, ok := line[key]; !ok {
+					t.Errorf("span line missing %q: %v", key, line)
+				}
+			}
+		case "audit":
+			audits++
+			if f, _ := line["flagged"].(bool); f {
+				flagged++
+			}
+		default:
+			t.Errorf("unknown line type %v", line["type"])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if spans == 0 {
+		t.Error("dump contains no spans")
+	}
+	if audits == 0 {
+		t.Error("dump contains no audit records")
+	}
+	if flagged == 0 {
+		t.Error("the demo job's deliberately wrong selectivity was not flagged")
+	}
+}

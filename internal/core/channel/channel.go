@@ -118,8 +118,7 @@ func (r *Registry) Register(c Converter) {
 // format to another for the given byte volume, and whether a path
 // exists. Same-format queries cost zero.
 func (r *Registry) PathCost(from, to Format, bytes int64) (time.Duration, bool) {
-	path, cost, ok := r.shortestPath(from, to, bytes)
-	_ = path
+	_, cost, ok := r.shortestPath(from, to, bytes)
 	return cost, ok
 }
 
@@ -152,6 +151,13 @@ func (r *Registry) Convert(ch *Channel, to Format) (*Channel, time.Duration, int
 // is assumed preserved along the chain, which is accurate enough for
 // pricing. The returned converters are executed by the caller without
 // the lock held — converter functions may themselves use the registry.
+//
+// The search is fully deterministic: equal-cost frontier nodes are
+// visited in Format name order (the frontier is a Go map, whose
+// iteration order would otherwise leak into the result), and between
+// equal-cost routes to the same node the shorter chain wins. Two runs
+// over the same registry therefore always pick the same chain — the
+// executor performs the exact conversions the optimizer priced.
 func (r *Registry) shortestPath(from, to Format, bytes int64) ([]Converter, time.Duration, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -163,14 +169,15 @@ func (r *Registry) shortestPath(from, to Format, bytes int64) ([]Converter, time
 	states := map[Format]*state{from: {}}
 	for {
 		// Pick the cheapest unfinished node (linear scan; the graph
-		// has a handful of formats).
+		// has a handful of formats), breaking cost ties by name.
 		var cur Format
 		var curState *state
 		for f, s := range states {
 			if s.done {
 				continue
 			}
-			if curState == nil || s.cost < curState.cost {
+			if curState == nil || s.cost < curState.cost ||
+				(s.cost == curState.cost && f < cur) {
 				cur, curState = f, s
 			}
 		}
@@ -183,7 +190,10 @@ func (r *Registry) shortestPath(from, to Format, bytes int64) ([]Converter, time
 		curState.done = true
 		for _, e := range r.edges[cur] {
 			nc := curState.cost + e.cost(bytes)
-			if s, ok := states[e.To]; !ok || (!s.done && nc < s.cost) {
+			s, ok := states[e.To]
+			better := !ok || (!s.done && (nc < s.cost ||
+				(nc == s.cost && len(curState.via)+1 < len(s.via))))
+			if better {
 				via := make([]Converter, len(curState.via)+1)
 				copy(via, curState.via)
 				via[len(via)-1] = e

@@ -146,6 +146,96 @@ func TestPathCost(t *testing.T) {
 	}
 }
 
+// TestShortestPathDeterministic pins the tie-breaking of the path
+// search: with two distinct equal-cost routes the search must pick the
+// same one on every call — map iteration order used to decide the
+// winner, so the executor could perform a different (equally priced)
+// conversion chain run to run. Ties break toward the lexicographically
+// smaller intermediate format.
+func TestShortestPathDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Two equal-cost two-hop routes: via "csvfile" and via "partitioned".
+	r.Register(tagConv(Collection, Partitioned, time.Millisecond, 0))
+	r.Register(tagConv(Collection, CSVFile, time.Millisecond, 0))
+	r.Register(tagConv(Partitioned, DFSFile, time.Millisecond, 0))
+	r.Register(tagConv(CSVFile, DFSFile, time.Millisecond, 0))
+
+	var first string
+	for i := 0; i < 200; i++ {
+		ch := &Channel{Format: Collection, Payload: "s", Bytes: 64}
+		out, cost, steps, err := r.Convert(ch, DFSFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps != 2 || cost != 2*time.Millisecond {
+			t.Fatalf("run %d: steps=%d cost=%v", i, steps, cost)
+		}
+		path, _ := out.Payload.(string)
+		if first == "" {
+			first = path
+		} else if path != first {
+			t.Fatalf("run %d took %q, run 0 took %q", i, path, first)
+		}
+	}
+	if !strings.Contains(first, string(CSVFile)) {
+		t.Errorf("tie broke to %q, want the lexicographically smaller csvfile route", first)
+	}
+}
+
+// TestEqualCostPrefersShorterChain pins the second tie-break: when a
+// direct edge and a multi-hop route price identically, the direct edge
+// wins — fewer real conversions for the same modelled cost.
+func TestEqualCostPrefersShorterChain(t *testing.T) {
+	r := NewRegistry()
+	r.Register(tagConv(Collection, DFSFile, 2*time.Millisecond, 0))
+	r.Register(tagConv(Collection, Partitioned, time.Millisecond, 0))
+	r.Register(tagConv(Partitioned, DFSFile, time.Millisecond, 0))
+	for i := 0; i < 50; i++ {
+		_, cost, steps, err := r.Convert(&Channel{Format: Collection, Payload: "s"}, DFSFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps != 1 || cost != 2*time.Millisecond {
+			t.Fatalf("run %d: steps=%d cost=%v, want the direct edge", i, steps, cost)
+		}
+	}
+}
+
+func TestConvertErrorMidChain(t *testing.T) {
+	// First hop succeeds, second hop fails: the error must surface,
+	// name the failing hop, and preserve the cause for errors.Is.
+	r := NewRegistry()
+	boom := errors.New("mid-chain boom")
+	r.Register(tagConv(Collection, Partitioned, time.Millisecond, 0))
+	r.Register(Converter{From: Partitioned, To: DFSFile,
+		Convert: func(*Channel) (*Channel, error) { return nil, boom }})
+	_, _, _, err := r.Convert(&Channel{Format: Collection, Payload: "s"}, DFSFile)
+	if !errors.Is(err, boom) {
+		t.Fatalf("mid-chain error not propagated: %v", err)
+	}
+	if !strings.Contains(err.Error(), "partitioned → dfs") {
+		t.Errorf("error %q does not name the failing hop", err)
+	}
+}
+
+func TestPathCostNoRoute(t *testing.T) {
+	// A graph with edges, just none reaching the target — distinct from
+	// the empty-registry case.
+	r := NewRegistry()
+	r.Register(tagConv(Collection, Partitioned, time.Millisecond, 0))
+	if _, ok := r.PathCost(Collection, Table, 100); ok {
+		t.Error("PathCost found a route to an unreachable format")
+	}
+	if _, _, _, err := r.Convert(&Channel{Format: Collection}, Table); err == nil ||
+		!strings.Contains(err.Error(), "no conversion path") {
+		t.Errorf("Convert error = %v, want a no-path failure", err)
+	}
+	// The reverse direction is also unreachable: edges are directed.
+	if _, ok := r.PathCost(Partitioned, Collection, 100); ok {
+		t.Error("PathCost treated a directed edge as bidirectional")
+	}
+}
+
 func TestConverterErrorPropagates(t *testing.T) {
 	r := NewRegistry()
 	boom := errors.New("boom")

@@ -20,6 +20,9 @@ func NLogN(startup time.Duration, perRec time.Duration) Model {
 		for _, c := range inCards {
 			n += c
 		}
+		if n < 0 {
+			n = 0 // a corrupt cardinality hint must not yield negative cost
+		}
 		work := float64(n)
 		if n > 1 {
 			work = float64(n) * math.Log2(float64(n))
@@ -33,13 +36,17 @@ func NLogN(startup time.Duration, perRec time.Duration) Model {
 
 // PairQuadratic returns a model charging perPair for every pair of
 // left×right input records — nested-loop joins and cartesian products.
+// An empty input side yields zero pairs: a join against nothing does no
+// pair work (negative cardinalities, meaning "unknown", clamp to 0 too,
+// so they can never inflate the product).
 func PairQuadratic(startup time.Duration, perPair time.Duration) Model {
 	return func(_ *physical.Operator, inCards []int64, _ int64) Cost {
 		var pairs int64 = 1
 		for _, c := range inCards {
-			if c > 0 {
-				pairs *= c
+			if c < 0 {
+				c = 0
 			}
+			pairs *= c
 		}
 		if len(inCards) < 2 {
 			pairs = 0

@@ -15,12 +15,38 @@ func TestNLogN(t *testing.T) {
 	if c.CPU != want {
 		t.Errorf("CPU = %v, want %v", c.CPU, want)
 	}
-	// n ≤ 1 degrades to linear, not zero/negative.
-	if c := m(nil, []int64{1}, 0); c.CPU != 10*time.Nanosecond {
-		t.Errorf("n=1 CPU = %v", c.CPU)
+}
+
+// TestNLogNBoundaries pins the model's small-n behavior: log₂ is only
+// applied for n > 1 (log₂(1) = 0 would otherwise zero out real work,
+// and log₂(0) is -Inf), empty input costs nothing, and corrupt negative
+// cardinality sums clamp to zero rather than going negative.
+func TestNLogNBoundaries(t *testing.T) {
+	perRec := 10 * time.Nanosecond
+	m := NLogN(0, perRec)
+	cases := []struct {
+		name    string
+		inCards []int64
+		want    time.Duration
+	}{
+		{"no inputs", nil, 0},
+		{"n=0", []int64{0}, 0},
+		{"n=1 charges linear, not n·log2(1)=0", []int64{1}, perRec},
+		{"n=1 split across inputs", []int64{1, 0}, perRec},
+		{"n=2", []int64{2}, 2 * perRec}, // 2·log2(2) = 2
+		{"negative sum clamps to zero", []int64{-5}, 0},
+		{"negative side cancels within the sum", []int64{-3, 4}, perRec},
 	}
-	if c := m(nil, []int64{0}, 0); c.CPU != 0 {
-		t.Errorf("n=0 CPU = %v", c.CPU)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := m(nil, tc.inCards, 0)
+			if c.CPU != tc.want {
+				t.Errorf("CPU = %v, want %v", c.CPU, tc.want)
+			}
+			if c.CPU < 0 {
+				t.Errorf("negative cost %v", c.CPU)
+			}
+		})
 	}
 }
 
@@ -33,9 +59,36 @@ func TestPairQuadratic(t *testing.T) {
 	if c := m(nil, []int64{100}, 0); c.CPU != 0 {
 		t.Errorf("unary CPU = %v", c.CPU)
 	}
-	// Zero-cardinality side contributes factor 1, not 0 (defensive).
-	if c := m(nil, []int64{0, 200}, 0); c.CPU != 200*time.Nanosecond {
-		t.Errorf("zero-side CPU = %v", c.CPU)
+}
+
+// TestPairQuadraticEmptySide is the regression test for the
+// zero-cardinality bug: an empty side used to contribute factor 1 to
+// the product, so joining 0×200 records was priced like scanning 200 —
+// enough to flip a platform choice on empty-input plans. An empty side
+// must zero the pair count.
+func TestPairQuadraticEmptySide(t *testing.T) {
+	m := PairQuadratic(time.Millisecond, time.Nanosecond)
+	cases := []struct {
+		name    string
+		inCards []int64
+		want    time.Duration
+	}{
+		{"empty left", []int64{0, 200}, 0},
+		{"empty right", []int64{200, 0}, 0},
+		{"both empty", []int64{0, 0}, 0},
+		{"negative (unknown) side clamps to empty", []int64{-1, 200}, 0},
+		{"non-empty control", []int64{3, 4}, 12 * time.Nanosecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := m(nil, tc.inCards, 0)
+			if c.CPU != tc.want {
+				t.Errorf("CPU = %v, want %v", c.CPU, tc.want)
+			}
+			if c.Startup != time.Millisecond {
+				t.Errorf("startup = %v", c.Startup)
+			}
+		})
 	}
 }
 

@@ -184,15 +184,21 @@ type Registry struct {
 	mappings  []Mapping
 	channels  *channel.Registry
 	health    *Health
+	stats     *Stats
 }
 
 // NewRegistry returns an empty registry with a fresh conversion graph.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		platforms: make(map[PlatformID]Platform),
 		channels:  channel.NewRegistry(),
 		health:    newHealth(),
+		stats:     newStats(),
 	}
+	// Breaker transitions feed the per-platform counters, so trips and
+	// recoveries are visible without subscribing to the health tracker.
+	r.health.observe = r.stats.breakerTransition
+	return r
 }
 
 // RegisterPlatform adds a platform and its channel converters.
@@ -287,6 +293,12 @@ func (r *Registry) Channels() *channel.Registry { return r.channels }
 // Health returns the registry's platform health tracker (one circuit
 // breaker per platform, fed by the executor).
 func (r *Registry) Health() *Health { return r.health }
+
+// Stats returns the registry's per-platform execution counters (atoms
+// executed, records in/out, error classes, breaker transitions), fed
+// by the executor. Counters are cumulative across runs; callers
+// wanting per-phase deltas can Reset between runs.
+func (r *Registry) Stats() *Stats { return r.stats }
 
 // Mappings returns a copy of every registered operator mapping.
 func (r *Registry) Mappings() []Mapping {

@@ -62,6 +62,9 @@ type Health struct {
 	cfg     HealthConfig
 	now     func() time.Time // injectable clock for deterministic tests
 	entries map[PlatformID]*breakerEntry
+	// observe, when set, is called (under mu) on every breaker state
+	// transition — the registry wires it to its Stats counters.
+	observe func(id PlatformID, from, to BreakerState)
 }
 
 type breakerEntry struct {
@@ -101,10 +104,23 @@ func (h *Health) entry(id PlatformID) *breakerEntry {
 	return e
 }
 
+// transitionLocked moves the breaker to a new state, notifying the
+// observer when the state actually changes. The caller holds mu.
+func (h *Health) transitionLocked(id PlatformID, e *breakerEntry, to BreakerState) {
+	if e.state == to {
+		return
+	}
+	from := e.state
+	e.state = to
+	if h.observe != nil {
+		h.observe(id, from, to)
+	}
+}
+
 // refreshLocked applies the cooldown transition Open → HalfOpen.
-func (h *Health) refreshLocked(e *breakerEntry) {
+func (h *Health) refreshLocked(id PlatformID, e *breakerEntry) {
 	if e.state == BreakerOpen && h.now().Sub(e.openedAt) >= h.cfg.Cooldown {
-		e.state = BreakerHalfOpen
+		h.transitionLocked(id, e, BreakerHalfOpen)
 	}
 }
 
@@ -116,7 +132,7 @@ func (h *Health) ReportSuccess(id PlatformID) {
 	defer h.mu.Unlock()
 	e := h.entry(id)
 	e.consecutive = 0
-	e.state = BreakerClosed
+	h.transitionLocked(id, e, BreakerClosed)
 }
 
 // ReportFailure records a failed execution attempt and returns whether
@@ -126,15 +142,15 @@ func (h *Health) ReportFailure(id PlatformID) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	e := h.entry(id)
-	h.refreshLocked(e)
+	h.refreshLocked(id, e)
 	switch e.state {
 	case BreakerHalfOpen:
-		e.state = BreakerOpen
+		h.transitionLocked(id, e, BreakerOpen)
 		e.openedAt = h.now()
 	case BreakerClosed:
 		e.consecutive++
 		if e.consecutive >= h.cfg.Threshold {
-			e.state = BreakerOpen
+			h.transitionLocked(id, e, BreakerOpen)
 			e.openedAt = h.now()
 		}
 	case BreakerOpen:
@@ -149,7 +165,7 @@ func (h *Health) State(id PlatformID) BreakerState {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	e := h.entry(id)
-	h.refreshLocked(e)
+	h.refreshLocked(id, e)
 	return e.state
 }
 
@@ -165,7 +181,7 @@ func (h *Health) QuarantinedPlatforms() []PlatformID {
 	defer h.mu.Unlock()
 	var out []PlatformID
 	for id, e := range h.entries {
-		h.refreshLocked(e)
+		h.refreshLocked(id, e)
 		if e.state == BreakerOpen {
 			out = append(out, id)
 		}
@@ -181,7 +197,7 @@ func (h *Health) Snapshot() map[PlatformID]BreakerState {
 	defer h.mu.Unlock()
 	out := make(map[PlatformID]BreakerState, len(h.entries))
 	for id, e := range h.entries {
-		h.refreshLocked(e)
+		h.refreshLocked(id, e)
 		out[id] = e.state
 	}
 	return out

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// PlatformStats aggregates what a platform actually did across the
+// registry's lifetime: the platform-layer half of the observability
+// subsystem (the executor's per-run spans are the other half, package
+// trace). Counters are cumulative across runs sharing the registry —
+// the denominator any learned cost model or platform-overhead study
+// (Hesse et al.) would normalize by.
+type PlatformStats struct {
+	// AtomsExecuted counts successful atom executions.
+	AtomsExecuted int64
+	// AtomsFailed counts atom executions that exhausted their retries
+	// (final failures, each preceded by TransientErrors/FatalErrors
+	// attempt counts).
+	AtomsFailed int64
+	// TransientErrors and FatalErrors count failed execution attempts
+	// by classification (fatal errors are never retried).
+	TransientErrors int64
+	FatalErrors     int64
+	// Retries counts re-executions after transient failures.
+	Retries int64
+	// RecordsIn/RecordsOut total the records consumed and produced by
+	// successful executions.
+	RecordsIn  int64
+	RecordsOut int64
+	// Jobs totals platform jobs launched by successful executions.
+	Jobs int64
+	// SimTime/WallTime total the simulated and host time of successful
+	// executions.
+	SimTime  time.Duration
+	WallTime time.Duration
+	// BreakerTrips counts circuit-breaker transitions into Open
+	// (quarantine); BreakerRecoveries counts transitions back to
+	// Closed after a successful probe.
+	BreakerTrips      int64
+	BreakerRecoveries int64
+}
+
+// Stats tracks per-platform execution counters for a Registry. All
+// methods are safe for concurrent use — the executor reports from many
+// scheduler goroutines at once.
+type Stats struct {
+	mu        sync.Mutex
+	platforms map[PlatformID]*PlatformStats
+}
+
+func newStats() *Stats {
+	return &Stats{platforms: make(map[PlatformID]*PlatformStats)}
+}
+
+func (s *Stats) entry(id PlatformID) *PlatformStats {
+	e := s.platforms[id]
+	if e == nil {
+		e = &PlatformStats{}
+		s.platforms[id] = e
+	}
+	return e
+}
+
+// RecordSuccess accounts one successful atom execution and its metrics.
+func (s *Stats) RecordSuccess(id PlatformID, m Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entry(id)
+	e.AtomsExecuted++
+	e.RecordsIn += m.InRecords
+	e.RecordsOut += m.OutRecords
+	e.Jobs += int64(m.Jobs)
+	e.SimTime += m.Sim
+	e.WallTime += m.Wall
+}
+
+// RecordAttemptFailure accounts one failed execution attempt, by error
+// classification.
+func (s *Stats) RecordAttemptFailure(id PlatformID, fatal bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entry(id)
+	if fatal {
+		e.FatalErrors++
+	} else {
+		e.TransientErrors++
+	}
+}
+
+// RecordRetry accounts one re-execution after a transient failure.
+func (s *Stats) RecordRetry(id PlatformID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entry(id).Retries++
+}
+
+// RecordFinalFailure accounts an atom execution that exhausted its
+// retry budget (or hit a fatal error) and failed for good.
+func (s *Stats) RecordFinalFailure(id PlatformID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entry(id).AtomsFailed++
+}
+
+// breakerTransition is the Health tracker's observer: it counts trips
+// into quarantine and recoveries out of it.
+func (s *Stats) breakerTransition(id PlatformID, from, to BreakerState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entry(id)
+	switch {
+	case to == BreakerOpen && from != BreakerOpen:
+		e.BreakerTrips++
+	case to == BreakerClosed && from != BreakerClosed:
+		e.BreakerRecoveries++
+	}
+}
+
+// Snapshot copies every platform's counters. Platforms that never
+// reported are absent.
+func (s *Stats) Snapshot() map[PlatformID]PlatformStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[PlatformID]PlatformStats, len(s.platforms))
+	for id, e := range s.platforms {
+		out[id] = *e
+	}
+	return out
+}
+
+// Reset clears all counters (experiment harness runs that want
+// per-phase deltas).
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.platforms = make(map[PlatformID]*PlatformStats)
+}

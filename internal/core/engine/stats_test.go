@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStatsRecordAndSnapshot(t *testing.T) {
+	s := newStats()
+	s.RecordSuccess("java", Metrics{Jobs: 1, InRecords: 100, OutRecords: 50, Sim: time.Second, Wall: time.Millisecond})
+	s.RecordSuccess("java", Metrics{Jobs: 2, InRecords: 10, OutRecords: 10})
+	s.RecordAttemptFailure("java", false)
+	s.RecordAttemptFailure("java", true)
+	s.RecordRetry("java")
+	s.RecordFinalFailure("spark")
+
+	snap := s.Snapshot()
+	j := snap["java"]
+	if j.AtomsExecuted != 2 || j.Jobs != 3 || j.RecordsIn != 110 || j.RecordsOut != 60 {
+		t.Errorf("java stats = %+v", j)
+	}
+	if j.TransientErrors != 1 || j.FatalErrors != 1 || j.Retries != 1 {
+		t.Errorf("java error stats = %+v", j)
+	}
+	if j.SimTime != time.Second || j.WallTime != time.Millisecond {
+		t.Errorf("java time stats = %+v", j)
+	}
+	if snap["spark"].AtomsFailed != 1 {
+		t.Errorf("spark stats = %+v", snap["spark"])
+	}
+	// Snapshot is a copy: mutating the source must not leak.
+	s.RecordSuccess("java", Metrics{Jobs: 1})
+	if snap["java"].Jobs != 3 {
+		t.Error("snapshot shares state with the live counters")
+	}
+}
+
+func TestStatsCountBreakerTransitions(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Health()
+	h.Configure(HealthConfig{Threshold: 2, Cooldown: time.Minute})
+	now := time.Unix(0, 0)
+	h.setClock(func() time.Time { return now })
+
+	// Two failures trip the breaker once (the third failure keeps it
+	// open without re-counting).
+	h.ReportFailure("flaky")
+	h.ReportFailure("flaky")
+	h.ReportFailure("flaky")
+	st := reg.Stats().Snapshot()["flaky"]
+	if st.BreakerTrips != 1 || st.BreakerRecoveries != 0 {
+		t.Errorf("after trip: %+v", st)
+	}
+
+	// Cooldown elapses, the half-open probe succeeds: one recovery.
+	now = now.Add(2 * time.Minute)
+	if got := h.State("flaky"); got != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v", got)
+	}
+	h.ReportSuccess("flaky")
+	st = reg.Stats().Snapshot()["flaky"]
+	if st.BreakerTrips != 1 || st.BreakerRecoveries != 1 {
+		t.Errorf("after recovery: %+v", st)
+	}
+
+	// A failed half-open probe re-trips.
+	h.ReportFailure("flaky")
+	h.ReportFailure("flaky")
+	now = now.Add(2 * time.Minute)
+	h.ReportFailure("flaky") // half-open probe fails → Open again
+	st = reg.Stats().Snapshot()["flaky"]
+	if st.BreakerTrips != 3 {
+		t.Errorf("trips after re-trip = %+v", st)
+	}
+}
+
+func TestStatsConcurrentReporters(t *testing.T) {
+	s := newStats()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.RecordSuccess("p", Metrics{Jobs: 1, InRecords: 1})
+				s.RecordAttemptFailure("p", j%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Snapshot()["p"]
+	if st.AtomsExecuted != 800 || st.Jobs != 800 || st.RecordsIn != 800 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.TransientErrors+st.FatalErrors != 800 {
+		t.Errorf("error counts = %+v", st)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	s := newStats()
+	s.RecordSuccess("p", Metrics{Jobs: 1})
+	s.Reset()
+	if len(s.Snapshot()) != 0 {
+		t.Error("reset left counters behind")
+	}
+}

@@ -26,11 +26,11 @@ import (
 	"time"
 
 	"rheem/internal/core/channel"
-	"rheem/internal/core/cost"
 	"rheem/internal/core/engine"
 	"rheem/internal/core/optimizer"
 	"rheem/internal/core/physical"
 	"rheem/internal/core/plan"
+	"rheem/internal/core/trace"
 	"rheem/internal/data"
 )
 
@@ -119,6 +119,12 @@ type Options struct {
 	// operators with the observed cardinalities, keeping completed
 	// atoms frozen. At most one re-optimization happens per run.
 	ReOptimize bool
+	// Tracer, when set, receives the run's span stream (and keeps any
+	// consumers subscribed to it). nil gives the run a private tracer;
+	// either way Result.Trace holds the collected spans and audit
+	// trail. Monitor is implemented as one consumer of this stream, so
+	// a run with both sees identical event ordering.
+	Tracer *trace.Tracer
 }
 
 func (o *Options) defaults() {
@@ -179,6 +185,10 @@ type Result struct {
 	// FinalPlan is the execution plan that finished the run — the
 	// original one, or the re-optimized replacement.
 	FinalPlan *optimizer.ExecutionPlan
+	// Trace is the run's span trace and estimate-vs-actual audit
+	// trail, always collected (spans are cheap next to executing an
+	// atom). See rheem.WithTracing for the public surface.
+	Trace *trace.Trace
 }
 
 // Run executes an optimized plan over the registry's platforms.
@@ -188,11 +198,22 @@ func Run(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts Options) (*Resu
 	defer cancel()
 	opts.Context = ctx
 
+	// Every run notification flows through one span stream: the tracer
+	// collects spans and the audit trail, and the Monitor callback (if
+	// any) is just another consumer of the same stream.
+	tr := opts.Tracer
+	if tr == nil {
+		tr = trace.New()
+	}
+	if opts.Monitor != nil {
+		tr.Subscribe(monitorConsumer(opts.Monitor))
+	}
+
 	start := time.Now()
 	res := &Result{AtomMetrics: make(map[int]engine.Metrics), FinalPlan: ep}
-	st := &runState{cancel: cancel, res: res, audited: map[int]bool{}}
+	st := &runState{cancel: cancel, res: res, tr: tr, audited: map[int]bool{}}
 	channels := make(map[int]*channel.Channel)
-	if err := runPlan(ep, reg, &opts, st, channels, true); err != nil {
+	if err := runPlan(ep, reg, &opts, st, channels, true, -1); err != nil {
 		return nil, err
 	}
 	res.PlatformHealth = reg.Health().Snapshot()
@@ -214,19 +235,50 @@ func Run(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts Options) (*Resu
 	}
 	res.Records = recs
 	res.Metrics.Wall = time.Since(start)
-	emit(&opts, st, Event{Kind: EventPlanDone, Metrics: res.Metrics})
+	tr.PlanDone(res.Metrics)
+	res.Trace = tr.Snapshot()
 	return res, nil
 }
 
-// emit delivers one monitoring event; st.monMu serializes delivery so
-// user callbacks never run concurrently.
-func emit(opts *Options, st *runState, e Event) {
-	if opts.Monitor == nil {
-		return
+// monitorConsumer adapts the span stream to the legacy Monitor event
+// vocabulary — the Monitor facility is one consumer of the stream, so
+// callbacks inherit the tracer's serialization guarantee.
+func monitorConsumer(f func(Event)) trace.Consumer {
+	return func(te trace.Event) {
+		e := Event{Err: te.Err, Metrics: te.Metrics}
+		switch te.Kind {
+		case trace.SpanStart:
+			e.Kind, e.Atom = EventAtomStart, te.Span.Atom
+		case trace.SpanRetry:
+			e.Kind, e.Atom, e.Attempt = EventAtomRetry, te.Span.Atom, te.Attempt
+		case trace.SpanEnd:
+			e.Kind, e.Atom = EventAtomDone, te.Span.Atom
+		case trace.LoopIteration:
+			e.Kind, e.Atom, e.Iteration = EventLoopIteration, te.Span.Atom, te.Iteration
+		case trace.Replan:
+			e.Kind = EventReplan
+		case trace.Failover:
+			e.Kind, e.Atom, e.Excluded = EventFailover, te.Atom, te.Excluded
+		case trace.PlanDone:
+			e.Kind = EventPlanDone
+		default:
+			return
+		}
+		f(e)
 	}
-	st.monMu.Lock()
-	defer st.monMu.Unlock()
-	opts.Monitor(e)
+}
+
+// atomEstCost sums the optimizer's estimated cost over the atom's
+// operators — the prediction the span's measured metrics audit.
+func atomEstCost(ep *optimizer.ExecutionPlan, atom *engine.TaskAtom) time.Duration {
+	if atom.Kind == engine.AtomLoop {
+		return ep.OpCosts[atom.LoopOp.ID].Total()
+	}
+	var total time.Duration
+	for _, op := range atom.Ops {
+		total += ep.OpCosts[op.ID].Total()
+	}
+	return total
 }
 
 // atomDone reports whether every output the atom owes the rest of the
@@ -289,11 +341,19 @@ func reoptimize(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options
 // It may run concurrently with other atoms: the shared channel map and
 // Result are touched only under st.mu, and the platform call itself
 // runs unlocked (Platform.ExecuteAtom must be safe for concurrent
-// calls — see engine.Platform).
-func runComputeAtom(atom *engine.TaskAtom, est *cost.Estimates, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel) error {
+// calls — see engine.Platform). The whole execution — input
+// conversion, every attempt — is wrapped in one trace span.
+func runComputeAtom(atom *engine.TaskAtom, ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel, readyAt time.Time, iter int) error {
+	sp := st.tr.Begin(&trace.Span{
+		Kind: trace.KindAtom, AtomID: atom.ID, Name: atom.String(),
+		Platform: atom.Platform, Plan: ep.Physical.Name, Iteration: iter,
+		EstCost: atomEstCost(ep, atom), Atom: atom,
+	}, readyAt)
 	platform, ok := reg.Platform(atom.Platform)
 	if !ok {
-		return fmt.Errorf("executor: unknown platform %q", atom.Platform)
+		err := fmt.Errorf("executor: unknown platform %q", atom.Platform)
+		st.tr.End(sp, engine.Metrics{}, err)
+		return err
 	}
 	inputs := engine.AtomInputs{}
 	var moveMetrics engine.Metrics
@@ -306,11 +366,15 @@ func runComputeAtom(atom *engine.TaskAtom, est *cost.Estimates, reg *engine.Regi
 			src := channels[in.ID]
 			st.mu.Unlock()
 			if src == nil {
-				return fmt.Errorf("executor: %s needs output of op %d which is not available", atom, in.ID)
+				err := fmt.Errorf("executor: %s needs output of op %d which is not available", atom, in.ID)
+				st.tr.End(sp, moveMetrics, err)
+				return err
 			}
 			conv, cost, steps, err := reg.Channels().Convert(src, platform.NativeFormat())
 			if err != nil {
-				return fmt.Errorf("executor: feeding %s: %w", atom, err)
+				err = fmt.Errorf("executor: feeding %s: %w", atom, err)
+				st.tr.End(sp, moveMetrics, err)
+				return err
 			}
 			moveMetrics.Sim += cost
 			moveMetrics.Conversions += steps
@@ -323,28 +387,38 @@ func runComputeAtom(atom *engine.TaskAtom, est *cost.Estimates, reg *engine.Regi
 			inputs[op.ID][slot] = conv
 		}
 	}
+	sp.ConvTime = moveMetrics.Sim
+	sp.ConvBytes = moveMetrics.MovedBytes
+	sp.ConvSteps = moveMetrics.Conversions
 
-	emit(opts, st, Event{Kind: EventAtomStart, Atom: atom})
 	health := reg.Health()
+	stats := reg.Stats()
 	var exits map[int]*channel.Channel
 	var m engine.Metrics
 	var err error
 	for attempt := 0; ; attempt++ {
+		attStart := st.tr.Now()
 		exits, m, err = executeAttempt(platform, atom, inputs, opts)
+		att := trace.Attempt{Number: attempt + 1, Wall: st.tr.Now().Sub(attStart)}
 		if err == nil {
+			sp.Attempts = append(sp.Attempts, att)
 			health.ReportSuccess(atom.Platform)
 			break
 		}
+		att.Err = err.Error()
+		att.Fatal = engine.IsFatal(err)
+		sp.Attempts = append(sp.Attempts, att)
 		// A cancelled run is not an atom failure: return the context
 		// error itself, untouched — it must not count against the retry
 		// budget, the platform's health, or read as "failed after
 		// retries" in the run error.
 		if ctxErr := opts.Context.Err(); ctxErr != nil {
 			m.Add(moveMetrics)
-			emit(opts, st, Event{Kind: EventAtomDone, Atom: atom, Err: ctxErr, Metrics: m})
+			st.tr.End(sp, m, ctxErr)
 			return ctxErr
 		}
 		fatal := engine.IsFatal(err)
+		stats.RecordAttemptFailure(atom.Platform, fatal)
 		if !fatal {
 			health.ReportFailure(atom.Platform)
 		}
@@ -352,27 +426,31 @@ func runComputeAtom(atom *engine.TaskAtom, est *cost.Estimates, reg *engine.Regi
 			break
 		}
 		moveMetrics.Retries++
-		emit(opts, st, Event{Kind: EventAtomRetry, Atom: atom, Attempt: attempt + 1, Err: err, Metrics: m})
+		sp.Retries++
+		stats.RecordRetry(atom.Platform)
+		st.tr.Retry(sp, attempt+1, m, err)
 		st.mu.Lock()
 		st.res.Metrics.Add(m) // failed attempts still cost time
 		st.mu.Unlock()
 		if ctxErr := backoffSleep(opts, atom.ID, attempt); ctxErr != nil {
-			emit(opts, st, Event{Kind: EventAtomDone, Atom: atom, Err: ctxErr, Metrics: moveMetrics})
+			st.tr.End(sp, moveMetrics, ctxErr)
 			return ctxErr
 		}
 	}
 	m.Add(moveMetrics)
 	if err != nil {
+		stats.RecordFinalFailure(atom.Platform)
 		st.mu.Lock()
 		st.res.Metrics.Add(m) // the final attempt and its retries still cost time
 		st.mu.Unlock()
-		emit(opts, st, Event{Kind: EventAtomDone, Atom: atom, Err: err, Metrics: m})
+		st.tr.End(sp, m, err)
 		wrapped := fmt.Errorf("executor: %s failed after %d attempt(s): %w", atom, moveMetrics.Retries+1, err)
 		if opts.Failover && !engine.IsFatal(err) && health.Quarantined(atom.Platform) {
 			return &failoverError{platform: atom.Platform, atom: atom, err: wrapped}
 		}
 		return wrapped
 	}
+	stats.RecordSuccess(atom.Platform, m)
 	st.mu.Lock()
 	st.res.Metrics.Add(m)
 	am := st.res.AtomMetrics[atom.ID]
@@ -381,19 +459,23 @@ func runComputeAtom(atom *engine.TaskAtom, est *cost.Estimates, reg *engine.Regi
 	for id, ch := range exits {
 		channels[id] = ch
 	}
-	auditCardsLocked(atom, est, exits, opts, st)
+	audits := auditCardsLocked(atom, ep, exits, opts, st)
 	st.mu.Unlock()
-	emit(opts, st, Event{Kind: EventAtomDone, Atom: atom, Metrics: m})
+	st.tr.End(sp, m, nil)
+	st.tr.Audit(audits...)
 	return nil
 }
 
 // auditCardsLocked compares observed exit cardinalities against the
-// optimizer's estimates and records gross mismatches. The caller holds
-// st.mu.
-func auditCardsLocked(atom *engine.TaskAtom, est *cost.Estimates, exits map[int]*channel.Channel, opts *Options, st *runState) {
-	if opts.AuditFactor <= 1 || est == nil {
-		return
+// optimizer's estimates, records gross mismatches in the Result, and
+// returns audit-trail records (every audited exit, flagged or not) for
+// the tracer. The caller holds st.mu.
+func auditCardsLocked(atom *engine.TaskAtom, ep *optimizer.ExecutionPlan, exits map[int]*channel.Channel, opts *Options, st *runState) []trace.CardAudit {
+	est := ep.Estimates
+	if est == nil {
+		return nil
 	}
+	var audits []trace.CardAudit
 	for _, ex := range atom.Exits {
 		ch := exits[ex.ID]
 		if ch == nil || ch.Records < 0 || st.audited[ex.ID] {
@@ -409,20 +491,40 @@ func auditCardsLocked(atom *engine.TaskAtom, est *cost.Estimates, exits map[int]
 		if lo <= 0 {
 			lo = 1
 		}
-		if float64(hi)/float64(lo) > opts.AuditFactor {
+		if hi <= 0 {
+			hi = 1
+		}
+		factor := float64(hi) / float64(lo)
+		flagged := opts.AuditFactor > 1 && factor > opts.AuditFactor
+		audits = append(audits, trace.CardAudit{
+			OpID: ex.ID, OpName: ex.Name(), Platform: atom.Platform,
+			Estimated: estimate, Actual: actual, ErrFactor: factor,
+			Flagged: flagged, EstCost: ep.OpCosts[ex.ID].Total(),
+		})
+		if flagged {
 			st.res.Mismatches = append(st.res.Mismatches, CardMismatch{
 				OpName: ex.Name(), Estimated: estimate, Actual: actual,
 			})
 		}
 	}
+	return audits
 }
 
 // runLoop unrolls a Repeat/DoWhile atom: each iteration executes the
 // body's execution plan with the LoopInput channel bound to the
 // current state, then feeds the body output back as the next state.
 // Iterations stay strictly sequential, but each iteration's body plan
-// runs under the same concurrent scheduler as the top level.
-func runLoop(ep *optimizer.ExecutionPlan, atom *engine.TaskAtom, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel) error {
+// runs under the same concurrent scheduler as the top level. The whole
+// unrolled loop is one KindLoop span; body atoms get their own spans
+// tagged with the iteration they ran in.
+func runLoop(ep *optimizer.ExecutionPlan, atom *engine.TaskAtom, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel, readyAt time.Time, outerIter int) (err error) {
+	sp := st.tr.Begin(&trace.Span{
+		Kind: trace.KindLoop, AtomID: atom.ID, Name: atom.String(),
+		Platform: atom.Platform, Plan: ep.Physical.Name, Iteration: outerIter,
+		EstCost: atomEstCost(ep, atom), Atom: atom,
+	}, readyAt)
+	defer func() { st.tr.End(sp, engine.Metrics{}, err) }()
+
 	loopOp := atom.LoopOp
 	body := ep.LoopBodies[loopOp.ID]
 	if body == nil {
@@ -451,14 +553,14 @@ func runLoop(ep *optimizer.ExecutionPlan, atom *engine.TaskAtom, reg *engine.Reg
 	for iter := 0; iter < maxIter; iter++ {
 		bodyChannels := make(map[int]*channel.Channel)
 		bodyChannels[loopInput.ID] = state
-		if err := runPlan(body, reg, opts, st, bodyChannels, false); err != nil {
+		if err := runPlan(body, reg, opts, st, bodyChannels, false, iter); err != nil {
 			return fmt.Errorf("executor: loop %s iteration %d: %w", loopOp.Name(), iter, err)
 		}
 		state = bodyChannels[body.Physical.SinkOp.ID]
 		if state == nil {
 			return fmt.Errorf("executor: loop %s iteration %d produced no output", loopOp.Name(), iter)
 		}
-		emit(opts, st, Event{Kind: EventLoopIteration, Atom: atom, Iteration: iter})
+		st.tr.Loop(sp, iter)
 
 		if lop.Kind() == plan.KindDoWhile {
 			// Evaluate the condition on driver-side records, like a

@@ -9,8 +9,8 @@
 // Concurrency contract (see also DESIGN.md §executor):
 //
 //   - the channel map, Result accumulation, and the audit ledger are
-//     guarded by runState.mu; Monitor callbacks are serialized by
-//     runState.monMu;
+//     guarded by runState.mu; trace consumers (the Monitor callback
+//     among them) are serialized by the run's Tracer;
 //   - the first atom error wins: it cancels the run context so
 //     in-flight siblings abort, their (context) errors are discarded,
 //     and Run returns the original error without emitting
@@ -30,19 +30,21 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"rheem/internal/core/channel"
 	"rheem/internal/core/engine"
 	"rheem/internal/core/optimizer"
+	"rheem/internal/core/trace"
 )
 
 // runState is the mutable state one run shares across concurrently
 // executing atoms and nested loop-body plans.
 type runState struct {
 	mu      sync.Mutex // guards res, every plan's channel map, audited
-	monMu   sync.Mutex // serializes Monitor callbacks
 	cancel  context.CancelFunc
 	res     *Result
+	tr      *trace.Tracer // the run's span stream; serializes consumers
 	audited map[int]bool
 	// excluded accumulates platforms ruled out by failover re-plans.
 	// Only the top-level dispatcher touches it, and only while
@@ -57,6 +59,7 @@ type atomNode struct {
 	atom       *engine.TaskAtom
 	waits      int // unmet producer atoms
 	dependents []*atomNode
+	readyAt    time.Time // when the last dependency resolved (queue-wait base)
 }
 
 // externalInputIDs lists the physical operator IDs whose channels the
@@ -85,9 +88,9 @@ func externalInputIDs(atom *engine.TaskAtom) []int {
 // map (loop bodies are nested runPlan calls with the LoopInput channel
 // pre-seeded), re-planning at most once when the top-level schedule
 // requests adaptive re-optimization.
-func runPlan(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel, topLevel bool) error {
+func runPlan(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel, topLevel bool, iter int) error {
 	for {
-		replan, failover, err := scheduleAtoms(ep, reg, opts, st, channels, topLevel)
+		replan, failover, err := scheduleAtoms(ep, reg, opts, st, channels, topLevel, iter)
 		if err != nil {
 			return err
 		}
@@ -119,7 +122,7 @@ func runPlan(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, s
 				excluded = append(excluded, id)
 			}
 			sort.Slice(excluded, func(i, j int) bool { return excluded[i] < excluded[j] })
-			emit(opts, st, Event{Kind: EventFailover, Atom: failover.atom, Err: failover.err, Excluded: excluded})
+			st.tr.Failover(failover.atom, failover.err, excluded)
 			ep = newEP
 			continue
 		}
@@ -136,7 +139,7 @@ func runPlan(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, s
 		st.res.Reoptimized = true
 		st.res.FinalPlan = newEP
 		st.mu.Unlock()
-		emit(opts, st, Event{Kind: EventReplan})
+		st.tr.Replan()
 		ep = newEP
 		// Completed atoms of the old plan are skipped via atomDone.
 	}
@@ -149,7 +152,7 @@ func runPlan(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, s
 // quarantined platform's atom demands cross-platform failover (also
 // after draining — the survivors' outputs seed the re-plan), or the
 // first atom error after cancelling its in-flight siblings.
-func scheduleAtoms(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel, topLevel bool) (bool, *failoverError, error) {
+func scheduleAtoms(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, st *runState, channels map[int]*channel.Channel, topLevel bool, iter int) (bool, *failoverError, error) {
 	// Graph setup is single-threaded: no workers are live yet, so the
 	// channel map can be read unlocked. Contains calls here also
 	// pre-build each atom's operator set before goroutines share it.
@@ -191,6 +194,12 @@ func scheduleAtoms(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Opti
 			ready = append(ready, n)
 		}
 	}
+	// Atoms with no unmet dependencies have been waiting since the
+	// schedule started; their queue-wait clock starts now.
+	startReady := st.tr.Now()
+	for _, n := range ready {
+		n.readyAt = startReady
+	}
 
 	type doneMsg struct {
 		n        *atomNode
@@ -220,9 +229,9 @@ func scheduleAtoms(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Opti
 				st.mu.Unlock()
 				var err error
 				if n.atom.Kind == engine.AtomLoop {
-					err = runLoop(ep, n.atom, reg, opts, st, channels)
+					err = runLoop(ep, n.atom, reg, opts, st, channels, n.readyAt, iter)
 				} else {
-					err = runComputeAtom(n.atom, ep.Estimates, reg, opts, st, channels)
+					err = runComputeAtom(n.atom, ep, reg, opts, st, channels, n.readyAt, iter)
 				}
 				st.mu.Lock()
 				mismatch := len(st.res.Mismatches) > before
@@ -270,6 +279,7 @@ func scheduleAtoms(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Opti
 		for _, d := range m.n.dependents {
 			d.waits--
 			if d.waits == 0 {
+				d.readyAt = st.tr.Now()
 				ready = append(ready, d)
 			}
 		}

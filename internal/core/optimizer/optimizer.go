@@ -78,6 +78,11 @@ type ExecutionPlan struct {
 	LoopBodies map[int]*ExecutionPlan // keyed by loop physical op ID
 	Estimated  cost.Cost
 	Estimates  *cost.Estimates
+	// OpCosts is the estimated cost of each operator under its chosen
+	// platform and algorithm (loops carry their whole body's cost,
+	// multiplied by the expected iterations). The executor's audit
+	// trail compares these predictions against measured runtimes.
+	OpCosts map[int]cost.Cost
 }
 
 // String renders the execution plan as its atom sequence.
@@ -138,6 +143,7 @@ func optimizeWith(p *physical.Plan, reg *engine.Registry, opts Options, est *cos
 		Assignment: make(map[int]engine.PlatformID, len(p.Ops)),
 		LoopBodies: make(map[int]*ExecutionPlan),
 		Estimates:  est,
+		OpCosts:    make(map[int]cost.Cost, len(p.Ops)),
 	}
 	// Optimize loop bodies first: a loop's cost and platform derive
 	// from its body.
@@ -395,12 +401,14 @@ func backtrack(op *physical.Operator, pl engine.PlatformID, dp map[int]map[engin
 }
 
 // vectorCost re-walks the chosen assignment summing full cost vectors
-// (the DP optimises the scalar total only).
+// (the DP optimises the scalar total only), retaining each operator's
+// cost in ep.OpCosts for the executor's estimate-vs-actual audit.
 func vectorCost(p *physical.Plan, reg *engine.Registry, est *cost.Estimates, ep *ExecutionPlan, loopCost map[int]cost.Cost, roots map[int]bool) cost.Cost {
 	var total cost.Cost
 	for _, op := range p.Ops {
 		pl := ep.Assignment[op.ID]
 		if lc, isLoop := loopCost[op.ID]; isLoop {
+			ep.OpCosts[op.ID] = lc
 			total = total.Plus(lc)
 		} else {
 			inCards := make([]int64, len(op.Inputs))
@@ -418,6 +426,7 @@ func vectorCost(p *physical.Plan, reg *engine.Registry, est *cost.Estimates, ep 
 				if !newAtom {
 					oc.Startup = 0
 				}
+				ep.OpCosts[op.ID] = oc
 				total = total.Plus(oc)
 			}
 		}

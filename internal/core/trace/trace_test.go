@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rheem/internal/core/engine"
+)
+
+// fakeClock advances a deterministic amount on every read.
+func fakeClock(step time.Duration) func() time.Time {
+	t := time.Unix(1000, 0)
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestSpanLifecycleAndSnapshot(t *testing.T) {
+	tr := New()
+	tr.SetClock(fakeClock(time.Millisecond))
+
+	var kinds []EventKind
+	tr.Subscribe(func(e Event) { kinds = append(kinds, e.Kind) })
+
+	ready := tr.Now()
+	sp := tr.Begin(&Span{Kind: KindAtom, AtomID: 7, Platform: "java"}, ready)
+	if sp.ID != 1 {
+		t.Errorf("span ID = %d", sp.ID)
+	}
+	if sp.QueueWait != time.Millisecond {
+		t.Errorf("queue wait = %v, want 1ms from the fake clock", sp.QueueWait)
+	}
+	sp.Attempts = append(sp.Attempts, Attempt{Number: 1, Err: "transient"})
+	tr.Retry(sp, 1, engine.Metrics{}, errors.New("transient"))
+	sp.Attempts = append(sp.Attempts, Attempt{Number: 2})
+	sp.Retries = 1
+	tr.End(sp, engine.Metrics{Jobs: 1}, nil)
+	tr.PlanDone(engine.Metrics{Jobs: 1})
+
+	want := []EventKind{SpanStart, SpanRetry, SpanEnd, PlanDone}
+	if len(kinds) != len(want) {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event kinds = %v, want %v", kinds, want)
+		}
+	}
+
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("%d spans in snapshot", len(snap.Spans))
+	}
+	got := snap.Spans[0]
+	if got.Wall <= 0 || got.EndedAt.Before(got.StartedAt) {
+		t.Errorf("span timing: started %v ended %v wall %v", got.StartedAt, got.EndedAt, got.Wall)
+	}
+	if got.Failed() {
+		t.Errorf("successful span reports failure %q", got.Err)
+	}
+	if len(got.Attempts) != 2 || got.Retries != 1 {
+		t.Errorf("attempts = %v retries = %d", got.Attempts, got.Retries)
+	}
+}
+
+func TestConsumersSerialized(t *testing.T) {
+	tr := New()
+	inCallback := false // races under -race if callbacks overlap
+	events := 0
+	tr.Subscribe(func(Event) {
+		if inCallback {
+			t.Error("consumer re-entered concurrently")
+		}
+		inCallback = true
+		defer func() { inCallback = false }()
+		events++
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := tr.Begin(&Span{Kind: KindAtom, AtomID: i}, time.Time{})
+			tr.End(sp, engine.Metrics{}, nil)
+		}(i)
+	}
+	wg.Wait()
+	if events != 32 {
+		t.Errorf("saw %d events, want 32", events)
+	}
+	if got := len(tr.Snapshot().Spans); got != 16 {
+		t.Errorf("%d spans recorded", got)
+	}
+	// IDs must be unique.
+	seen := map[int]bool{}
+	for _, sp := range tr.Snapshot().Spans {
+		if seen[sp.ID] {
+			t.Errorf("duplicate span ID %d", sp.ID)
+		}
+		seen[sp.ID] = true
+	}
+}
+
+func TestTracePlatformsAndSpansOn(t *testing.T) {
+	tr := New()
+	for _, pl := range []engine.PlatformID{"a", "b", "a"} {
+		sp := tr.Begin(&Span{Kind: KindAtom, Platform: pl}, time.Time{})
+		tr.End(sp, engine.Metrics{}, nil)
+	}
+	snap := tr.Snapshot()
+	pls := snap.Platforms()
+	if len(pls) != 2 || pls[0] != "a" || pls[1] != "b" {
+		t.Errorf("platforms = %v", pls)
+	}
+	if got := len(snap.SpansOn("a")); got != 2 {
+		t.Errorf("%d spans on platform a", got)
+	}
+}
+
+func TestFailedSpanAndAudit(t *testing.T) {
+	tr := New()
+	sp := tr.Begin(&Span{Kind: KindAtom, Platform: "chaos"}, time.Time{})
+	tr.End(sp, engine.Metrics{}, errors.New("injected"))
+	tr.Audit(CardAudit{OpID: 3, OpName: "filter", Estimated: 500, Actual: 0, ErrFactor: 500, Flagged: true})
+
+	snap := tr.Snapshot()
+	if !snap.Spans[0].Failed() || snap.Spans[0].Err != "injected" {
+		t.Errorf("failed span = %+v", snap.Spans[0])
+	}
+	if len(snap.Audits) != 1 || !snap.Audits[0].Flagged {
+		t.Errorf("audits = %+v", snap.Audits)
+	}
+}
+
+func TestWriteJSONOneLinePerRecord(t *testing.T) {
+	tr := New()
+	for i := 0; i < 3; i++ {
+		sp := tr.Begin(&Span{Kind: KindAtom, AtomID: i, Platform: "java", Name: "map"}, time.Time{})
+		sp.Attempts = []Attempt{{Number: 1, Wall: time.Millisecond}}
+		tr.End(sp, engine.Metrics{Jobs: 1, OutRecords: 10}, nil)
+	}
+	tr.Audit(CardAudit{OpID: 1, OpName: "map", Estimated: 10, Actual: 10, ErrFactor: 1})
+
+	var buf bytes.Buffer
+	if err := tr.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	spans, audits := 0, 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		lines++
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", lines, err)
+		}
+		switch obj["type"] {
+		case "span":
+			spans++
+			if obj["platform"] != "java" {
+				t.Errorf("span line missing platform: %v", obj)
+			}
+		case "audit":
+			audits++
+		default:
+			t.Errorf("unknown line type %v", obj["type"])
+		}
+	}
+	if spans != 3 || audits != 1 {
+		t.Errorf("dump has %d span lines and %d audit lines", spans, audits)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	tr := New()
+	sp := tr.Begin(&Span{Kind: KindAtom}, time.Time{})
+	tr.End(sp, engine.Metrics{}, nil)
+	snap := tr.Snapshot()
+	sp2 := tr.Begin(&Span{Kind: KindAtom}, time.Time{})
+	tr.End(sp2, engine.Metrics{}, nil)
+	if len(snap.Spans) != 1 {
+		t.Errorf("earlier snapshot grew to %d spans", len(snap.Spans))
+	}
+}

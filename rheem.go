@@ -37,6 +37,7 @@ import (
 	"rheem/internal/core/optimizer"
 	"rheem/internal/core/physical"
 	"rheem/internal/core/plan"
+	"rheem/internal/core/trace"
 	"rheem/internal/data"
 	"rheem/internal/platform/javaengine"
 	"rheem/internal/platform/relengine"
@@ -119,8 +120,9 @@ func (c *Context) SparkConfig() (sparksim.Config, bool) {
 type RunOption func(*runConfig)
 
 type runConfig struct {
-	opt  optimizer.Options
-	exec executor.Options
+	opt     optimizer.Options
+	exec    executor.Options
+	tracing bool
 }
 
 // OnPlatform pins the whole job to one platform — the single-platform
@@ -183,6 +185,16 @@ func WithReOptimize(on bool) RunOption {
 	return func(rc *runConfig) { rc.exec.ReOptimize = on }
 }
 
+// WithTracing enables cross-layer observability for the run: the
+// Report carries the full span trace (one span per executed task atom
+// — queue wait, per-attempt latency, conversion volume, chosen
+// platform — plus the optimizer's estimate-vs-actual audit trail) and
+// a snapshot of the per-platform execution counters. Trace.WriteJSON
+// dumps the trace as flame-friendly JSON lines.
+func WithTracing() RunOption {
+	return func(rc *runConfig) { rc.tracing = true }
+}
+
 // Report describes how a job ran: the chosen execution plan and the
 // aggregate metrics (wall time, simulated cluster time, shuffled and
 // moved bytes, jobs, retries).
@@ -203,6 +215,13 @@ type Report struct {
 	// PlatformHealth is the per-platform circuit-breaker state at the
 	// end of the run.
 	PlatformHealth map[engine.PlatformID]engine.BreakerState
+	// Trace is the run's span trace and estimate-vs-actual audit trail;
+	// nil unless the run was started WithTracing.
+	Trace *trace.Trace
+	// PlatformStats snapshots the registry's per-platform execution
+	// counters after the run (cumulative across the context's runs);
+	// nil unless the run was started WithTracing.
+	PlatformStats map[engine.PlatformID]engine.PlatformStats
 }
 
 // Execute optimizes and runs a logical plan, returning the sink's
@@ -228,14 +247,19 @@ func (c *Context) Execute(p *plan.Plan, opts ...RunOption) ([]data.Record, *Repo
 	if finalPlan == nil {
 		finalPlan = ep
 	}
-	return res.Records, &Report{
+	rep := &Report{
 		Plan:           finalPlan,
 		Metrics:        res.Metrics,
 		Mismatches:     res.Mismatches,
 		Reoptimized:    res.Reoptimized,
 		Failovers:      res.Failovers,
 		PlatformHealth: res.PlatformHealth,
-	}, nil
+	}
+	if rc.tracing {
+		rep.Trace = res.Trace
+		rep.PlatformStats = c.reg.Stats().Snapshot()
+	}
+	return res.Records, rep, nil
 }
 
 // Explain optimizes a logical plan and renders the execution plan —

@@ -341,3 +341,48 @@ func TestPlatformRegistryExposed(t *testing.T) {
 		}
 	}
 }
+
+func TestWithTracingExposesTraceAndStats(t *testing.T) {
+	ctx := newCtx(t)
+	words := datagen.Words(300, 2)
+	build := func(name string) *rheem.DataQuanta {
+		return ctx.NewJob(name).ReadCollection("words", words).
+			Map(func(r data.Record) (data.Record, error) {
+				return r.Append(data.Int(1)), nil
+			}).
+			ReduceByKey(plan.FieldKey(0), plan.SumField(1))
+	}
+
+	// Default runs keep the report lean: no trace, no counters.
+	_, rep, err := build("untraced").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace != nil || rep.PlatformStats != nil {
+		t.Error("untraced run exposed trace or stats")
+	}
+
+	_, rep, err = build("traced").Collect(rheem.WithTracing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == nil {
+		t.Fatal("WithTracing run has no trace")
+	}
+	if len(rep.Trace.Spans) != len(rep.Plan.Atoms) {
+		t.Errorf("%d spans for %d plan atoms", len(rep.Trace.Spans), len(rep.Plan.Atoms))
+	}
+	for _, sp := range rep.Trace.Spans {
+		if sp.Platform == "" || sp.Failed() || len(sp.Attempts) == 0 {
+			t.Errorf("span = %+v", sp)
+		}
+	}
+	if rep.PlatformStats == nil {
+		t.Fatal("WithTracing run has no platform stats")
+	}
+	for _, id := range rep.Trace.Platforms() {
+		if rep.PlatformStats[id].AtomsExecuted == 0 {
+			t.Errorf("platform %s ran spans but counted no atoms", id)
+		}
+	}
+}
