@@ -15,6 +15,7 @@ import (
 	"rheem/internal/apps/ml"
 	"rheem/internal/bench"
 	"rheem/internal/core/engine"
+	"rheem/internal/core/metrics"
 	"rheem/internal/core/plan"
 	"rheem/internal/data"
 	"rheem/internal/data/datagen"
@@ -179,10 +180,12 @@ func benchSensorPipeline(b *testing.B, opts ...rheem.RunOption) {
 	}
 }
 
-func BenchmarkMultiPlatformFree(b *testing.B)   { benchSensorPipeline(b) }
-func BenchmarkMultiPlatformJava(b *testing.B)   { benchSensorPipeline(b, rheem.OnPlatform(javaengine.ID)) }
-func BenchmarkMultiPlatformSpark(b *testing.B)  { benchSensorPipeline(b, rheem.OnPlatform(sparksim.ID)) }
-func BenchmarkMultiPlatformRel(b *testing.B)    { benchSensorPipeline(b, rheem.OnPlatform(relengine.ID)) }
+func BenchmarkMultiPlatformFree(b *testing.B) { benchSensorPipeline(b) }
+func BenchmarkMultiPlatformJava(b *testing.B) {
+	benchSensorPipeline(b, rheem.OnPlatform(javaengine.ID))
+}
+func BenchmarkMultiPlatformSpark(b *testing.B) { benchSensorPipeline(b, rheem.OnPlatform(sparksim.ID)) }
+func BenchmarkMultiPlatformRel(b *testing.B)   { benchSensorPipeline(b, rheem.OnPlatform(relengine.ID)) }
 
 // --- E6 / optimizer choice ------------------------------------------------
 
@@ -233,6 +236,30 @@ func BenchmarkExecutorParallelism(b *testing.B) {
 		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := bench.RunFanOut(ctx.Registry(), branches, recs, delay, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Records) != branches*recs {
+					b.Fatalf("%d records", len(res.Records))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecutorParallelismMetrics is BenchmarkExecutorParallelism
+// with the span stream feeding a live telemetry hub — the acceptance
+// benchmark for the metrics layer's hot-path cost (must stay within a
+// few percent of the untraced run).
+func BenchmarkExecutorParallelismMetrics(b *testing.B) {
+	ctx := benchCtx(b)
+	hub := metrics.NewHub()
+	const branches, recs = 8, 20
+	const delay = 500 * time.Microsecond
+	for _, par := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunFanOutTraced(ctx.Registry(), hub, branches, recs, delay, par)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -7,20 +7,34 @@
 //
 // Usage:
 //
-//	rheem-bench [-experiment all|fig2|fig3left|fig3right|iejoin|multiplatform|optimizer|reopt|parallelism|chaos]
+//	rheem-bench [-experiment all|fig2|fig3left|fig3right|iejoin|multiplatform|optimizer|reopt|parallelism|chaos|telemetry]
 //	            [-quick] [-clock sim|wall] [-csv DIR] [-v] [-trace FILE]
+//	            [-metrics ADDR] [-linger DUR] [-scrape URL]
+//
+// With -metrics ADDR the process serves /metrics (Prometheus text
+// exposition), /runs (live per-run JSON progress) and /debug/pprof
+// while the experiments execute, and prints a final scrape to stdout
+// when they finish. -scrape URL turns the binary into a dependency-free
+// scrape validator (for CI): GET the URL, check 200 and that the body
+// parses as Prometheus exposition or JSON, then exit.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"rheem"
 	"rheem/internal/bench"
+	"rheem/internal/core/metrics"
 	"rheem/internal/core/plan"
 	"rheem/internal/data"
 )
@@ -33,7 +47,18 @@ func main() {
 	verbose := flag.Bool("v", false, "log progress")
 	mappings := flag.Bool("mappings", false, "print the declarative operator-mapping table and exit")
 	tracePath := flag.String("trace", "", "run a traced demo job and dump its span trace as JSON lines to FILE ('-' for stdout), then exit")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /runs and /debug/pprof on ADDR while experiments run, then print a final scrape to stdout")
+	linger := flag.Duration("linger", 0, "with -metrics: keep serving this long after the experiments finish")
+	scrapeURL := flag.String("scrape", "", "GET URL, validate the response (Prometheus exposition or JSON), then exit")
 	flag.Parse()
+
+	if *scrapeURL != "" {
+		if err := scrape(*scrapeURL, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rheem-bench: scrape: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *mappings {
 		ctx, err := rheem.NewContext(rheem.Config{})
@@ -55,7 +80,13 @@ func main() {
 			}
 			out = f
 		}
-		err := traceDump(out)
+		// Buffer the line stream, and treat a failed Flush or Close as
+		// a failed dump: a truncated JSONL file must not exit 0.
+		buf := bufio.NewWriter(out)
+		err := traceDump(buf)
+		if ferr := buf.Flush(); err == nil {
+			err = ferr
+		}
 		if *tracePath != "-" {
 			if cerr := out.Close(); err == nil {
 				err = cerr
@@ -81,6 +112,18 @@ func main() {
 		cfg.Log = os.Stderr
 	}
 
+	var srv *metrics.Server
+	if *metricsAddr != "" {
+		cfg.Hub = metrics.NewHub()
+		srv = metrics.NewServer(cfg.Hub)
+		addr, err := srv.Start(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rheem-bench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rheem-bench: serving /metrics, /runs, /debug/pprof on http://%s\n", addr)
+	}
+
 	names := bench.Experiments()
 	if *experiment != "all" {
 		names = []string{*experiment}
@@ -101,6 +144,51 @@ func main() {
 			}
 		}
 	}
+
+	if srv != nil {
+		if *linger > 0 {
+			fmt.Fprintf(os.Stderr, "rheem-bench: experiments done, serving %v longer on http://%s\n", *linger, srv.Addr())
+			time.Sleep(*linger)
+		}
+		fmt.Println("--- final /metrics scrape ---")
+		if err := cfg.Hub.Registry().WriteProm(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rheem-bench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if err := srv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rheem-bench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// scrape is the -scrape mode: a dependency-free monitoring validator
+// for CI. It GETs url, requires a 200, and checks that the body
+// actually parses — Prometheus text exposition for text/plain
+// responses, JSON otherwise — echoing the body to w on success.
+func scrape(url string, w io.Writer) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %s", url, resp.Status)
+	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		if _, err := metrics.ParseProm(bytes.NewReader(body)); err != nil {
+			return fmt.Errorf("%s: invalid Prometheus exposition: %w", url, err)
+		}
+	} else if !json.Valid(body) {
+		return fmt.Errorf("%s: response is neither Prometheus text nor valid JSON", url)
+	}
+	_, err = w.Write(body)
+	return err
 }
 
 // traceDump runs a small multi-platform demo job with tracing enabled

@@ -4,7 +4,14 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
+
+	"rheem/internal/core/metrics"
+	"rheem/internal/core/trace"
 )
 
 func TestTraceDumpEmitsValidJSONLines(t *testing.T) {
@@ -18,6 +25,9 @@ func TestTraceDumpEmitsValidJSONLines(t *testing.T) {
 		var line map[string]any
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
 			t.Fatalf("invalid JSON line %q: %v", sc.Text(), err)
+		}
+		if v, _ := line["schema"].(float64); v != trace.JSONSchema {
+			t.Errorf("line schema = %v, want %d: %v", line["schema"], trace.JSONSchema, line)
 		}
 		switch line["type"] {
 		case "span":
@@ -47,5 +57,50 @@ func TestTraceDumpEmitsValidJSONLines(t *testing.T) {
 	}
 	if flagged == 0 {
 		t.Error("the demo job's deliberately wrong selectivity was not flagged")
+	}
+}
+
+// TestScrapeValidates exercises the -scrape mode CI leans on: a real
+// monitoring server's endpoints must pass, and a lying endpoint — 200
+// with garbage — must fail rather than slip through.
+func TestScrapeValidates(t *testing.T) {
+	hub := metrics.NewHub()
+	hub.Registry().CounterVec("rheem_atoms_total", "Atoms.", "platform").With("java").Add(3)
+	srv := metrics.NewServer(hub)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var out bytes.Buffer
+	if err := scrape("http://"+addr+"/metrics", &out); err != nil {
+		t.Errorf("scrape /metrics: %v", err)
+	}
+	if !strings.Contains(out.String(), "rheem_atoms_total") {
+		t.Errorf("scrape did not echo the body: %q", out.String())
+	}
+	if err := scrape("http://"+addr+"/runs", io.Discard); err != nil {
+		t.Errorf("scrape /runs: %v", err)
+	}
+	if err := scrape("http://"+addr+"/nope", io.Discard); err == nil {
+		t.Error("scrape of a 404 endpoint did not fail")
+	}
+
+	liar := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		io.WriteString(w, "this is not { prometheus\n")
+	}))
+	defer liar.Close()
+	if err := scrape(liar.URL, io.Discard); err == nil {
+		t.Error("scrape of unparseable exposition did not fail")
+	}
+	liarJSON := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"runs":`)
+	}))
+	defer liarJSON.Close()
+	if err := scrape(liarJSON.URL, io.Discard); err == nil {
+		t.Error("scrape of truncated JSON did not fail")
 	}
 }

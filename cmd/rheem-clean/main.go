@@ -6,7 +6,7 @@
 // Usage:
 //
 //	rheem-clean -in data.csv [-fd id:zip->city,state] [-dc 'id:salary>salary,rate<rate:fix=rate']
-//	            [-platform java|spark|relational|auto] [-repair out.csv] [-demo n]
+//	            [-platform java|spark|relational|auto] [-repair out.csv] [-demo n] [-metrics addr]
 //
 // Rule syntax:
 //
@@ -48,6 +48,7 @@ func run() error {
 	platform := flag.String("platform", "auto", "java|spark|relational|auto")
 	repairOut := flag.String("repair", "", "write the repaired dataset to this CSV")
 	demo := flag.Int("demo", 0, "generate a synthetic dirty tax dataset of this size instead of -in")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /runs and /debug/pprof on this address while cleaning")
 	flag.Parse()
 
 	var schema *data.Schema
@@ -103,9 +104,17 @@ func run() error {
 		}
 	}
 
-	ctx, err := rheem.NewContext(rheem.Config{})
+	var ctxOpts []rheem.ContextOption
+	if *metricsAddr != "" {
+		ctxOpts = append(ctxOpts, rheem.WithMetricsAddr(*metricsAddr))
+	}
+	ctx, err := rheem.NewContext(rheem.Config{}, ctxOpts...)
 	if err != nil {
 		return err
+	}
+	defer ctx.Close()
+	if *metricsAddr != "" {
+		fmt.Fprintf(os.Stderr, "rheem-clean: serving /metrics, /runs, /debug/pprof on http://%s\n", ctx.MetricsAddr())
 	}
 	var opts []rheem.RunOption
 	switch *platform {

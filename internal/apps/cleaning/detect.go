@@ -61,6 +61,21 @@ func (d *Detector) Detect(dataset []data.Record, opts ...rheem.RunOption) ([]Vio
 		if rep != nil {
 			merged.Metrics.Add(rep.Metrics)
 			merged.Plan = rep.Plan
+			merged.Failovers += rep.Failovers
+			merged.PlatformHealth = rep.PlatformHealth
+			merged.Reoptimized = merged.Reoptimized || rep.Reoptimized
+			merged.Mismatches = append(merged.Mismatches, rep.Mismatches...)
+			if rep.Trace != nil {
+				merged.Trace = rep.Trace
+			}
+			// The stats and telemetry snapshots are cumulative across the
+			// context's runs, so the last rule's snapshot covers them all.
+			if rep.PlatformStats != nil {
+				merged.PlatformStats = rep.PlatformStats
+			}
+			if rep.Telemetry != nil {
+				merged.Telemetry = rep.Telemetry
+			}
 		}
 	}
 	return all, merged, nil

@@ -17,6 +17,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"rheem/internal/core/metrics"
 )
 
 // Table is one experiment's result: column headers plus formatted rows.
@@ -186,6 +188,10 @@ type Config struct {
 	WallClock bool
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
+	// Hub, when set, feeds every experiment context's telemetry into
+	// this shared hub — rheem-bench -metrics passes its monitoring
+	// server's hub here so /metrics and /runs cover all experiments.
+	Hub *metrics.Hub
 }
 
 func (c Config) logf(format string, args ...any) {

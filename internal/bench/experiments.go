@@ -28,8 +28,13 @@ func init() {
 
 // newCtx builds the experiment context with the calibrated cluster:
 // 4 workers × 2 slots, 50 ms job overhead — the knobs behind the
-// Figure 2 crossover (see EXPERIMENTS.md "Calibration").
-func newCtx() (*rheem.Context, error) {
+// Figure 2 crossover (see EXPERIMENTS.md "Calibration"). When the
+// config carries a telemetry hub (rheem-bench -metrics), the context
+// joins it so one monitoring server sees every experiment.
+func newCtx(cfg Config) (*rheem.Context, error) {
+	if cfg.Hub != nil {
+		return rheem.NewContext(rheem.Config{}, rheem.WithTelemetryHub(cfg.Hub))
+	}
 	return rheem.NewContext(rheem.Config{})
 }
 
@@ -73,7 +78,7 @@ func platformsUsed(rep *rheem.Report) string {
 // --- E1 / Figure 2: SVM on Spark and Java -------------------------------
 
 func fig2(cfg Config) ([]*Table, error) {
-	ctx, err := newCtx()
+	ctx, err := newCtx(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +162,7 @@ func zipCityFD() cleaning.FD {
 }
 
 func fig3left(cfg Config) ([]*Table, error) {
-	ctx, err := newCtx()
+	ctx, err := newCtx(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +215,7 @@ func fig3left(cfg Config) ([]*Table, error) {
 // --- E3 / Figure 3 right: BigDansing vs baselines on Spark --------------
 
 func fig3right(cfg Config) ([]*Table, error) {
-	ctx, err := newCtx()
+	ctx, err := newCtx(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -283,7 +288,7 @@ func salaryRateDC() cleaning.DenialConstraint {
 }
 
 func iejoin(cfg Config) ([]*Table, error) {
-	ctx, err := newCtx()
+	ctx, err := newCtx(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -375,7 +380,7 @@ func sensorPipeline(ctx *rheem.Context, readings []data.Record, opts ...rheem.Ru
 }
 
 func multiplatform(cfg Config) ([]*Table, error) {
-	ctx, err := newCtx()
+	ctx, err := newCtx(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -449,7 +454,7 @@ func multiplatform(cfg Config) ([]*Table, error) {
 // --- E6: optimizer choice vs oracle over the Figure 2 sweep --------------
 
 func optimizerChoice(cfg Config) ([]*Table, error) {
-	ctx, err := newCtx()
+	ctx, err := newCtx(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"rheem/internal/core/engine"
 	"rheem/internal/core/executor"
+	"rheem/internal/core/metrics"
 	"rheem/internal/core/optimizer"
 	"rheem/internal/core/physical"
 	"rheem/internal/core/plan"
@@ -80,6 +81,14 @@ func FanOutAssignments(pp *physical.Plan) map[int]engine.PlatformID {
 // RunFanOut optimizes a fresh fan-out plan against the registry and
 // executes it at the given scheduler parallelism.
 func RunFanOut(reg *engine.Registry, branches, recs int, delay time.Duration, par int) (*executor.Result, error) {
+	return RunFanOutTraced(reg, nil, branches, recs, delay, par)
+}
+
+// RunFanOutTraced is RunFanOut with the run's span stream feeding a
+// telemetry hub — the workload behind the metrics-overhead acceptance
+// benchmark (BenchmarkExecutorParallelismMetrics). A nil hub runs
+// untraced.
+func RunFanOutTraced(reg *engine.Registry, hub *metrics.Hub, branches, recs int, delay time.Duration, par int) (*executor.Result, error) {
 	pp, err := FanOutPlan(branches, recs, delay)
 	if err != nil {
 		return nil, err
@@ -91,7 +100,15 @@ func RunFanOut(reg *engine.Registry, branches, recs int, delay time.Duration, pa
 	if err != nil {
 		return nil, err
 	}
-	return executor.Run(ep, reg, executor.Options{Parallelism: par})
+	opts := executor.Options{Parallelism: par}
+	if hub == nil {
+		return executor.Run(ep, reg, opts)
+	}
+	tracer, run := hub.NewRunTracer("fanout")
+	opts.Tracer = tracer
+	res, err := executor.Run(ep, reg, opts)
+	run.End(err)
+	return res, err
 }
 
 // parallelism measures the executor's concurrent DAG scheduler on the
@@ -99,7 +116,7 @@ func RunFanOut(reg *engine.Registry, branches, recs int, delay time.Duration, pa
 // executor) versus bounded worker pools. Records and job counts must
 // not change with parallelism — only the wall clock does.
 func parallelism(cfg Config) ([]*Table, error) {
-	ctx, err := newCtx()
+	ctx, err := newCtx(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +133,7 @@ func parallelism(cfg Config) ([]*Table, error) {
 	var base time.Duration
 	for _, par := range []int{1, 2, 4, 8} {
 		cfg.logf("parallelism: par=%d", par)
-		res, err := RunFanOut(ctx.Registry(), branches, recs, delay, par)
+		res, err := RunFanOutTraced(ctx.Registry(), cfg.Hub, branches, recs, delay, par)
 		if err != nil {
 			return nil, err
 		}

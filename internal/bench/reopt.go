@@ -22,7 +22,7 @@ func init() {
 // exposes the lie. This takes the §4.2 Executor duty of "monitoring
 // the progress of plan execution" to its conclusion.
 func reopt(cfg Config) ([]*Table, error) {
-	ctx, err := newCtx()
+	ctx, err := newCtx(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"rheem"
+	"rheem/internal/apps/cleaning"
+	"rheem/internal/apps/ml"
+	"rheem/internal/data/datagen"
+)
+
+func init() {
+	register("telemetry", telemetry)
+}
+
+// telemetry is E10: the cost of the live telemetry layer. Each
+// workload (k-means and BigDansing-style cleaning — the paper's two
+// flagship jobs) runs three ways: tracing off, WithTracing, and
+// WithTracing plus a metrics server being scraped concurrently. The
+// reported overheads are the wall-time deltas against the first mode.
+// Every Execute feeds the hub's span-stream collector regardless of
+// mode (that cost is the baseline); the modes add report snapshots and
+// scrape load on top.
+func telemetry(cfg Config) ([]*Table, error) {
+	reps := 5
+	kmN, kmIters := 20_000, 10
+	cleanN := 20_000
+	if cfg.Quick {
+		reps = 2
+		kmN, kmIters = 2_000, 3
+		cleanN = 2_000
+	}
+
+	pts := datagen.Points(datagen.PointsConfig{N: kmN, Dim: 3, Noise: 0.05, Seed: 42})
+	tax := datagen.Tax(datagen.TaxConfig{N: cleanN, Zips: cleanN / 50, ErrorRate: 0.01, Seed: 42})
+
+	workloads := []struct {
+		name string
+		run  func(ctx *rheem.Context, opts ...rheem.RunOption) (*rheem.Report, error)
+	}{
+		{"k-means", func(ctx *rheem.Context, opts ...rheem.RunOption) (*rheem.Report, error) {
+			tpl := ml.KMeans(pts, ml.KMeansConfig{K: 4, Iterations: kmIters, Dim: 3})
+			_, rep, err := tpl.Run(ctx, opts...)
+			return rep, err
+		}},
+		{"cleaning", func(ctx *rheem.Context, opts ...rheem.RunOption) (*rheem.Report, error) {
+			det, err := cleaning.NewDetector(ctx, zipCityFD())
+			if err != nil {
+				return nil, err
+			}
+			_, rep, err := det.Detect(tax, opts...)
+			return rep, err
+		}},
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("E10 — live telemetry overhead (best of %d, wall time)", reps),
+		Note: "Modes: tracing off / WithTracing (report carries trace + telemetry snapshot) / " +
+			"WithTracing with /metrics and /runs scraped continuously during the run.",
+		Columns: []string{"workload", "mode", "wall", "overhead"},
+	}
+
+	for _, w := range workloads {
+		var base time.Duration
+		for _, mode := range []string{"off", "tracing", "tracing+scrape"} {
+			cfg.logf("telemetry: %s %s", w.name, mode)
+			wall, err := telemetryMode(cfg, mode, reps, w.run)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: %s/%s: %w", w.name, mode, err)
+			}
+			if mode == "off" {
+				base = wall
+			}
+			overhead := "-"
+			if mode != "off" && base > 0 {
+				overhead = fmt.Sprintf("%+.1f%%", 100*float64(wall-base)/float64(base))
+			}
+			t.AddRow(w.name, mode, Dur(wall), overhead)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// telemetryMode measures one (workload, mode) cell: best wall time of
+// reps executions, each on a fresh context so breaker state and
+// cumulative counters never leak between modes.
+func telemetryMode(cfg Config, mode string, reps int,
+	run func(ctx *rheem.Context, opts ...rheem.RunOption) (*rheem.Report, error)) (time.Duration, error) {
+
+	var opts []rheem.RunOption
+	if mode != "off" {
+		opts = append(opts, rheem.WithTracing())
+	}
+
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		ctx, err := newCtx(cfg)
+		if err != nil {
+			return 0, err
+		}
+		var stopScrape chan struct{}
+		var scraped chan int
+		if mode == "tracing+scrape" {
+			addr, err := ctx.ServeMetrics("127.0.0.1:0")
+			if err != nil {
+				return 0, err
+			}
+			stopScrape = make(chan struct{})
+			scraped = make(chan int, 1)
+			go scrapeLoop(addr, stopScrape, scraped)
+		}
+		rep, err := run(ctx, opts...)
+		if stopScrape != nil {
+			close(stopScrape)
+			n := <-scraped
+			if n == 0 {
+				// The workload outran the scraper entirely — the cell
+				// would not measure what it claims. One late scrape.
+				scrapeOnce(ctx.MetricsAddr())
+			}
+		}
+		cerr := ctx.Close()
+		if err != nil {
+			return 0, err
+		}
+		if cerr != nil {
+			return 0, cerr
+		}
+		if mode != "off" && rep.Telemetry == nil {
+			return 0, fmt.Errorf("tracing mode produced no telemetry snapshot")
+		}
+		if wall := rep.Metrics.Wall; best == 0 || wall < best {
+			best = wall
+		}
+	}
+	return best, nil
+}
+
+// scrapeLoop polls /metrics and /runs every 10ms until stopped —
+// orders of magnitude more aggressive than a real scraper's 5–15s
+// interval, without degenerating into a CPU-stealing busy loop —
+// reporting how many scrapes completed.
+func scrapeLoop(addr string, stop <-chan struct{}, done chan<- int) {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	n := 0
+	for {
+		select {
+		case <-stop:
+			done <- n
+			return
+		case <-tick.C:
+			if scrapeOnce(addr) {
+				n++
+			}
+		}
+	}
+}
+
+// scrapeOnce GETs both monitoring endpoints, draining the bodies the
+// way a real scraper would.
+func scrapeOnce(addr string) bool {
+	ok := true
+	for _, path := range []string{"/metrics", "/runs"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			ok = false
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			ok = false
+		}
+	}
+	return ok
+}

@@ -16,6 +16,7 @@ package channel
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -100,11 +101,64 @@ func (c Converter) cost(bytes int64) time.Duration {
 type Registry struct {
 	mu    sync.RWMutex
 	edges map[Format][]Converter
+
+	// convMu guards the cumulative conversion traffic ledger, kept
+	// separate from mu so accounting a finished conversion never
+	// contends with concurrent path searches.
+	convMu sync.Mutex
+	conv   map[[2]Format]*ConversionStat
+}
+
+// ConversionStat is the cumulative traffic over one (from, to)
+// conversion route: how many conversions were performed end-to-end and
+// how many bytes entered them. The live telemetry layer exports these
+// as rheem_channel_conversions_total / _bytes_total.
+type ConversionStat struct {
+	From, To Format
+	Count    int64
+	Bytes    int64
 }
 
 // NewRegistry returns an empty conversion graph.
 func NewRegistry() *Registry {
-	return &Registry{edges: make(map[Format][]Converter)}
+	return &Registry{
+		edges: make(map[Format][]Converter),
+		conv:  make(map[[2]Format]*ConversionStat),
+	}
+}
+
+// recordConversion accounts one performed end-to-end conversion.
+func (r *Registry) recordConversion(from, to Format, bytes int64) {
+	r.convMu.Lock()
+	key := [2]Format{from, to}
+	s := r.conv[key]
+	if s == nil {
+		s = &ConversionStat{From: from, To: to}
+		r.conv[key] = s
+	}
+	s.Count++
+	if bytes > 0 {
+		s.Bytes += bytes
+	}
+	r.convMu.Unlock()
+}
+
+// ConversionStats returns the cumulative per-route conversion traffic,
+// sorted by (from, to) for deterministic output.
+func (r *Registry) ConversionStats() []ConversionStat {
+	r.convMu.Lock()
+	out := make([]ConversionStat, 0, len(r.conv))
+	for _, s := range r.conv {
+		out = append(out, *s)
+	}
+	r.convMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
 }
 
 // Register adds a converter edge.
@@ -144,6 +198,7 @@ func (r *Registry) Convert(ch *Channel, to Format) (*Channel, time.Duration, int
 		}
 		cur = next
 	}
+	r.recordConversion(ch.Format, to, ch.Bytes)
 	return cur, cost, len(path), nil
 }
 

@@ -265,3 +265,47 @@ func TestFormats(t *testing.T) {
 		t.Errorf("Formats() = %d entries", got)
 	}
 }
+
+func TestConversionStats(t *testing.T) {
+	r := NewRegistry()
+	r.Register(tagConv(Collection, Table, time.Millisecond, 0))
+	r.Register(tagConv(Table, CSVFile, time.Millisecond, 0))
+
+	if got := r.ConversionStats(); len(got) != 0 {
+		t.Fatalf("fresh registry has stats: %+v", got)
+	}
+
+	// Two multi-hop conversions over the same route account as one
+	// (from, to) entry; same-format no-ops and failures don't count.
+	for i := 0; i < 2; i++ {
+		ch := &Channel{Format: Collection, Payload: "x", Bytes: 100}
+		if _, _, _, err := r.Convert(ch, CSVFile); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, _, err := r.Convert(&Channel{Format: Table, Payload: "x", Bytes: 7}, Table); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := r.Convert(&Channel{Format: DFSFile}, Table); err == nil {
+		t.Fatal("pathless conversion accepted")
+	}
+
+	stats := r.ConversionStats()
+	if len(stats) != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	s := stats[0]
+	if s.From != Collection || s.To != CSVFile || s.Count != 2 || s.Bytes != 200 {
+		t.Errorf("stat = %+v", s)
+	}
+
+	// Deterministic (from, to) ordering.
+	r.Register(tagConv(CSVFile, DFSFile, time.Millisecond, 0))
+	if _, _, _, err := r.Convert(&Channel{Format: CSVFile, Payload: "x", Bytes: 1}, DFSFile); err != nil {
+		t.Fatal(err)
+	}
+	stats = r.ConversionStats()
+	if len(stats) != 2 || stats[0].From > stats[1].From {
+		t.Errorf("stats not sorted: %+v", stats)
+	}
+}

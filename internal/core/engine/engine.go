@@ -237,6 +237,16 @@ func (r *Registry) Platform(id PlatformID) (Platform, bool) {
 	return p, ok
 }
 
+// PlatformIDs returns the registered platform IDs in registration
+// order — the label set the telemetry layer enumerates gauges over.
+func (r *Registry) PlatformIDs() []PlatformID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]PlatformID, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
 // Platforms returns all platforms in registration order.
 func (r *Registry) Platforms() []Platform {
 	r.mu.RLock()

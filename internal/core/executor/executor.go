@@ -210,6 +210,9 @@ func Run(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts Options) (*Resu
 	}
 
 	start := time.Now()
+	// Announce the plan and its atom count before scheduling starts, so
+	// live-progress consumers know the denominator from the first span.
+	tr.Start(ep.Physical.Name, len(ep.Atoms))
 	res := &Result{AtomMetrics: make(map[int]engine.Metrics), FinalPlan: ep}
 	st := &runState{cancel: cancel, res: res, tr: tr, audited: map[int]bool{}}
 	channels := make(map[int]*channel.Channel)

@@ -123,6 +123,7 @@ func runPlan(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, s
 			}
 			sort.Slice(excluded, func(i, j int) bool { return excluded[i] < excluded[j] })
 			st.tr.Failover(failover.atom, failover.err, excluded)
+			st.tr.Start(newEP.Physical.Name, len(newEP.Atoms))
 			ep = newEP
 			continue
 		}
@@ -140,6 +141,7 @@ func runPlan(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options, s
 		st.res.FinalPlan = newEP
 		st.mu.Unlock()
 		st.tr.Replan()
+		st.tr.Start(newEP.Physical.Name, len(newEP.Atoms))
 		ep = newEP
 		// Completed atoms of the old plan are skipped via atomDone.
 	}

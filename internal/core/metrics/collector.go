@@ -1,0 +1,263 @@
+// The Hub bundles a metrics Registry, a RunTracker and the span-stream
+// Collector that feeds both. A Context owns a private hub by default;
+// rheem.WithTelemetryHub lets several Contexts (the bench harness's
+// per-experiment contexts, say) share one hub so a single monitoring
+// server sees them all.
+
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/core/engine"
+	"rheem/internal/core/trace"
+)
+
+// Hub ties together the three live-telemetry pieces.
+type Hub struct {
+	reg  *Registry
+	runs *RunTracker
+	col  *Collector
+}
+
+// NewHub returns a hub with a fresh registry, run tracker and
+// collector (instruments pre-registered).
+func NewHub() *Hub {
+	reg := NewRegistry()
+	h := &Hub{reg: reg, runs: NewRunTracker()}
+	h.col = newCollector(reg)
+	return h
+}
+
+// Registry returns the hub's metrics registry.
+func (h *Hub) Registry() *Registry { return h.reg }
+
+// Runs returns the hub's run tracker.
+func (h *Hub) Runs() *RunTracker { return h.runs }
+
+// NewRunTracer registers a run and returns a tracer whose span stream
+// feeds the hub (plus any extra consumers), and the run handle the
+// caller must End. This is the single wiring point between a Context's
+// Execute and the live telemetry layer.
+func (h *Hub) NewRunTracer(name string, extra ...trace.Consumer) (*trace.Tracer, *Run) {
+	run := h.runs.Begin(name)
+	consumers := append([]trace.Consumer{h.col.Consumer(run)}, extra...)
+	return trace.New(consumers...), run
+}
+
+// BindEngine exports a platform registry's scrape-time state: breaker
+// states as gauges and the cumulative per-platform counters the
+// registry's Stats ledger keeps (trips, recoveries, failed atoms).
+// Rebinding (a newer Context sharing the hub) replaces the previous
+// callbacks — the latest bound registry is the one a scrape shows.
+func (h *Hub) BindEngine(reg *engine.Registry) {
+	h.reg.SetFunc("rheem_breaker_state",
+		"Per-platform circuit breaker state (0=closed, 1=half-open, 2=open).",
+		typeGauge, []string{"platform"}, func() []Sample {
+			ids := reg.PlatformIDs()
+			health := reg.Health()
+			out := make([]Sample, 0, len(ids))
+			for _, id := range ids {
+				out = append(out, Sample{
+					Labels: []Label{{Name: "platform", Value: string(id)}},
+					Value:  float64(health.State(id)),
+				})
+			}
+			return out
+		})
+	h.reg.SetFunc("rheem_breaker_trips_total",
+		"Circuit breaker transitions into Open (platform quarantined).",
+		typeCounter, []string{"platform"}, func() []Sample {
+			return platformStatSamples(reg, func(s engine.PlatformStats) float64 {
+				return float64(s.BreakerTrips)
+			})
+		})
+	h.reg.SetFunc("rheem_breaker_recoveries_total",
+		"Circuit breaker transitions back to Closed after a successful probe.",
+		typeCounter, []string{"platform"}, func() []Sample {
+			return platformStatSamples(reg, func(s engine.PlatformStats) float64 {
+				return float64(s.BreakerRecoveries)
+			})
+		})
+	h.reg.SetFunc("rheem_atoms_failed_total",
+		"Atom executions that exhausted their retries, per platform.",
+		typeCounter, []string{"platform"}, func() []Sample {
+			return platformStatSamples(reg, func(s engine.PlatformStats) float64 {
+				return float64(s.AtomsFailed)
+			})
+		})
+}
+
+// BindChannels exports the conversion graph's cumulative per-edge
+// traffic (conversions performed and bytes moved between formats).
+func (h *Hub) BindChannels(reg *channel.Registry) {
+	h.reg.SetFunc("rheem_channel_conversions_total",
+		"Cross-format channel conversions performed, per (from, to) format pair.",
+		typeCounter, []string{"from", "to"}, func() []Sample {
+			stats := reg.ConversionStats()
+			out := make([]Sample, 0, len(stats))
+			for _, s := range stats {
+				out = append(out, Sample{
+					Labels: []Label{
+						{Name: "from", Value: string(s.From)},
+						{Name: "to", Value: string(s.To)},
+					},
+					Value: float64(s.Count),
+				})
+			}
+			return out
+		})
+	h.reg.SetFunc("rheem_channel_conversion_bytes_total",
+		"Bytes moved through cross-format channel conversions, per (from, to) format pair.",
+		typeCounter, []string{"from", "to"}, func() []Sample {
+			stats := reg.ConversionStats()
+			out := make([]Sample, 0, len(stats))
+			for _, s := range stats {
+				out = append(out, Sample{
+					Labels: []Label{
+						{Name: "from", Value: string(s.From)},
+						{Name: "to", Value: string(s.To)},
+					},
+					Value: float64(s.Bytes),
+				})
+			}
+			return out
+		})
+}
+
+func platformStatSamples(reg *engine.Registry, pick func(engine.PlatformStats) float64) []Sample {
+	stats := reg.Stats().Snapshot()
+	ids := make([]engine.PlatformID, 0, len(stats))
+	for id := range stats {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]Sample, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, Sample{
+			Labels: []Label{{Name: "platform", Value: string(id)}},
+			Value:  pick(stats[id]),
+		})
+	}
+	return out
+}
+
+// Collector folds span-stream events into the hub's instruments. One
+// collector serves every run on the hub; per-run progress goes to the
+// Run handle the consumer was built with.
+type Collector struct {
+	atomLatency *HistogramVec // platform
+	queueWait   *HistogramVec // platform
+	convBytes   *HistogramVec // platform
+	atoms       *CounterVec   // platform, status
+	recordsIn   *CounterVec   // platform
+	recordsOut  *CounterVec   // platform
+	retries     *CounterVec   // platform
+	failovers   *Counter
+	replans     *Counter
+	runsTotal   *Counter
+	audits      *CounterVec // flagged
+}
+
+// newCollector registers the collector's instruments on the registry.
+func newCollector(reg *Registry) *Collector {
+	c := &Collector{
+		atomLatency: reg.HistogramVec("rheem_atom_latency_seconds",
+			"Wall latency of task atom executions (input conversion plus every attempt).",
+			LatencyBuckets, "platform"),
+		queueWait: reg.HistogramVec("rheem_atom_queue_wait_seconds",
+			"Time atoms sat ready before a scheduler worker picked them up.",
+			LatencyBuckets, "platform"),
+		convBytes: reg.HistogramVec("rheem_conversion_bytes",
+			"Bytes converted across platform boundaries to feed an atom.",
+			SizeBuckets, "platform"),
+		atoms: reg.CounterVec("rheem_atoms_total",
+			"Task atom executions by final status.", "platform", "status"),
+		recordsIn: reg.CounterVec("rheem_records_in_total",
+			"Records consumed from input channels by successful atoms.", "platform"),
+		recordsOut: reg.CounterVec("rheem_records_out_total",
+			"Records produced to output channels by successful atoms.", "platform"),
+		retries: reg.CounterVec("rheem_retries_total",
+			"Atom execution attempts retried after transient failures.", "platform"),
+		failovers: reg.CounterVec("rheem_failovers_total",
+			"Cross-platform failover re-plans.").With(),
+		replans: reg.CounterVec("rheem_replans_total",
+			"Adaptive re-optimizations triggered by cardinality mismatches.").With(),
+		runsTotal: reg.CounterVec("rheem_runs_total",
+			"Plan executions started.").With(),
+		audits: reg.CounterVec("rheem_card_audits_total",
+			"Estimate-vs-actual cardinality audit records, by whether the miss was flagged.",
+			"flagged"),
+	}
+	// The mis-estimate ratio is derived from the audit counters at
+	// scrape time: flagged / total, 0 while no audits have happened.
+	reg.SetFunc("rheem_card_misestimate_ratio",
+		"Fraction of audited atom-boundary cardinalities flagged as gross mis-estimates.",
+		typeGauge, nil, func() []Sample {
+			flagged := float64(c.audits.With("true").Value())
+			total := flagged + float64(c.audits.With("false").Value())
+			ratio := 0.0
+			if total > 0 {
+				ratio = flagged / total
+			}
+			return []Sample{{Value: ratio}}
+		})
+	return c
+}
+
+// Consumer returns a trace consumer that updates the shared
+// instruments and the given run's live progress. Consumers are invoked
+// under the tracer's lock, so per-event work stays small: a few atomic
+// adds plus one short critical section on the run.
+func (c *Collector) Consumer(run *Run) trace.Consumer {
+	c.runsTotal.Inc()
+	return func(e trace.Event) {
+		switch e.Kind {
+		case trace.RunStart:
+			run.setTotal(e.TotalAtoms)
+		case trace.SpanStart:
+			run.spanStarted(string(e.Span.Platform))
+		case trace.SpanRetry:
+			c.retries.With(string(e.Span.Platform)).Inc()
+			run.retry()
+		case trace.SpanEnd:
+			sp := e.Span
+			platform := string(sp.Platform)
+			status := "ok"
+			if sp.Failed() {
+				status = "error"
+			}
+			c.atoms.With(platform, status).Inc()
+			if sp.Kind == trace.KindAtom {
+				c.atomLatency.With(platform).Observe(sp.Wall.Seconds())
+				if sp.QueueWait > 0 {
+					c.queueWait.With(platform).Observe(sp.QueueWait.Seconds())
+				}
+				if sp.ConvBytes > 0 {
+					c.convBytes.With(platform).Observe(float64(sp.ConvBytes))
+				}
+			}
+			if !sp.Failed() {
+				c.recordsIn.With(platform).Add(e.Metrics.InRecords)
+				c.recordsOut.With(platform).Add(e.Metrics.OutRecords)
+			}
+			records := int64(0)
+			if !sp.Failed() {
+				records = e.Metrics.OutRecords
+			}
+			run.spanEnded(platform, records, sp.Failed(), sp.Iteration < 0)
+		case trace.Failover:
+			c.failovers.Inc()
+			run.failover()
+		case trace.Replan:
+			c.replans.Inc()
+			run.replan()
+		case trace.AuditRecords:
+			for _, a := range e.Audits {
+				c.audits.With(fmt.Sprintf("%t", a.Flagged)).Inc()
+			}
+		}
+	}
+}

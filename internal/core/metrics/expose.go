@@ -1,0 +1,360 @@
+// Prometheus text exposition: the writer renders a Registry in the
+// text format (version 0.0.4) a Prometheus server scrapes, and the
+// parser validates such output — used by the round-trip tests and by
+// `rheem-bench -scrape` in the CI smoke job. Both are local so the
+// module stays dependency-free.
+
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string.
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeLabels renders {a="b",c="d"}, with extra appended last (the
+// histogram "le" label).
+func writeLabels(w *bufio.Writer, labels []Label, extra ...Label) {
+	all := append(append([]Label{}, labels...), extra...)
+	if len(all) == 0 {
+		return
+	}
+	w.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		fmt.Fprintf(w, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	w.WriteByte('}')
+}
+
+// WriteProm renders every family in the Prometheus text exposition
+// format, families sorted by name, samples in first-use order.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		r.mu.RLock()
+		f := r.families[name]
+		r.mu.RUnlock()
+		if f == nil {
+			continue
+		}
+		samples := f.collect()
+		if len(samples) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range samples {
+			if f.typ == typeHistogram {
+				for _, b := range s.buckets {
+					bw.WriteString(f.name)
+					bw.WriteString("_bucket")
+					writeLabels(bw, s.labels, Label{Name: "le", Value: formatValue(b.UpperBound)})
+					fmt.Fprintf(bw, " %d\n", b.CumulativeCount)
+				}
+				bw.WriteString(f.name)
+				bw.WriteString("_sum")
+				writeLabels(bw, s.labels)
+				fmt.Fprintf(bw, " %s\n", formatValue(s.sum))
+				bw.WriteString(f.name)
+				bw.WriteString("_count")
+				writeLabels(bw, s.labels)
+				fmt.Fprintf(bw, " %d\n", s.count)
+				continue
+			}
+			bw.WriteString(f.name)
+			writeLabels(bw, s.labels)
+			fmt.Fprintf(bw, " %s\n", formatValue(s.value))
+		}
+	}
+	return bw.Flush()
+}
+
+// ParsedSample is one sample line of a parsed exposition.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one metric family of a parsed exposition.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// ParseProm parses and validates Prometheus text exposition output:
+// legal metric and label names, parseable values, a TYPE declaration
+// for every sample's family, histogram families ending with an +Inf
+// bucket and carrying _sum/_count. It returns the families in input
+// order. A scrape that fails this parse would also fail a real
+// Prometheus server's scrape.
+func ParseProm(r io.Reader) ([]ParsedFamily, error) {
+	var (
+		families []ParsedFamily
+		byName   = map[string]*ParsedFamily{}
+		lineNo   int
+	)
+	getFamily := func(name string) *ParsedFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		families = append(families, ParsedFamily{Name: name})
+		f := &families[len(families)-1]
+		byName[name] = f
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				return nil, fmt.Errorf("metrics: line %d: malformed %s line", lineNo, parts[1])
+			}
+			name := parts[2]
+			if err := checkName(name); err != nil {
+				return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+			}
+			f := getFamily(name)
+			if parts[1] == "HELP" {
+				f.Help = parts[3]
+				continue
+			}
+			switch parts[3] {
+			case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+				f.Type = parts[3]
+			default:
+				return nil, fmt.Errorf("metrics: line %d: unknown type %q", lineNo, parts[3])
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		sample, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		base := sample.Name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(base, suffix)
+			if trimmed != base {
+				if f, ok := byName[trimmed]; ok && f.Type == typeHistogram {
+					base = trimmed
+				}
+				break
+			}
+		}
+		f, ok := byName[base]
+		if !ok || f.Type == "" {
+			return nil, fmt.Errorf("metrics: line %d: sample %q has no TYPE declaration", lineNo, sample.Name)
+		}
+		f.Samples = append(f.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range families {
+		f := &families[i]
+		if f.Type != typeHistogram {
+			continue
+		}
+		if err := checkHistogram(f); err != nil {
+			return nil, err
+		}
+	}
+	return families, nil
+}
+
+// checkHistogram validates that a histogram family has an +Inf bucket
+// plus _sum and _count samples.
+func checkHistogram(f *ParsedFamily) error {
+	var haveInf, haveSum, haveCount bool
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			if s.Labels["le"] == "+Inf" {
+				haveInf = true
+			}
+		case f.Name + "_sum":
+			haveSum = true
+		case f.Name + "_count":
+			haveCount = true
+		}
+	}
+	if len(f.Samples) == 0 {
+		return nil
+	}
+	if !haveInf || !haveSum || !haveCount {
+		return fmt.Errorf("metrics: histogram %s missing +Inf bucket, _sum or _count", f.Name)
+	}
+	return nil
+}
+
+// parseSampleLine parses `name{a="b"} 1.5` (labels optional).
+func parseSampleLine(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:nameEnd]
+	if err := checkName(s.Name); err != nil {
+		return s, err
+	}
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		end := indexUnescapedBrace(rest)
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp may follow the value; take the first field.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// indexUnescapedBrace finds the closing '}' of a label set, skipping
+// quoted strings (which may contain escaped quotes and braces).
+func indexUnescapedBrace(s string) int {
+	inQuotes, escaped := false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuotes = !inQuotes
+		case c == '}' && !inQuotes:
+			return i
+		}
+	}
+	return -1
+}
+
+// parseLabels parses `a="b",c="d"`.
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed labels %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if err := checkName(name); err != nil {
+			return nil, err
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s: unquoted value", name)
+		}
+		end, value, err := readQuoted(s)
+		if err != nil {
+			return nil, fmt.Errorf("label %s: %w", name, err)
+		}
+		out[name] = value
+		s = s[end:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out, nil
+}
+
+// readQuoted reads a leading quoted string, returning the index just
+// past the closing quote and the unescaped value.
+func readQuoted(s string) (int, string, error) {
+	var sb strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return 0, "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				sb.WriteByte(s[i])
+			}
+		case '"':
+			return i + 1, sb.String(), nil
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return 0, "", fmt.Errorf("unterminated string")
+}
+
+// parseValue parses a sample value, accepting the Inf/NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

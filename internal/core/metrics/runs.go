@@ -1,0 +1,301 @@
+// Live run progress: every Context.Execute registers a Run with the
+// hub's RunTracker, the span-stream collector updates it as atoms
+// start and finish, and the /runs endpoint serializes the tracker —
+// so a long multi-platform job can be watched while it executes
+// (atoms completed/total, current records/sec, per-platform atom
+// occupancy, failovers so far).
+
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// doneHistory bounds how many finished runs /runs keeps reporting.
+const doneHistory = 32
+
+// rateWindow is the sliding window current records/sec is computed
+// over.
+const rateWindow = 5 * time.Second
+
+// rateSample is one span-end contribution to the records/sec window.
+type rateSample struct {
+	at      time.Time
+	records int64
+}
+
+// Run is one in-flight (or recently finished) Execute, updated by the
+// hub's span-stream collector. All methods are safe for concurrent
+// use.
+type Run struct {
+	mu        sync.Mutex
+	id        int64
+	name      string
+	startedAt time.Time
+	endedAt   time.Time
+	now       func() time.Time
+
+	total     int // scheduled atoms in the current plan; 0 = unknown
+	running   int // spans in flight, loop-body atoms included
+	completed int
+	failed    int
+	retries   int
+	failovers int
+	replans   int
+
+	recordsOut int64
+	occupancy  map[string]int // platform → atoms currently executing
+	window     []rateSample
+
+	done bool
+	err  string
+}
+
+// RunStatus is one run's JSON-serializable progress snapshot.
+type RunStatus struct {
+	ID        int64     `json:"id"`
+	Name      string    `json:"name"`
+	StartedAt time.Time `json:"started_at"`
+	EndedAt   time.Time `json:"ended_at"`
+	Done      bool      `json:"done"`
+	Err       string    `json:"error,omitempty"`
+
+	// AtomsTotal is the scheduled atom count of the current plan (it
+	// can change when a failover or re-optimization replaces the plan);
+	// 0 while unknown.
+	AtomsTotal int `json:"atoms_total"`
+	// AtomsDone counts top-level spans that finished successfully;
+	// AtomsFailed the ones that ended in an error (retries exhausted).
+	AtomsDone    int `json:"atoms_done"`
+	AtomsFailed  int `json:"atoms_failed"`
+	AtomsRunning int `json:"atoms_running"`
+	Retries      int `json:"retries"`
+	Failovers    int `json:"failovers"`
+	Replans      int `json:"replans"`
+
+	// RecordsOut totals records produced by successful atoms, loop-body
+	// iterations included — a throughput figure, not the sink size.
+	RecordsOut int64 `json:"records_out"`
+	// RecordsPerSec is the output rate over the trailing 5s window —
+	// the "current" throughput, not the lifetime average.
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// Occupancy maps platform → atoms executing on it right now.
+	Occupancy map[string]int `json:"occupancy,omitempty"`
+
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// ID returns the run's tracker-assigned identity.
+func (r *Run) ID() int64 { return r.id }
+
+// setTotal records the scheduled atom count of the (possibly
+// replacement) plan.
+func (r *Run) setTotal(n int) {
+	r.mu.Lock()
+	if n > 0 {
+		r.total = n
+	}
+	r.mu.Unlock()
+}
+
+// spanStarted accounts an atom entering execution on a platform
+// (loop-body atoms included — they occupy platforms too).
+func (r *Run) spanStarted(platform string) {
+	r.mu.Lock()
+	r.running++
+	if r.occupancy == nil {
+		r.occupancy = map[string]int{}
+	}
+	r.occupancy[platform]++
+	r.mu.Unlock()
+}
+
+// spanEnded accounts an atom leaving execution: occupancy and the
+// rate-window contribution for every span; completion progress only
+// for top-level spans (loop bodies don't advance atoms_done — their
+// enclosing loop span does, once, when the loop finishes).
+func (r *Run) spanEnded(platform string, records int64, failed, topLevel bool) {
+	r.mu.Lock()
+	if r.running > 0 {
+		r.running--
+	}
+	if r.occupancy[platform] > 0 {
+		r.occupancy[platform]--
+	}
+	if topLevel {
+		if failed {
+			r.failed++
+		} else {
+			r.completed++
+		}
+	}
+	if records > 0 {
+		r.recordsOut += records
+		now := r.now()
+		r.window = append(r.window, rateSample{at: now, records: records})
+		r.trimWindowLocked(now)
+	}
+	r.mu.Unlock()
+}
+
+func (r *Run) retry()    { r.mu.Lock(); r.retries++; r.mu.Unlock() }
+func (r *Run) failover() { r.mu.Lock(); r.failovers++; r.mu.Unlock() }
+func (r *Run) replan()   { r.mu.Lock(); r.replans++; r.mu.Unlock() }
+
+// trimWindowLocked drops rate samples older than the window.
+func (r *Run) trimWindowLocked(now time.Time) {
+	cut := now.Add(-rateWindow)
+	i := 0
+	for i < len(r.window) && r.window[i].at.Before(cut) {
+		i++
+	}
+	if i > 0 {
+		r.window = append(r.window[:0], r.window[i:]...)
+	}
+}
+
+// End marks the run finished. A non-nil err records the failure the
+// caller is about to return.
+func (r *Run) End(err error) {
+	r.mu.Lock()
+	if !r.done {
+		r.done = true
+		r.endedAt = r.now()
+		if err != nil {
+			r.err = err.Error()
+		}
+	}
+	r.mu.Unlock()
+}
+
+// status snapshots the run (deep-copied).
+func (r *Run) status() RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	st := RunStatus{
+		ID: r.id, Name: r.name, StartedAt: r.startedAt, EndedAt: r.endedAt,
+		Done: r.done, Err: r.err,
+		AtomsTotal: r.total, AtomsDone: r.completed, AtomsFailed: r.failed,
+		Retries: r.retries, Failovers: r.failovers, Replans: r.replans,
+		RecordsOut: r.recordsOut,
+	}
+	st.AtomsRunning = r.running
+	end := now
+	if r.done {
+		end = r.endedAt
+	}
+	if d := end.Sub(r.startedAt); d > 0 {
+		st.ElapsedMS = d.Milliseconds()
+	}
+	if !r.done {
+		r.trimWindowLocked(now)
+		var recs int64
+		for _, s := range r.window {
+			recs += s.records
+		}
+		span := rateWindow
+		if lived := now.Sub(r.startedAt); lived > 0 && lived < span {
+			span = lived
+		}
+		if span > 0 {
+			st.RecordsPerSec = float64(recs) / span.Seconds()
+		}
+		if len(r.occupancy) > 0 {
+			st.Occupancy = make(map[string]int, len(r.occupancy))
+			for k, v := range r.occupancy {
+				if v > 0 {
+					st.Occupancy[k] = v
+				}
+			}
+			if len(st.Occupancy) == 0 {
+				st.Occupancy = nil
+			}
+		}
+	}
+	return st
+}
+
+// RunTracker registers runs and serves their progress. One tracker is
+// shared by every Context bound to the same Hub.
+type RunTracker struct {
+	mu     sync.Mutex
+	now    func() time.Time
+	nextID int64
+	active []*Run
+	done   []*Run // most recent last, bounded by doneHistory
+}
+
+// NewRunTracker returns an empty tracker.
+func NewRunTracker() *RunTracker {
+	return &RunTracker{now: time.Now}
+}
+
+// SetClock injects a clock (tests only). It applies to runs begun
+// after the call.
+func (t *RunTracker) SetClock(now func() time.Time) {
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+// Begin registers a new in-flight run.
+func (t *RunTracker) Begin(name string) *Run {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	r := &Run{id: t.nextID, name: name, now: t.now, startedAt: t.now()}
+	t.active = append(t.active, r)
+	return r
+}
+
+// Status snapshots every tracked run: in-flight runs first (oldest
+// first), then up to doneHistory finished ones. Finished runs are
+// retired from the active list as a side effect.
+func (t *RunTracker) Status() []RunStatus {
+	t.mu.Lock()
+	var stillActive []*Run
+	for _, r := range t.active {
+		r.mu.Lock()
+		finished := r.done
+		r.mu.Unlock()
+		if finished {
+			t.done = append(t.done, r)
+		} else {
+			stillActive = append(stillActive, r)
+		}
+	}
+	t.active = stillActive
+	if excess := len(t.done) - doneHistory; excess > 0 {
+		t.done = append(t.done[:0], t.done[excess:]...)
+	}
+	runs := make([]*Run, 0, len(t.active)+len(t.done))
+	runs = append(runs, t.active...)
+	runs = append(runs, t.done...)
+	t.mu.Unlock()
+
+	out := make([]RunStatus, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, r.status())
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Done != out[j].Done {
+			return !out[i].Done
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// WriteJSON serializes the tracker as the /runs payload.
+func (t *RunTracker) WriteJSON(w io.Writer) error {
+	payload := struct {
+		Runs []RunStatus `json:"runs"`
+	}{Runs: t.Status()}
+	enc := json.NewEncoder(w)
+	return enc.Encode(payload)
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	h := NewHub()
+	run := driveRun(t, h)
+	run.End(nil)
+
+	srv := NewServer(h)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() != addr {
+		t.Fatalf("Addr() = %q, want %q", srv.Addr(), addr)
+	}
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metricsBody, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	families, err := ParseProm(strings.NewReader(metricsBody))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, metricsBody)
+	}
+	names := map[string]bool{}
+	for _, f := range families {
+		names[f.Name] = true
+	}
+	for _, want := range []string{
+		"rheem_atoms_total", "rheem_atom_latency_seconds",
+		"rheem_runs_total", "rheem_card_misestimate_ratio",
+	} {
+		if !names[want] {
+			t.Errorf("/metrics missing family %s", want)
+		}
+	}
+
+	runsBody, ct := get("/runs")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/runs content type = %q", ct)
+	}
+	var payload struct {
+		Runs []RunStatus `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(runsBody), &payload); err != nil {
+		t.Fatalf("/runs is not JSON: %v\n%s", err, runsBody)
+	}
+	if len(payload.Runs) != 1 || payload.Runs[0].Name != "unit-plan" {
+		t.Fatalf("/runs payload = %+v", payload)
+	}
+
+	if idx, _ := get("/"); !strings.Contains(idx, "/metrics") {
+		t.Errorf("index page missing endpoint list:\n%s", idx)
+	}
+	if prof, _ := get("/debug/pprof/cmdline"); prof == "" {
+		t.Error("pprof cmdline empty")
+	}
+
+	resp, err := http.Get("http://" + addr + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp.StatusCode)
+	}
+
+	if _, err := srv.Start("127.0.0.1:0"); err == nil {
+		t.Error("second Start did not fail")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

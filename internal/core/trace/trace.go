@@ -144,6 +144,15 @@ const (
 	Failover
 	// PlanDone closes the run with its aggregate metrics.
 	PlanDone
+	// RunStart announces a (possibly replacement) execution plan and
+	// its scheduled atom count — the denominator live progress
+	// reporting divides by. Emitted once at run start and again after
+	// every failover or re-optimization swaps the plan.
+	RunStart
+	// AuditRecords delivers a batch of estimate-vs-actual audit
+	// records as they are produced, so live consumers (the metrics
+	// collector) see them without waiting for the Trace snapshot.
+	AuditRecords
 )
 
 // Event is one notification on the span stream.
@@ -164,6 +173,12 @@ type Event struct {
 	Err     error
 	// Excluded lists quarantined platforms on Failover events.
 	Excluded []engine.PlatformID
+	// Plan and TotalAtoms describe the announced plan on RunStart
+	// events.
+	Plan       string
+	TotalAtoms int
+	// Audits carries the batch on AuditRecords events.
+	Audits []CardAudit
 }
 
 // Consumer observes span-stream events. Callbacks are serialized by
@@ -216,6 +231,15 @@ func (t *Tracer) emitLocked(e Event) {
 	for _, c := range t.consumers {
 		c(e)
 	}
+}
+
+// Start announces the execution plan about to be scheduled and its
+// atom count. The executor emits it at run start and again whenever a
+// failover or adaptive re-optimization installs a replacement plan.
+func (t *Tracer) Start(plan string, totalAtoms int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emitLocked(Event{Kind: RunStart, Plan: plan, TotalAtoms: totalAtoms})
 }
 
 // Begin opens a span: assigns its ID, stamps StartedAt, derives
@@ -291,11 +315,16 @@ func (t *Tracer) PlanDone(m engine.Metrics) {
 	t.emitLocked(Event{Kind: PlanDone, Metrics: m})
 }
 
-// Audit appends estimate-vs-actual records to the audit trail.
+// Audit appends estimate-vs-actual records to the audit trail and
+// emits them to consumers as one AuditRecords event.
 func (t *Tracer) Audit(records ...CardAudit) {
+	if len(records) == 0 {
+		return
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.audits = append(t.audits, records...)
+	t.emitLocked(Event{Kind: AuditRecords, Audits: records})
 }
 
 // Snapshot exports the finished spans and audit records collected so
@@ -345,27 +374,34 @@ func (tr *Trace) Platforms() []engine.PlatformID {
 	return out
 }
 
+// JSONSchema is the version stamped into every WriteJSON line, so
+// downstream tooling can detect format changes. Bump it whenever a
+// line's shape changes incompatibly.
+const JSONSchema = 1
+
 // WriteJSON dumps the trace as JSON lines — one object per span, then
-// one per audit record, each tagged with a "type" field. The format is
-// flame-friendly: every line is self-contained, with start/end stamps
-// and durations in nanoseconds.
+// one per audit record, each tagged with "schema" and "type" fields.
+// The format is flame-friendly: every line is self-contained, with
+// start/end stamps and durations in nanoseconds.
 func (tr *Trace) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	type spanLine struct {
-		Type string `json:"type"`
+		Schema int    `json:"schema"`
+		Type   string `json:"type"`
 		*Span
 	}
 	for _, sp := range tr.Spans {
-		if err := enc.Encode(spanLine{Type: "span", Span: sp}); err != nil {
+		if err := enc.Encode(spanLine{Schema: JSONSchema, Type: "span", Span: sp}); err != nil {
 			return fmt.Errorf("trace: encoding span %d: %w", sp.ID, err)
 		}
 	}
 	type auditLine struct {
-		Type string `json:"type"`
+		Schema int    `json:"schema"`
+		Type   string `json:"type"`
 		CardAudit
 	}
 	for _, a := range tr.Audits {
-		if err := enc.Encode(auditLine{Type: "audit", CardAudit: a}); err != nil {
+		if err := enc.Encode(auditLine{Schema: JSONSchema, Type: "audit", CardAudit: a}); err != nil {
 			return fmt.Errorf("trace: encoding audit of op %d: %w", a.OpID, err)
 		}
 	}

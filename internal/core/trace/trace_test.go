@@ -192,3 +192,42 @@ func TestSnapshotIsolation(t *testing.T) {
 		t.Errorf("earlier snapshot grew to %d spans", len(snap.Spans))
 	}
 }
+
+// TestWriteJSONGoldenLines pins the exact JSONL shape (schema tag
+// first, field order, timestamp format) so downstream tooling that
+// parses -trace dumps breaks loudly here, not in the field. Bump
+// JSONSchema and this golden when the shape changes.
+func TestWriteJSONGoldenLines(t *testing.T) {
+	tr := New()
+	clock := time.Unix(1000, 0).UTC()
+	tr.SetClock(func() time.Time { clock = clock.Add(time.Second); return clock })
+
+	sp := tr.Begin(&Span{
+		Kind: KindAtom, AtomID: 7, Name: "map", Platform: "java",
+		Plan: "q1", Iteration: -1,
+	}, time.Time{})
+	tr.End(sp, engine.Metrics{Jobs: 1, OutRecords: 5}, nil)
+	tr.Audit(CardAudit{
+		OpID: 1, OpName: "map", Platform: "java",
+		Estimated: 10, Actual: 40, ErrFactor: 4, Flagged: true,
+		EstCost: 250 * time.Microsecond,
+	})
+
+	var buf bytes.Buffer
+	if err := tr.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`{"schema":1,"type":"span","id":1,"kind":"atom","atom_id":7,"name":"map","platform":"java","plan":"q1","iteration":-1,"started_at":"1970-01-01T00:16:41Z","ended_at":"1970-01-01T00:16:42Z","queue_wait_ns":0,"wall_ns":1000000000,"conv_ns":0,"conv_bytes":0,"conv_steps":0,"est_cost_ns":0,"retries":0,"metrics":{"Wall":0,"Sim":0,"Jobs":1,"InRecords":0,"OutRecords":5,"ShuffledBytes":0,"MovedBytes":0,"Conversions":0,"Retries":0}}`,
+		`{"schema":1,"type":"audit","op_id":1,"op":"map","platform":"java","estimated":10,"actual":40,"err_factor":4,"flagged":true,"est_cost_ns":250000}`,
+	}
+	got := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("dump has %d lines, want %d:\n%s", len(got), len(want), buf.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d:\n got %s\nwant %s", i+1, got[i], want[i])
+		}
+	}
+}

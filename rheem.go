@@ -34,6 +34,7 @@ import (
 
 	"rheem/internal/core/engine"
 	"rheem/internal/core/executor"
+	"rheem/internal/core/metrics"
 	"rheem/internal/core/optimizer"
 	"rheem/internal/core/physical"
 	"rheem/internal/core/plan"
@@ -59,6 +60,31 @@ type Config struct {
 	DB *relengine.DB
 }
 
+// ContextOption customises a Context beyond the platform Config —
+// today, live telemetry: where (and whether) to serve monitoring
+// endpoints, and which telemetry hub to feed.
+type ContextOption func(*ctxOptions)
+
+type ctxOptions struct {
+	metricsAddr string
+	hub         *metrics.Hub
+}
+
+// WithMetricsAddr starts the context's embedded monitoring server on
+// addr (":0" picks a free port): /metrics serves Prometheus text
+// exposition, /runs live per-Execute progress as JSON, and
+// /debug/pprof the Go runtime profiles. Stop it with Context.Close.
+func WithMetricsAddr(addr string) ContextOption {
+	return func(o *ctxOptions) { o.metricsAddr = addr }
+}
+
+// WithTelemetryHub feeds this context's telemetry into an existing
+// hub instead of a private one — how several sequential or concurrent
+// contexts (an experiment harness's, say) share one monitoring server.
+func WithTelemetryHub(h *metrics.Hub) ContextOption {
+	return func(o *ctxOptions) { o.hub = h }
+}
+
 // Context owns the platform registry and is the entry point for
 // building and executing jobs. A Context is safe to reuse across jobs.
 type Context struct {
@@ -66,11 +92,21 @@ type Context struct {
 	java  *javaengine.Platform
 	spark *sparksim.Platform
 	rel   *relengine.Platform
+
+	hub    *metrics.Hub
+	monSrv *metrics.Server
 }
 
 // NewContext registers the configured platforms and their mappings.
-func NewContext(cfg Config) (*Context, error) {
-	c := &Context{reg: engine.NewRegistry()}
+func NewContext(cfg Config, opts ...ContextOption) (*Context, error) {
+	var co ctxOptions
+	for _, o := range opts {
+		o(&co)
+	}
+	c := &Context{reg: engine.NewRegistry(), hub: co.hub}
+	if c.hub == nil {
+		c.hub = metrics.NewHub()
+	}
 	var err error
 	if !cfg.DisableJava {
 		if c.java, err = javaengine.Register(c.reg, cfg.Java); err != nil {
@@ -90,7 +126,51 @@ func NewContext(cfg Config) (*Context, error) {
 	if len(c.reg.Platforms()) == 0 {
 		return nil, fmt.Errorf("rheem: no platforms enabled")
 	}
+	// Scrape-time state — breaker gauges, platform failure counters,
+	// conversion traffic — comes straight from the live registries.
+	c.hub.BindEngine(c.reg)
+	c.hub.BindChannels(c.reg.Channels())
+	if co.metricsAddr != "" {
+		if _, err := c.ServeMetrics(co.metricsAddr); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// Telemetry returns the context's telemetry hub: the live metrics
+// registry (scrape it with Hub.Registry().WriteProm, snapshot it for
+// assertions) and the run tracker behind the /runs endpoint.
+func (c *Context) Telemetry() *metrics.Hub { return c.hub }
+
+// ServeMetrics starts the embedded monitoring server on addr (":0"
+// picks a free port) and returns the bound address. The server serves
+// /metrics, /runs and /debug/pprof for this context's telemetry hub
+// until Close.
+func (c *Context) ServeMetrics(addr string) (string, error) {
+	if c.monSrv == nil {
+		c.monSrv = metrics.NewServer(c.hub)
+	}
+	return c.monSrv.Start(addr)
+}
+
+// MetricsAddr returns the monitoring server's bound address, or ""
+// when no server is running.
+func (c *Context) MetricsAddr() string {
+	if c.monSrv == nil {
+		return ""
+	}
+	return c.monSrv.Addr()
+}
+
+// Close stops the context's monitoring server, if one is running. The
+// context itself stays usable — jobs can still execute; only the HTTP
+// surface goes away.
+func (c *Context) Close() error {
+	if c.monSrv == nil {
+		return nil
+	}
+	return c.monSrv.Close()
 }
 
 // Registry exposes the platform registry, through which additional
@@ -220,12 +300,20 @@ type Report struct {
 	Trace *trace.Trace
 	// PlatformStats snapshots the registry's per-platform execution
 	// counters after the run (cumulative across the context's runs);
-	// nil unless the run was started WithTracing.
+	// nil unless the run was started WithTracing. The snapshot is a
+	// deep copy: mutating it cannot alias live registry state.
 	PlatformStats map[engine.PlatformID]engine.PlatformStats
+	// Telemetry is a deep-copied snapshot of the context's live metrics
+	// registry taken when the run finished — the same numbers the
+	// /metrics endpoint serves (cumulative across the hub's runs); nil
+	// unless the run was started WithTracing.
+	Telemetry *metrics.Snapshot
 }
 
 // Execute optimizes and runs a logical plan, returning the sink's
-// records and the run report.
+// records and the run report. Every execution feeds the context's
+// telemetry hub: while the plan runs, /metrics and /runs (see
+// WithMetricsAddr) show its live progress.
 func (c *Context) Execute(p *plan.Plan, opts ...RunOption) ([]data.Record, *Report, error) {
 	var rc runConfig
 	for _, o := range opts {
@@ -239,7 +327,10 @@ func (c *Context) Execute(p *plan.Plan, opts ...RunOption) ([]data.Record, *Repo
 	if err != nil {
 		return nil, nil, err
 	}
+	tracer, run := c.hub.NewRunTracer(p.Name())
+	rc.exec.Tracer = tracer
 	res, err := executor.Run(ep, c.reg, rc.exec)
+	run.End(err)
 	if err != nil {
 		return nil, &Report{Plan: ep}, err
 	}
@@ -258,6 +349,7 @@ func (c *Context) Execute(p *plan.Plan, opts ...RunOption) ([]data.Record, *Repo
 	if rc.tracing {
 		rep.Trace = res.Trace
 		rep.PlatformStats = c.reg.Stats().Snapshot()
+		rep.Telemetry = c.hub.Registry().Snapshot()
 	}
 	return res.Records, rep, nil
 }

@@ -8,6 +8,7 @@ import (
 	"rheem"
 	"rheem/internal/core/engine"
 	"rheem/internal/core/executor"
+	"rheem/internal/core/fault"
 	"rheem/internal/core/plan"
 	"rheem/internal/data"
 	"rheem/internal/data/datagen"
@@ -385,4 +386,179 @@ func TestWithTracingExposesTraceAndStats(t *testing.T) {
 			t.Errorf("platform %s ran spans but counted no atoms", id)
 		}
 	}
+}
+
+// TestReportSnapshotsDoNotAlias pins the Report contract: the
+// per-platform counters and the telemetry snapshot are deep copies, so
+// mutating a finished report cannot corrupt the live registries a
+// subsequent run reads and extends.
+func TestReportSnapshotsDoNotAlias(t *testing.T) {
+	ctx := newCtx(t)
+	words := datagen.Words(200, 2)
+	run := func(name string) *rheem.Report {
+		_, rep, err := ctx.NewJob(name).ReadCollection("words", words).
+			Map(func(r data.Record) (data.Record, error) {
+				return r.Append(data.Int(1)), nil
+			}).
+			ReduceByKey(plan.FieldKey(0), plan.SumField(1)).
+			Collect(rheem.WithTracing())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	first := run("aliasing-1")
+	if first.Telemetry == nil {
+		t.Fatal("WithTracing run has no telemetry snapshot")
+	}
+	if v, ok := first.Telemetry.Counter("rheem_runs_total", nil); !ok || v != 1 {
+		t.Fatalf("rheem_runs_total after first run = %v (present=%v)", v, ok)
+	}
+
+	// Poison everything the first report handed out.
+	for id := range first.PlatformStats {
+		first.PlatformStats[id] = engine.PlatformStats{AtomsExecuted: -999, Retries: -999}
+	}
+	for i := range first.Telemetry.Families {
+		f := &first.Telemetry.Families[i]
+		f.Name = "clobbered"
+		for j := range f.Samples {
+			f.Samples[j].Value = -999
+			for k := range f.Samples[j].Buckets {
+				f.Samples[j].Buckets[k].CumulativeCount = -999
+			}
+		}
+	}
+
+	second := run("aliasing-2")
+	for id, st := range second.PlatformStats {
+		if st.AtomsExecuted < 0 || st.Retries < 0 {
+			t.Errorf("platform %s stats poisoned by first report's mutation: %+v", id, st)
+		}
+	}
+	var executed int64
+	for _, st := range second.PlatformStats {
+		executed += st.AtomsExecuted
+	}
+	if executed == 0 {
+		t.Error("second run counted no executed atoms")
+	}
+	if v, ok := second.Telemetry.Counter("rheem_runs_total", nil); !ok || v != 2 {
+		t.Errorf("rheem_runs_total after second run = %v (present=%v), want 2", v, ok)
+	}
+}
+
+// TestTracingChaosFailover runs WithTracing and WithFailover together
+// under fault injection: the trace must contain spans for the failed
+// attempts on the dying platform AND spans for the re-planned atoms on
+// the survivors, consistent with the report's failover count.
+func TestTracingChaosFailover(t *testing.T) {
+	ctx := newCtx(t)
+	// A chaos platform with java's operator coverage that survives
+	// exactly one execution, then fails everything.
+	p := fault.Wrap(javaengine.New(javaengine.Config{}), fault.Options{
+		ID:        "chaos",
+		Schedules: []fault.Schedule{fault.FailAfterN(1, nil)},
+	})
+	if err := fault.Register(ctx.Registry(), p, javaengine.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := make([]data.Record, 40)
+	for i := range recs {
+		recs[i] = data.NewRecord(data.Int(int64(i)))
+	}
+	build := func(name string) *rheem.DataQuanta {
+		j := ctx.NewJob(name)
+		double := j.ReadCollection("a", recs).Map(func(r data.Record) (data.Record, error) {
+			return data.NewRecord(data.Int(r.Field(0).Int() * 2)), nil
+		})
+		negate := j.ReadCollection("b", recs).Map(func(r data.Record) (data.Record, error) {
+			return data.NewRecord(data.Int(-r.Field(0).Int())), nil
+		})
+		return double.Union(negate)
+	}
+
+	want := sortedStrings(mustCollect(t, build("chaos-clean"), rheem.OnPlatform(javaengine.ID)))
+
+	got, rep, err := build("chaos-run").Collect(
+		rheem.OnPlatform("chaos"), rheem.WithFailover(true), rheem.WithTracing())
+	if err != nil {
+		t.Fatalf("chaos run failed despite failover: %v", err)
+	}
+	if p.Stats().Injected == 0 {
+		t.Fatal("fixture injected no failures")
+	}
+	if rep.Failovers < 1 {
+		t.Fatalf("Failovers = %d, want ≥1", rep.Failovers)
+	}
+	gotSorted := sortedStrings(got)
+	if len(gotSorted) != len(want) {
+		t.Fatalf("chaos run produced %d records, clean run %d", len(gotSorted), len(want))
+	}
+	for i := range want {
+		if gotSorted[i] != want[i] {
+			t.Fatalf("record %d = %s, want %s", i, gotSorted[i], want[i])
+		}
+	}
+
+	if rep.Trace == nil {
+		t.Fatal("no trace")
+	}
+	var failedOnChaos, okOnChaos, okElsewhere int
+	completedOnChaos := map[int]bool{}
+	for _, sp := range rep.Trace.Spans {
+		switch {
+		case sp.Platform == "chaos" && sp.Failed():
+			failedOnChaos++
+			// Every attempt of a failed span carries its error.
+			if len(sp.Attempts) == 0 {
+				t.Errorf("failed span %d has no attempt records", sp.ID)
+			}
+			for _, a := range sp.Attempts {
+				if a.Err == "" {
+					t.Errorf("failed span %d attempt %d has no error", sp.ID, a.Number)
+				}
+			}
+		case sp.Platform == "chaos":
+			okOnChaos++
+			if sp.Atom != nil {
+				for _, op := range sp.Atom.Ops {
+					completedOnChaos[op.ID] = true
+				}
+			}
+		case !sp.Failed():
+			okElsewhere++
+		}
+	}
+	if failedOnChaos == 0 {
+		t.Error("trace has no failed spans on the dying platform")
+	}
+	if okElsewhere == 0 {
+		t.Error("trace has no successful re-planned spans on surviving platforms")
+	}
+	// The final assignment keeps chaos only for work that finished
+	// there before the failover.
+	for opID, pl := range rep.Plan.Assignment {
+		if pl == "chaos" && !completedOnChaos[opID] {
+			t.Errorf("re-planned op %d still assigned to the dead platform", opID)
+		}
+	}
+	if rep.PlatformHealth["chaos"] != engine.BreakerOpen {
+		t.Errorf("chaos breaker state = %v, want open", rep.PlatformHealth["chaos"])
+	}
+	// The telemetry snapshot agrees with the report.
+	if v, _ := rep.Telemetry.Counter("rheem_failovers_total", nil); int(v) != rep.Failovers {
+		t.Errorf("rheem_failovers_total = %v, report says %d", v, rep.Failovers)
+	}
+}
+
+func mustCollect(t *testing.T, q *rheem.DataQuanta, opts ...rheem.RunOption) []data.Record {
+	t.Helper()
+	recs, _, err := q.Collect(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
 }
