@@ -6,6 +6,7 @@ package rheem_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -264,6 +265,37 @@ func BenchmarkExecutorParallelismMetrics(b *testing.B) {
 					b.Fatal(err)
 				}
 				if len(res.Records) != branches*recs {
+					b.Fatalf("%d records", len(res.Records))
+				}
+			}
+		})
+	}
+}
+
+// --- E11 / sharded intra-atom execution -----------------------------------
+
+// BenchmarkShardedExecution runs the wide single-atom chain (one
+// source feeding a Map+Filter chain with per-record work — no
+// independent branches, so inter-atom scheduling cannot help) at shard
+// fan-out 1 vs GOMAXPROCS (at least 4, since the fan-out models
+// platform slots, not host threads). The sharded variant's wall time
+// shrinks toward the slowest shard; records are identical either way.
+func BenchmarkShardedExecution(b *testing.B) {
+	ctx := benchCtx(b)
+	const recs = 200
+	const delay = 100 * time.Microsecond
+	wide := runtime.GOMAXPROCS(0)
+	if wide < 4 {
+		wide = 4
+	}
+	for _, shards := range []int{1, wide} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunWide(ctx.Registry(), recs, delay, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Records) != bench.WideRecords(recs) {
 					b.Fatalf("%d records", len(res.Records))
 				}
 			}

@@ -1,13 +1,14 @@
 // Command rheem-bench regenerates the paper's evaluation artifacts
 // (Figure 2, both sides of Figure 3) plus this reproduction's ablation
-// experiments (E4–E9: extensibility, multi-platform choice, adaptive
-// re-optimization, concurrent scheduling, fault tolerance). See
-// DESIGN.md §6 for the experiment index and EXPERIMENTS.md for
-// recorded paper-vs-measured comparisons.
+// experiments (E4–E11: extensibility, multi-platform choice, adaptive
+// re-optimization, concurrent scheduling, fault tolerance, live
+// telemetry, sharded intra-atom execution). See DESIGN.md §6 for the
+// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// comparisons.
 //
 // Usage:
 //
-//	rheem-bench [-experiment all|fig2|fig3left|fig3right|iejoin|multiplatform|optimizer|reopt|parallelism|chaos|telemetry]
+//	rheem-bench [-experiment all|fig2|fig3left|fig3right|iejoin|multiplatform|optimizer|reopt|parallelism|chaos|telemetry|sharding]
 //	            [-quick] [-clock sim|wall] [-csv DIR] [-v] [-trace FILE]
 //	            [-metrics ADDR] [-linger DUR] [-scrape URL]
 //

@@ -1,0 +1,57 @@
+package rheemql
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzRheemQLParse feeds arbitrary query text to the parser. Two
+// properties must hold: Parse never panics (it returns errors for
+// garbage), and any accepted query pretty-prints to text that parses
+// back to the identical AST — so the printer and parser can't drift
+// apart, and the AST never holds state the concrete syntax can't
+// express.
+func FuzzRheemQLParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM t",
+		"SELECT a, b AS bee FROM t x",
+		"SELECT t.a FROM t WHERE a = 1 AND b != 'x' AND c <= 2.5",
+		"SELECT COUNT(*) FROM t",
+		"SELECT k, SUM(v) AS total FROM t GROUP BY k HAVING total > 10 ORDER BY k DESC LIMIT 5",
+		"SELECT AVG(v), MIN(v), MAX(v) FROM t WHERE flag = TRUE",
+		"SELECT a.x, b.y FROM t a JOIN u b ON a.id = b.id WHERE a.x < b.y",
+		"SELECT a FROM t WHERE f = 9223372036854775808",
+		"SELECT a FROM t WHERE f = 3. ORDER BY a ASC",
+		"SELECT a FROM t LIMIT 007",
+		// Invalid inputs keep the error paths in the corpus.
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE a ! 1",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t HAVING a > 1",
+		"SELECT SUM(*) FROM t",
+		"\x00\xff SELECT",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; only panics are bugs
+		}
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form of %q does not re-parse: %q: %v", input, printed, err)
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatalf("round trip changed the AST:\n input  %q\n printed %q\n first  %#v\n second %#v",
+				input, printed, q, q2)
+		}
+		// The printer must also be a fixed point of itself.
+		if printed2 := q2.String(); printed2 != printed {
+			t.Fatalf("printer is not stable: %q -> %q", printed, printed2)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package rheemql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// String renders the AST back to query text that Parse accepts and
+// that parses to an identical AST — the round-trip property the fuzz
+// suite enforces. Everything the parser can produce is printable:
+// identifiers survive verbatim (a keyword-shaped word never becomes an
+// identifier), string literals cannot contain the quote that would
+// need escaping, and numeric literals are printed in the plain
+// digits-and-dot form the lexer reads.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range q.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(q.From.String())
+	if q.Join != nil {
+		b.WriteString(" JOIN ")
+		b.WriteString(q.Join.Table.String())
+		b.WriteString(" ON ")
+		b.WriteString(q.Join.LeftCol.String())
+		b.WriteString(" = ")
+		b.WriteString(q.Join.RightCol.String())
+	}
+	printComparisons := func(kw string, cmps []Comparison) {
+		for i, c := range cmps {
+			if i == 0 {
+				b.WriteString(" " + kw + " ")
+			} else {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	printComparisons("WHERE", q.Where)
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	printComparisons("HAVING", q.Having)
+	if q.OrderBy != nil {
+		b.WriteString(" ORDER BY ")
+		b.WriteString(q.OrderBy.Col.String())
+		if q.OrderBy.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if q.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(q.Limit))
+	}
+	return b.String()
+}
+
+// String renders one projection item.
+func (it SelectItem) String() string {
+	var s string
+	switch {
+	case it.Star:
+		return "*"
+	case it.Agg != "":
+		if it.ArgStar {
+			s = string(it.Agg) + "(*)"
+		} else {
+			s = string(it.Agg) + "(" + it.Arg.String() + ")"
+		}
+	default:
+		s = it.Col.String()
+	}
+	if it.Alias != "" {
+		s += " AS " + it.Alias
+	}
+	return s
+}
+
+// String renders the table reference with its alias.
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// String renders one comparison conjunct.
+func (c Comparison) String() string {
+	s := c.Left.String() + " " + c.Op + " "
+	if c.RightCol != nil {
+		return s + c.RightCol.String()
+	}
+	return s + c.RightLit.String()
+}
+
+// String renders a literal in re-lexable form.
+func (l Literal) String() string {
+	switch {
+	case l.IsString:
+		return "'" + l.Str + "'"
+	case l.IsBool:
+		if l.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	case l.IsInt:
+		return strconv.FormatInt(l.Int, 10)
+	default:
+		// The lexer reads unsigned digits-and-dot numbers only: 'f'
+		// formatting never emits an exponent, and a forced trailing ".0"
+		// keeps a whole-valued float from re-parsing as an integer.
+		s := strconv.FormatFloat(l.Num, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
+	}
+}

@@ -1,0 +1,58 @@
+// Intra-atom sharding primitives: splitting one batch of data quanta
+// into shards a platform can process in parallel, and merging shard
+// results back. The paper's platform layer works on batches (§3); a
+// shard is a contiguous sub-batch, so the concatenation of shards in
+// index order replays the original batch exactly — the invariant every
+// order-sensitive merge (concat, stable re-sort) relies on.
+
+package channel
+
+import "rheem/internal/data"
+
+// Partition splits a Collection channel into at most p non-empty
+// Collection shards. The split is contiguous and order-preserving:
+// concatenating the shards in index order yields the original record
+// sequence. Fewer than p shards are returned when the channel holds
+// fewer than p records; an empty or single-record channel (or p ≤ 1)
+// comes back as the one original channel, unsplit.
+func Partition(ch *Channel, p int) ([]*Channel, error) {
+	recs, err := ch.AsCollection()
+	if err != nil {
+		return nil, err
+	}
+	if p > len(recs) {
+		p = len(recs)
+	}
+	if p <= 1 {
+		return []*Channel{ch}, nil
+	}
+	chunk := (len(recs) + p - 1) / p
+	out := make([]*Channel, 0, p)
+	for lo := 0; lo < len(recs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		out = append(out, NewCollection(recs[lo:hi]))
+	}
+	return out, nil
+}
+
+// Concat merges Collection shards back into one Collection channel,
+// preserving shard order — the inverse of Partition for record-wise
+// (streamy) operator chains.
+func Concat(shards []*Channel) (*Channel, error) {
+	var n int64
+	for _, s := range shards {
+		n += s.Records
+	}
+	out := make([]data.Record, 0, n)
+	for _, s := range shards {
+		recs, err := s.AsCollection()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	return NewCollection(out), nil
+}

@@ -159,6 +159,18 @@ type Platform interface {
 	RegisterConverters(reg *channel.Registry)
 }
 
+// Sharder is an optional Platform capability: split a native-format
+// channel into at most p shard channels for intra-atom data
+// parallelism, without bouncing through the hub Collection format. The
+// split must be contiguous and order-preserving — concatenating the
+// shards in index order replays the original channel's record sequence
+// — and every returned shard must be non-empty. Platforms that do not
+// implement Sharder still participate in sharded execution; the
+// executor splits their inputs through the Collection format instead.
+type Sharder interface {
+	SplitNative(ch *channel.Channel, p int) ([]*channel.Channel, error)
+}
+
 // Mapping declares that a platform implements a (kind, algorithm)
 // physical operator, at the cost the model estimates. Hint carries
 // free-form context for the optimizer, mirroring the paper's mapping

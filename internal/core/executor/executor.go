@@ -98,6 +98,14 @@ type Options struct {
 	// attempt exceeding it fails with context.DeadlineExceeded and is
 	// retried like any transient failure. 0 disables the bound.
 	AtomTimeout time.Duration
+	// Shards enables intra-atom data parallelism: a shardable compute
+	// atom's input batch is split into up to Shards pieces that execute
+	// concurrently (see shard.go for the shardability rules and merge
+	// semantics). ≤1 disables sharding — every atom runs on its whole
+	// input, exactly the pre-sharding behavior. The shard fan-out has
+	// its own run-wide budget of Shards concurrent shard executions,
+	// independent of Parallelism's atom budget.
+	Shards int
 	// Failover enables cross-platform failover: when an atom exhausts
 	// its retries on a platform the health tracker has quarantined, the
 	// executor quiesces in-flight atoms and re-plans the remaining
@@ -146,6 +154,9 @@ func (o *Options) defaults() {
 	}
 	if o.AuditFactor == 0 {
 		o.AuditFactor = 8
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
 	}
 }
 
@@ -215,6 +226,9 @@ func Run(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts Options) (*Resu
 	tr.Start(ep.Physical.Name, len(ep.Atoms))
 	res := &Result{AtomMetrics: make(map[int]engine.Metrics), FinalPlan: ep}
 	st := &runState{cancel: cancel, res: res, tr: tr, audited: map[int]bool{}}
+	if opts.Shards > 1 {
+		st.shardSem = make(chan struct{}, opts.Shards)
+	}
 	channels := make(map[int]*channel.Channel)
 	if err := runPlan(ep, reg, &opts, st, channels, true, -1); err != nil {
 		return nil, err
@@ -350,7 +364,7 @@ func runComputeAtom(atom *engine.TaskAtom, ep *optimizer.ExecutionPlan, reg *eng
 	sp := st.tr.Begin(&trace.Span{
 		Kind: trace.KindAtom, AtomID: atom.ID, Name: atom.String(),
 		Platform: atom.Platform, Plan: ep.Physical.Name, Iteration: iter,
-		EstCost: atomEstCost(ep, atom), Atom: atom,
+		Shard: -1, EstCost: atomEstCost(ep, atom), Atom: atom,
 	}, readyAt)
 	platform, ok := reg.Platform(atom.Platform)
 	if !ok {
@@ -394,6 +408,14 @@ func runComputeAtom(atom *engine.TaskAtom, ep *optimizer.ExecutionPlan, reg *eng
 	sp.ConvBytes = moveMetrics.MovedBytes
 	sp.ConvSteps = moveMetrics.Conversions
 
+	// Sharding decision: made once per atom, after input conversion (so
+	// the split sees platform-native channels) and outside the retry
+	// loop (a retry re-executes the same shards).
+	sh := planShards(platform, reg, atom, inputs, opts.Shards)
+	if sh != nil {
+		sp.Shards = len(sh.shards)
+	}
+
 	health := reg.Health()
 	stats := reg.Stats()
 	var exits map[int]*channel.Channel
@@ -401,7 +423,11 @@ func runComputeAtom(atom *engine.TaskAtom, ep *optimizer.ExecutionPlan, reg *eng
 	var err error
 	for attempt := 0; ; attempt++ {
 		attStart := st.tr.Now()
-		exits, m, err = executeAttempt(platform, atom, inputs, opts)
+		if sh != nil {
+			exits, m, err = executeShardedAttempt(platform, atom, sh, opts, st, reg, ep.Physical.Name, iter)
+		} else {
+			exits, m, err = executeAttempt(platform, atom, inputs, opts)
+		}
 		att := trace.Attempt{Number: attempt + 1, Wall: st.tr.Now().Sub(attStart)}
 		if err == nil {
 			sp.Attempts = append(sp.Attempts, att)
@@ -524,7 +550,7 @@ func runLoop(ep *optimizer.ExecutionPlan, atom *engine.TaskAtom, reg *engine.Reg
 	sp := st.tr.Begin(&trace.Span{
 		Kind: trace.KindLoop, AtomID: atom.ID, Name: atom.String(),
 		Platform: atom.Platform, Plan: ep.Physical.Name, Iteration: outerIter,
-		EstCost: atomEstCost(ep, atom), Atom: atom,
+		Shard: -1, EstCost: atomEstCost(ep, atom), Atom: atom,
 	}, readyAt)
 	defer func() { st.tr.End(sp, engine.Metrics{}, err) }()
 

@@ -46,6 +46,11 @@ type runState struct {
 	res     *Result
 	tr      *trace.Tracer // the run's span stream; serializes consumers
 	audited map[int]bool
+	// shardSem is the run-wide budget for concurrent shard executions
+	// (nil when sharding is off). Acquisition never blocks: an atom that
+	// finds no free slot runs the shard inline in its own goroutine, so
+	// shard scheduling cannot deadlock the atom worker pool.
+	shardSem chan struct{}
 	// excluded accumulates platforms ruled out by failover re-plans.
 	// Only the top-level dispatcher touches it, and only while
 	// quiesced, so it needs no lock. It only grows, which bounds the

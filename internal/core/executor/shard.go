@@ -1,0 +1,324 @@
+// Intra-atom data parallelism: one wide task atom fans out over P
+// shards of its input batch, each shard executed as a full atom run on
+// the assigned platform, and the exits merged driver-side with
+// deterministic semantics. The PR-1 scheduler parallelizes *across*
+// atoms; sharding parallelizes *inside* one, so a single big
+// Map/Filter/ReduceByKey no longer serializes the run.
+//
+// Merge semantics per operator class (see DESIGN.md §5):
+//
+//   - record-wise ("streamy") operators — Map, FlatMap, Filter, Sink —
+//     emit independent per-record output, so shard results concatenate
+//     in shard index order. Shards are contiguous, so the concatenation
+//     replays exactly the unsharded output order.
+//   - combining operators — ReduceByKey, Reduce, Count, Distinct, Sort
+//     — produce per-shard partials that a driver-side combine folds:
+//     re-group + re-reduce for ReduceByKey (reduce functions must be
+//     associative, the same contract distributed execution imposes),
+//     re-reduce for Reduce, partial-count summing for Count, re-dedup
+//     for Distinct, and a stable re-sort for Sort. A combining operator
+//     must be an exit: anything consuming its output inside the atom
+//     would see partial aggregates.
+//
+// Anything else — GroupBy (the group UDF must see whole groups),
+// Sample (first-N depends on the split), multi-input operators (a
+// sharded self-join would miss cross-shard pairs), sources — makes the
+// atom unshardable, and it executes exactly as before.
+package executor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rheem/internal/core/algo"
+	"rheem/internal/core/channel"
+	"rheem/internal/core/engine"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+	"rheem/internal/core/trace"
+	"rheem/internal/data"
+)
+
+// shardedExec is one atom's planned shard fan-out: the pre-split input
+// shards and the per-exit merge classification.
+type shardedExec struct {
+	extOp, extSlot int                // the single external (op, slot) the shards feed
+	shards         []*channel.Channel // per-shard input, platform-native format
+	// combineOf maps each operator to the combining operator governing
+	// its output's merge (a sink inherits its input's), or nil for
+	// record-wise output (exit merge = concat in shard order).
+	combineOf map[int]*physical.Operator
+}
+
+// planShards decides whether the atom can execute sharded and, if so,
+// splits its single external input. nil means "run unsharded" — never
+// an error: sharding is an optimization, not a requirement.
+func planShards(platform engine.Platform, reg *engine.Registry, atom *engine.TaskAtom, inputs engine.AtomInputs, shards int) *shardedExec {
+	if shards <= 1 || atom.Kind != engine.AtomCompute {
+		return nil
+	}
+	extOp, extSlot, n := 0, 0, 0
+	for opID, slots := range inputs {
+		for slot := range slots {
+			extOp, extSlot, n = opID, slot, n+1
+		}
+	}
+	if n != 1 {
+		return nil
+	}
+	combineOf, ok := shardClasses(atom)
+	if !ok {
+		return nil
+	}
+	in := inputs[extOp][extSlot]
+	if in.Records < 2 {
+		return nil
+	}
+	split := splitShardInput(platform, reg, in, shards)
+	if len(split) < 2 {
+		return nil
+	}
+	return &shardedExec{extOp: extOp, extSlot: extSlot, shards: split, combineOf: combineOf}
+}
+
+// shardClasses classifies the atom's operators for sharding: streamy
+// (record-wise, concat-mergeable) or combining (folded by mergeExit).
+// A combining operator's partial output may feed a pass-through Sink —
+// which then inherits the combine for merging — but nothing else
+// in-atom: any other consumer would see partial aggregates. The second
+// result is false when some operator fits neither class or breaks that
+// rule, or doesn't have exactly one input.
+func shardClasses(atom *engine.TaskAtom) (map[int]*physical.Operator, bool) {
+	combineOf := make(map[int]*physical.Operator, len(atom.Ops))
+	for _, op := range atom.Ops {
+		if len(op.Inputs) != 1 {
+			return nil, false // sources, loop inputs, unions, joins
+		}
+		in := op.Inputs[0]
+		inCombine := combineOf[in.ID]
+		if atom.Contains(in.ID) && inCombine != nil && op.Kind() != plan.KindSink {
+			return nil, false // partial aggregates consumed in-atom
+		}
+		switch op.Kind() {
+		case plan.KindMap, plan.KindFlatMap, plan.KindFilter:
+			// record-wise: concat merge.
+		case plan.KindSink:
+			combineOf[op.ID] = inCombine // pass-through
+		case plan.KindReduceByKey, plan.KindReduce, plan.KindCount,
+			plan.KindDistinct, plan.KindSort:
+			combineOf[op.ID] = op
+		default:
+			return nil, false
+		}
+	}
+	return combineOf, true
+}
+
+// splitShardInput splits a native-format input channel into at most n
+// shards: natively when the platform is an engine.Sharder, otherwise
+// through the hub Collection format. The mechanical split cost is not
+// charged to the run — native splits are slice views, and the hub
+// fallback only triggers for platforms without native sharding. nil
+// (or a single shard) means "don't shard".
+func splitShardInput(platform engine.Platform, reg *engine.Registry, ch *channel.Channel, n int) []*channel.Channel {
+	if s, ok := platform.(engine.Sharder); ok {
+		if shards, err := s.SplitNative(ch, n); err == nil {
+			return shards
+		}
+	}
+	coll, _, _, err := reg.Channels().Convert(ch, channel.Collection)
+	if err != nil {
+		return nil
+	}
+	parts, err := channel.Partition(coll, n)
+	if err != nil || len(parts) < 2 {
+		return nil
+	}
+	out := make([]*channel.Channel, 0, len(parts))
+	for _, p := range parts {
+		conv, _, _, cerr := reg.Channels().Convert(p, platform.NativeFormat())
+		if cerr != nil {
+			return nil
+		}
+		out = append(out, conv)
+	}
+	return out
+}
+
+// executeShardedAttempt runs one attempt of a sharded atom: every
+// shard through Platform.ExecuteAtom — concurrently up to the run's
+// shard budget, inline in the atom's own goroutine when no slot is
+// free (so shard scheduling can never deadlock the atom pool) — then
+// the exits merged driver-side. Retries wrap the whole fan-out: a
+// failed attempt re-executes every shard, keeping the retry ledger
+// per-atom like the unsharded path.
+//
+// Aggregate metrics: Wall is the fan-out's elapsed host time; Sim is
+// the slowest shard's simulated time (shards run in parallel) plus the
+// merge's conversion cost; Jobs and the volume counters sum over
+// shards — a P-shard execution really launches P platform jobs.
+func executeShardedAttempt(platform engine.Platform, atom *engine.TaskAtom, sh *shardedExec, opts *Options, st *runState, reg *engine.Registry, planName string, iter int) (map[int]*channel.Channel, engine.Metrics, error) {
+	start := time.Now()
+	ctx := opts.Context
+	if opts.AtomTimeout > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, opts.AtomTimeout)
+		defer cancel()
+	}
+
+	type shardResult struct {
+		exits map[int]*channel.Channel
+		m     engine.Metrics
+		err   error
+	}
+	results := make([]shardResult, len(sh.shards))
+	runShard := func(i int) {
+		ssp := st.tr.Begin(&trace.Span{
+			Kind: trace.KindShard, AtomID: atom.ID, Name: atom.String(),
+			Platform: atom.Platform, Plan: planName, Iteration: iter,
+			Shard: i, Shards: len(sh.shards), Atom: atom,
+		}, time.Time{})
+		ins := engine.AtomInputs{sh.extOp: {sh.extSlot: sh.shards[i]}}
+		exits, m, err := platform.ExecuteAtom(ctx, atom, ins)
+		st.tr.End(ssp, m, err)
+		results[i] = shardResult{exits: exits, m: m, err: err}
+	}
+	var wg sync.WaitGroup
+	for i := range sh.shards {
+		select {
+		case st.shardSem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-st.shardSem }()
+				runShard(i)
+			}(i)
+		default:
+			runShard(i)
+		}
+	}
+	wg.Wait()
+
+	var m engine.Metrics
+	var maxSim time.Duration
+	var firstErr error
+	for _, r := range results {
+		sm := r.m
+		if sm.Sim > maxSim {
+			maxSim = sm.Sim
+		}
+		sm.Sim = 0
+		sm.Wall = 0
+		m.Add(sm)
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	// Prefer a real shard failure over siblings' context noise: when one
+	// shard dies and cancellation ripples, the cause should surface.
+	for _, r := range results {
+		if r.err != nil && !errors.Is(r.err, context.Canceled) && !errors.Is(r.err, context.DeadlineExceeded) {
+			firstErr = r.err
+			break
+		}
+	}
+	m.Sim = maxSim
+	m.Wall = time.Since(start)
+	if firstErr != nil {
+		if ctx.Err() != nil && opts.Context.Err() == nil {
+			firstErr = engine.Transient(fmt.Errorf("executor: %s exceeded atom timeout %v: %w", atom, opts.AtomTimeout, firstErr))
+		}
+		return nil, m, firstErr
+	}
+
+	exits := make(map[int]*channel.Channel, len(atom.Exits))
+	for _, ex := range atom.Exits {
+		parts := make([][]data.Record, len(results))
+		for i, r := range results {
+			ch := r.exits[ex.ID]
+			if ch == nil {
+				return nil, m, fmt.Errorf("executor: %s shard %d produced no exit for %s", atom, i, ex.Name())
+			}
+			conv, cost, steps, err := reg.Channels().Convert(ch, channel.Collection)
+			if err != nil {
+				return nil, m, fmt.Errorf("executor: merging %s: %w", atom, err)
+			}
+			m.Sim += cost
+			m.Conversions += steps
+			recs, err := conv.AsCollection()
+			if err != nil {
+				return nil, m, err
+			}
+			parts[i] = recs
+		}
+		merged, err := mergeExit(sh.combineOf[ex.ID], parts)
+		if err != nil {
+			// Driver-side combine runs the operator's own UDFs — a
+			// failure is deterministic, so don't retry or fail over.
+			return nil, m, engine.Fatal(fmt.Errorf("executor: merging %s of %s: %w", ex.Name(), atom, err))
+		}
+		exits[ex.ID] = channel.NewCollection(merged)
+	}
+	return exits, m, nil
+}
+
+// mergeExit folds one exit's per-shard results into the final output.
+// Record-wise exits (combine == nil) concatenate in shard order;
+// combining exits fold their partials with the governing combine
+// operator's own semantics (and algorithm choice, so a sort-based
+// grouping keeps its key-ordered output).
+func mergeExit(combine *physical.Operator, parts [][]data.Record) ([]data.Record, error) {
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	all := make([]data.Record, 0, n)
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	if combine == nil {
+		return all, nil
+	}
+	op := combine
+	lop := op.Logical
+	switch op.Kind() {
+	case plan.KindReduceByKey:
+		var groups []algo.Group
+		var err error
+		if op.Algo == physical.SortGroupBy {
+			groups, err = algo.SortGroup(all, lop.Key)
+		} else {
+			groups, err = algo.HashGroup(all, lop.Key)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return algo.ReduceGroups(groups, lop.Reduce)
+	case plan.KindReduce:
+		return algo.Reduce(all, lop.Reduce)
+	case plan.KindCount:
+		var total int64
+		for _, r := range all {
+			total += r.Field(0).Int()
+		}
+		return []data.Record{data.NewRecord(data.Int(total))}, nil
+	case plan.KindDistinct:
+		if op.Algo == physical.SortDistinct {
+			sorted, err := algo.SortBy(all, plan.RecordKey(), false)
+			if err != nil {
+				return nil, err
+			}
+			return algo.Distinct(sorted), nil
+		}
+		return algo.Distinct(all), nil
+	case plan.KindSort:
+		// SortBy is stable and shards are contiguous, so re-sorting the
+		// concatenation of per-shard sorted runs reproduces the unsharded
+		// order exactly, equal keys included.
+		return algo.SortBy(all, lop.Key, lop.Desc)
+	}
+	return nil, fmt.Errorf("executor: no shard merge for operator kind %s", op.Kind())
+}

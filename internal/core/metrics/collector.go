@@ -148,10 +148,12 @@ func platformStatSamples(reg *engine.Registry, pick func(engine.PlatformStats) f
 // collector serves every run on the hub; per-run progress goes to the
 // Run handle the consumer was built with.
 type Collector struct {
-	atomLatency *HistogramVec // platform
-	queueWait   *HistogramVec // platform
-	convBytes   *HistogramVec // platform
-	atoms       *CounterVec   // platform, status
+	atomLatency  *HistogramVec // platform
+	queueWait    *HistogramVec // platform
+	convBytes    *HistogramVec // platform
+	shardLatency *HistogramVec // platform
+	shards       *CounterVec   // platform
+	atoms        *CounterVec   // platform, status
 	recordsIn   *CounterVec   // platform
 	recordsOut  *CounterVec   // platform
 	retries     *CounterVec   // platform
@@ -173,6 +175,11 @@ func newCollector(reg *Registry) *Collector {
 		convBytes: reg.HistogramVec("rheem_conversion_bytes",
 			"Bytes converted across platform boundaries to feed an atom.",
 			SizeBuckets, "platform"),
+		shardLatency: reg.HistogramVec("rheem_shard_latency_seconds",
+			"Wall latency of individual intra-atom shard executions; the spread exposes shard skew.",
+			LatencyBuckets, "platform"),
+		shards: reg.CounterVec("rheem_shards_total",
+			"Intra-atom shard executions launched.", "platform"),
 		atoms: reg.CounterVec("rheem_atoms_total",
 			"Task atom executions by final status.", "platform", "status"),
 		recordsIn: reg.CounterVec("rheem_records_in_total",
@@ -218,6 +225,12 @@ func (c *Collector) Consumer(run *Run) trace.Consumer {
 		case trace.RunStart:
 			run.setTotal(e.TotalAtoms)
 		case trace.SpanStart:
+			// Shard spans are sub-atom work: they feed their own
+			// instruments below but must not skew atom counters or the
+			// run's progress denominator.
+			if e.Span.Kind == trace.KindShard {
+				return
+			}
 			run.spanStarted(string(e.Span.Platform))
 		case trace.SpanRetry:
 			c.retries.With(string(e.Span.Platform)).Inc()
@@ -225,6 +238,11 @@ func (c *Collector) Consumer(run *Run) trace.Consumer {
 		case trace.SpanEnd:
 			sp := e.Span
 			platform := string(sp.Platform)
+			if sp.Kind == trace.KindShard {
+				c.shards.With(platform).Inc()
+				c.shardLatency.With(platform).Observe(sp.Wall.Seconds())
+				return
+			}
 			status := "ok"
 			if sp.Failed() {
 				status = "error"

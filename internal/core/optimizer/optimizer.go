@@ -44,6 +44,15 @@ type Options struct {
 	// DoWhileIterGuess is the iteration count assumed for DoWhile
 	// loops when costing (default 10).
 	DoWhileIterGuess int
+	// Shards is the executor's intra-atom shard fan-out (≤1 = off). The
+	// DP discounts the compute cost of shardable operator kinds on
+	// non-distributed platforms by cost.ShardDiscount — distributed
+	// platforms already price their internal parallelism, and
+	// unshardable kinds run whole either way. The discount can flip a
+	// platform assignment: a sharded single-node engine beats the
+	// simulated cluster on mid-size inputs where the cluster's per-job
+	// overhead still dominates.
+	Shards int
 
 	// The remaining options support adaptive re-optimization (the
 	// executor re-plans a partially executed job with observed
@@ -313,6 +322,9 @@ func assignPlatforms(p *physical.Plan, reg *engine.Registry, opts Options, est *
 					continue
 				}
 				oc := m.Cost(op, inCards, outCard)
+				if shardDiscounts(opts, platform.Profile(), op.Kind()) {
+					oc = cost.ShardDiscount(oc, opts.Shards)
+				}
 				opTotal := oc.CPU + oc.IO + oc.Net
 				if newAtom {
 					opTotal += oc.Startup
@@ -347,8 +359,27 @@ func assignPlatforms(p *physical.Plan, reg *engine.Registry, opts Options, est *
 	backtrack(p.SinkOp, bestPl, dp, ep)
 	// Re-walk the chosen assignment to report the full cost vector
 	// (the DP optimises the scalar total only).
-	ep.Estimated = vectorCost(p, reg, est, ep, loopCost, roots)
+	ep.Estimated = vectorCost(p, reg, opts, est, ep, loopCost, roots)
 	return nil
+}
+
+// shardDiscounts reports whether the shard cost discount applies to an
+// operator of the given kind on a platform with the given profile. The
+// kinds mirror the executor's shardability classes (shard.go): the
+// record-wise operators plus the combining exits. Sink is excluded —
+// it is free anyway — and distributed platforms already price their
+// own parallelism.
+func shardDiscounts(opts Options, prof engine.Profile, kind plan.OpKind) bool {
+	if opts.Shards <= 1 || prof.Distributed {
+		return false
+	}
+	switch kind {
+	case plan.KindMap, plan.KindFlatMap, plan.KindFilter,
+		plan.KindReduceByKey, plan.KindReduce, plan.KindCount,
+		plan.KindDistinct, plan.KindSort:
+		return true
+	}
+	return false
 }
 
 type inPick struct {
@@ -403,7 +434,7 @@ func backtrack(op *physical.Operator, pl engine.PlatformID, dp map[int]map[engin
 // vectorCost re-walks the chosen assignment summing full cost vectors
 // (the DP optimises the scalar total only), retaining each operator's
 // cost in ep.OpCosts for the executor's estimate-vs-actual audit.
-func vectorCost(p *physical.Plan, reg *engine.Registry, est *cost.Estimates, ep *ExecutionPlan, loopCost map[int]cost.Cost, roots map[int]bool) cost.Cost {
+func vectorCost(p *physical.Plan, reg *engine.Registry, opts Options, est *cost.Estimates, ep *ExecutionPlan, loopCost map[int]cost.Cost, roots map[int]bool) cost.Cost {
 	var total cost.Cost
 	for _, op := range p.Ops {
 		pl := ep.Assignment[op.ID]
@@ -417,6 +448,9 @@ func vectorCost(p *physical.Plan, reg *engine.Registry, est *cost.Estimates, ep 
 			}
 			if m, ok := reg.MappingFor(pl, op.Kind(), op.Algo); ok {
 				oc := m.Cost(op, inCards, est.Cards[op.ID])
+				if pf, pok := reg.Platform(pl); pok && shardDiscounts(opts, pf.Profile(), op.Kind()) {
+					oc = cost.ShardDiscount(oc, opts.Shards)
+				}
 				newAtom := len(op.Inputs) == 0 && roots[op.ID]
 				for _, in := range op.Inputs {
 					if ep.Assignment[in.ID] != pl {

@@ -28,11 +28,15 @@ import (
 	"rheem/internal/core/engine"
 )
 
-// Span kinds: a platform-executed compute atom, or a loop the executor
-// unrolls itself.
+// Span kinds: a platform-executed compute atom, a loop the executor
+// unrolls itself, or one shard of a sharded atom execution.
 const (
 	KindAtom = "atom"
 	KindLoop = "loop"
+	// KindShard spans are children of a sharded KindAtom span: one per
+	// shard per attempt, tagged with the shard index. Skew shows up as
+	// spread between sibling shard spans.
+	KindShard = "shard"
 )
 
 // Attempt is one execution attempt of an atom. A span holds every
@@ -67,6 +71,12 @@ type Span struct {
 	// Iteration is the enclosing loop iteration for loop-body spans,
 	// -1 at the top level.
 	Iteration int `json:"iteration"`
+	// Shard is the 0-based shard index on KindShard spans, -1 otherwise.
+	Shard int `json:"shard"`
+	// Shards is the intra-atom fan-out width: on a sharded KindAtom span
+	// the number of shards the execution split into, and on a KindShard
+	// span the parent's total shard count. 0 means unsharded.
+	Shards int `json:"shards,omitempty"`
 
 	StartedAt time.Time `json:"started_at"`
 	EndedAt   time.Time `json:"ended_at"`

@@ -204,7 +204,7 @@ func TestWriteJSONGoldenLines(t *testing.T) {
 
 	sp := tr.Begin(&Span{
 		Kind: KindAtom, AtomID: 7, Name: "map", Platform: "java",
-		Plan: "q1", Iteration: -1,
+		Plan: "q1", Iteration: -1, Shard: -1,
 	}, time.Time{})
 	tr.End(sp, engine.Metrics{Jobs: 1, OutRecords: 5}, nil)
 	tr.Audit(CardAudit{
@@ -218,7 +218,7 @@ func TestWriteJSONGoldenLines(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{
-		`{"schema":1,"type":"span","id":1,"kind":"atom","atom_id":7,"name":"map","platform":"java","plan":"q1","iteration":-1,"started_at":"1970-01-01T00:16:41Z","ended_at":"1970-01-01T00:16:42Z","queue_wait_ns":0,"wall_ns":1000000000,"conv_ns":0,"conv_bytes":0,"conv_steps":0,"est_cost_ns":0,"retries":0,"metrics":{"Wall":0,"Sim":0,"Jobs":1,"InRecords":0,"OutRecords":5,"ShuffledBytes":0,"MovedBytes":0,"Conversions":0,"Retries":0}}`,
+		`{"schema":1,"type":"span","id":1,"kind":"atom","atom_id":7,"name":"map","platform":"java","plan":"q1","iteration":-1,"shard":-1,"started_at":"1970-01-01T00:16:41Z","ended_at":"1970-01-01T00:16:42Z","queue_wait_ns":0,"wall_ns":1000000000,"conv_ns":0,"conv_bytes":0,"conv_steps":0,"est_cost_ns":0,"retries":0,"metrics":{"Wall":0,"Sim":0,"Jobs":1,"InRecords":0,"OutRecords":5,"ShuffledBytes":0,"MovedBytes":0,"Conversions":0,"Retries":0}}`,
 		`{"schema":1,"type":"audit","op_id":1,"op":"map","platform":"java","estimated":10,"actual":40,"err_factor":4,"flagged":true,"est_cost_ns":250000}`,
 	}
 	got := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")

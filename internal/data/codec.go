@@ -167,6 +167,20 @@ func WriteBinary(w io.Writer, recs []Record) (int64, error) {
 	return cw.n, nil
 }
 
+// preallocCap bounds slice preallocation from length prefixes read off
+// the wire. A declared count is attacker-controlled until the payload
+// behind it has actually been read — a handful of header bytes could
+// otherwise demand a multi-gigabyte allocation. Every element needs at
+// least one payload byte, so decoding grows via append and hits a
+// clean EOF error instead.
+func preallocCap(n uint64) int {
+	const maxPrealloc = 1 << 16
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(n)
+}
+
 // ReadBinary reads a batch written by WriteBinary.
 func ReadBinary(r io.Reader) ([]Record, error) {
 	br := bufio.NewReader(r)
@@ -174,63 +188,63 @@ func ReadBinary(r io.Reader) ([]Record, error) {
 	if err != nil {
 		return nil, fmt.Errorf("data: binary record count: %w", err)
 	}
-	recs := make([]Record, 0, count)
+	recs := make([]Record, 0, preallocCap(count))
 	for rec := uint64(0); rec < count; rec++ {
 		arity, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("data: binary arity: %w", err)
 		}
-		vals := make([]Value, arity)
-		for i := range vals {
+		vals := make([]Value, 0, preallocCap(arity))
+		for i := uint64(0); i < arity; i++ {
 			kb, err := br.ReadByte()
 			if err != nil {
 				return nil, fmt.Errorf("data: binary kind: %w", err)
 			}
 			switch Kind(kb) {
 			case KindNull:
-				vals[i] = Null()
+				vals = append(vals, Null())
 			case KindBool:
 				u, err := binary.ReadUvarint(br)
 				if err != nil {
 					return nil, err
 				}
-				vals[i] = Bool(unzigzag(u) != 0)
+				vals = append(vals, Bool(unzigzag(u) != 0))
 			case KindInt:
 				u, err := binary.ReadUvarint(br)
 				if err != nil {
 					return nil, err
 				}
-				vals[i] = Int(unzigzag(u))
+				vals = append(vals, Int(unzigzag(u)))
 			case KindFloat:
 				u, err := binary.ReadUvarint(br)
 				if err != nil {
 					return nil, err
 				}
-				vals[i] = Float(math.Float64frombits(u))
+				vals = append(vals, Float(math.Float64frombits(u)))
 			case KindString:
 				n, err := binary.ReadUvarint(br)
 				if err != nil {
 					return nil, err
 				}
-				b := make([]byte, n)
-				if _, err := io.ReadFull(br, b); err != nil {
+				b, err := readFullCapped(br, n)
+				if err != nil {
 					return nil, err
 				}
-				vals[i] = Str(string(b))
+				vals = append(vals, Str(string(b)))
 			case KindVector:
 				n, err := binary.ReadUvarint(br)
 				if err != nil {
 					return nil, err
 				}
-				vec := make([]float64, n)
-				for j := range vec {
+				vec := make([]float64, 0, preallocCap(n))
+				for j := uint64(0); j < n; j++ {
 					u, err := binary.ReadUvarint(br)
 					if err != nil {
 						return nil, err
 					}
-					vec[j] = math.Float64frombits(u)
+					vec = append(vec, math.Float64frombits(u))
 				}
-				vals[i] = Vec(vec)
+				vals = append(vals, Vec(vec))
 			default:
 				return nil, fmt.Errorf("data: binary-decode unknown kind %d", kb)
 			}
@@ -238,6 +252,22 @@ func ReadBinary(r io.Reader) ([]Record, error) {
 		recs = append(recs, NewRecord(vals...))
 	}
 	return recs, nil
+}
+
+// readFullCapped reads exactly n bytes, allocating in bounded chunks so
+// a corrupt length prefix cannot demand the whole allocation up front.
+func readFullCapped(r io.Reader, n uint64) ([]byte, error) {
+	var out []byte
+	for n > 0 {
+		c := preallocCap(n)
+		start := len(out)
+		out = append(out, make([]byte, c)...)
+		if _, err := io.ReadFull(r, out[start:]); err != nil {
+			return nil, err
+		}
+		n -= uint64(c)
+	}
+	return out, nil
 }
 
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }

@@ -1,0 +1,71 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// encodeBatch is the fuzz targets' canonical encoder.
+func encodeBatch(t *testing.T, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := WriteBinary(&buf, recs)
+	if err != nil {
+		t.Fatalf("WriteBinary on decoded records: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteBinary reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+// FuzzCodecRoundTrip drives arbitrary bytes through the binary codec.
+// The decoder must never panic or allocate unboundedly, and whatever
+// it accepts must re-encode to a fixed point: decode(encode(recs)) ==
+// recs, compared through the canonical encoding so NaN floats and
+// non-minimal varints in the original input don't produce spurious
+// mismatches.
+func FuzzCodecRoundTrip(f *testing.F) {
+	seedBatches := [][]Record{
+		{},
+		{NewRecord(Int(1), Str("a"))},
+		{NewRecord(Null(), Bool(true), Bool(false))},
+		{NewRecord(Int(-1 << 62), Int(math.MaxInt64), Float(0))},
+		{NewRecord(Float(math.NaN()), Float(math.Inf(1)), Float(-0.0))},
+		{NewRecord(Str("")), NewRecord(Str("héllo\x00world"))},
+		{NewRecord(Vec(nil)), NewRecord(Vec([]float64{1.5, math.Inf(-1)}))},
+		{NewRecord(), NewRecord(Int(7))},
+	}
+	for _, batch := range seedBatches {
+		var buf bytes.Buffer
+		if _, err := WriteBinary(&buf, batch); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Corrupt headers: huge declared counts with no payload behind them
+	// must fail fast, not allocate gigabytes.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add([]byte{0x01, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add([]byte{0x01, 0x01, byte(KindString), 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{0x01, 0x01, byte(KindVector), 0xff, 0xff, 0xff, 0x7f, 0x00})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		recs, err := ReadBinary(bytes.NewReader(raw))
+		if err != nil {
+			return // rejecting garbage is fine; crashing is not
+		}
+		enc := encodeBatch(t, recs)
+		again, err := ReadBinary(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("decoding our own encoding failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+		if enc2 := encodeBatch(t, again); !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n first %x\nsecond %x", enc, enc2)
+		}
+	})
+}

@@ -68,6 +68,13 @@ func (p *Platform) NativeFormat() channel.Format { return channel.Collection }
 // the hub format, so no converters are needed.
 func (p *Platform) RegisterConverters(*channel.Registry) {}
 
+// SplitNative implements engine.Sharder: the native format is the hub
+// Collection, so a shard is simply a contiguous slice view of the
+// record batch — zero copies.
+func (p *Platform) SplitNative(ch *channel.Channel, n int) ([]*channel.Channel, error) {
+	return channel.Partition(ch, n)
+}
+
 // ExecuteAtom implements engine.Platform.
 func (p *Platform) ExecuteAtom(ctx context.Context, atom *engine.TaskAtom, inputs engine.AtomInputs) (map[int]*channel.Channel, engine.Metrics, error) {
 	start := time.Now()

@@ -1,0 +1,111 @@
+package sparksim
+
+import (
+	"testing"
+
+	"rheem/internal/core/channel"
+	"rheem/internal/data"
+)
+
+// flattenShards re-reads shard channels as flat record slices in shard
+// index order.
+func flattenShards(t *testing.T, shards []*channel.Channel) []data.Record {
+	t.Helper()
+	var out []data.Record
+	for _, s := range shards {
+		parts, err := partsOf(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, flatten(parts)...)
+	}
+	return out
+}
+
+func TestSplitNativeGroupsPartitions(t *testing.T) {
+	// 8 non-empty partitions into 4 shards: contiguous groups of 2, no
+	// records moved — shard partitions alias the dataset's.
+	p := New(Config{})
+	parts := splitEven(intRecords(80), 8)
+	ch := newPartChannel(parts)
+	shards, err := p.SplitNative(ch, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 4 {
+		t.Fatalf("%d shards, want 4", len(shards))
+	}
+	for i, s := range shards {
+		sp, err := partsOf(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sp) != 2 {
+			t.Errorf("shard %d has %d partitions, want 2", i, len(sp))
+		}
+		if &sp[0][0] != &parts[2*i][0] {
+			t.Errorf("shard %d partition 0 does not alias original partition %d", i, 2*i)
+		}
+	}
+	replay := flattenShards(t, shards)
+	orig := flatten(parts)
+	for i := range orig {
+		if !data.EqualRecords(orig[i], replay[i]) {
+			t.Fatalf("record %d reordered by partition-group split", i)
+		}
+	}
+}
+
+func TestSplitNativeSkipsEmptyPartitions(t *testing.T) {
+	p := New(Config{})
+	parts := [][]data.Record{intRecords(5), {}, intRecords(3), {}, intRecords(2), intRecords(1)}
+	shards, err := p.SplitNative(newPartChannel(parts), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 4 {
+		t.Fatalf("%d shards, want 4 (one per non-empty partition)", len(shards))
+	}
+	if got := len(flattenShards(t, shards)); got != 11 {
+		t.Errorf("shards hold %d records, want 11", got)
+	}
+}
+
+func TestSplitNativeFallsBackToEvenSplit(t *testing.T) {
+	// Fewer non-empty partitions than requested shards: the flattened
+	// records are re-split evenly, preserving flatten order.
+	p := New(Config{})
+	parts := splitEven(intRecords(20), 2)
+	shards, err := p.SplitNative(newPartChannel(parts), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 4 {
+		t.Fatalf("%d shards, want 4 from the even-split fallback", len(shards))
+	}
+	replay := flattenShards(t, shards)
+	orig := flatten(parts)
+	if len(replay) != len(orig) {
+		t.Fatalf("fallback split lost records: %d of %d", len(replay), len(orig))
+	}
+	for i := range orig {
+		if !data.EqualRecords(orig[i], replay[i]) {
+			t.Fatalf("record %d reordered by fallback split", i)
+		}
+	}
+}
+
+func TestSplitNativeDegenerate(t *testing.T) {
+	p := New(Config{})
+	one := newPartChannel([][]data.Record{intRecords(1)})
+	shards, err := p.SplitNative(one, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 1 || shards[0] != one {
+		t.Errorf("single-record split = %d shards, want the original channel", len(shards))
+	}
+	if _, err := p.SplitNative(channel.NewCollection(intRecords(4)), 2); err == nil {
+		t.Error("SplitNative accepted a collection channel")
+	}
+}

@@ -30,6 +30,7 @@ package rheem
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"rheem/internal/core/engine"
@@ -250,6 +251,27 @@ func WithFailover(on bool) RunOption {
 // values below 1 (including the default) mean runtime.NumCPU().
 func WithParallelism(n int) RunOption {
 	return func(rc *runConfig) { rc.exec.Parallelism = n }
+}
+
+// WithShards enables intra-atom data parallelism: a shardable task
+// atom's input batch is split into up to n shards that execute
+// concurrently on the assigned platform, and the results are merged
+// with deterministic, order-preserving semantics — output is
+// byte-identical to an unsharded run. Shardable atoms are single-input
+// chains of record-wise operators (Map, FlatMap, Filter) optionally
+// capped by an aggregation exit (ReduceByKey, Reduce, Count, Distinct,
+// Sort); everything else runs whole, exactly as without the option.
+// The optimizer is told about the fan-out and discounts shardable
+// work on single-node platforms accordingly, so sharding can change
+// the platform assignment. n ≤ 0 selects runtime.GOMAXPROCS(0).
+func WithShards(n int) RunOption {
+	return func(rc *runConfig) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		rc.opt.Shards = n
+		rc.exec.Shards = n
+	}
 }
 
 // WithoutRules disables optimizer rewrite rules for this run.
