@@ -11,6 +11,15 @@
 //	rheem-bench [-experiment all|fig2|fig3left|fig3right|iejoin|multiplatform|optimizer|reopt|parallelism|chaos|telemetry|sharding]
 //	            [-quick] [-clock sim|wall] [-csv DIR] [-v] [-trace FILE]
 //	            [-metrics ADDR] [-linger DUR] [-scrape URL]
+//	rheem-bench -suite [-tier short|full] [-out DIR] [-quick] [-v]
+//	rheem-bench -compare OLD NEW [-threshold PCT] [-metric wall|sim]
+//
+// -suite runs the fixed benchmark scenario matrix (E1/E5/E8/E11 cores)
+// with warmup + repetitions and writes one machine-readable
+// BENCH_<area>.json per area — the repo's persisted perf trajectory.
+// -compare diffs two such result sets (files or directories), prints a
+// per-scenario delta table, and exits 1 if any scenario regressed more
+// than the threshold (default 10%).
 //
 // With -metrics ADDR the process serves /metrics (Prometheus text
 // exposition), /runs (live per-run JSON progress) and /debug/pprof
@@ -35,6 +44,7 @@ import (
 
 	"rheem"
 	"rheem/internal/bench"
+	"rheem/internal/bench/suite"
 	"rheem/internal/core/metrics"
 	"rheem/internal/core/plan"
 	"rheem/internal/data"
@@ -51,7 +61,54 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /runs and /debug/pprof on ADDR while experiments run, then print a final scrape to stdout")
 	linger := flag.Duration("linger", 0, "with -metrics: keep serving this long after the experiments finish")
 	scrapeURL := flag.String("scrape", "", "GET URL, validate the response (Prometheus exposition or JSON), then exit")
+	suiteMode := flag.Bool("suite", false, "run the benchmark scenario matrix and write BENCH_<area>.json files")
+	tier := flag.String("tier", "short", "suite tier: 'short' (CI-sized) or 'full'")
+	outDir := flag.String("out", ".", "with -suite: directory to write BENCH_*.json into")
+	comparePath := flag.String("compare", "", "compare this baseline result set (file or dir) against NEW (first positional arg), then exit")
+	threshold := flag.Float64("threshold", suite.DefaultThresholdPct, "with -compare: regression threshold in percent")
+	compareMetric := flag.String("metric", "wall", "with -compare: metric to gate on, 'wall' or 'sim'")
 	flag.Parse()
+
+	if *comparePath != "" {
+		// flag stops parsing at the first positional, so in
+		// `-compare OLD NEW -threshold 10` everything from NEW on lands
+		// in Args(). Take NEW, then re-parse the rest as flags.
+		rest := flag.Args()
+		if len(rest) >= 1 && len(rest[0]) > 0 && rest[0][0] != '-' {
+			if err := flag.CommandLine.Parse(rest[1:]); err != nil {
+				os.Exit(2)
+			}
+			rest = append(rest[:1], flag.Args()...)
+		}
+		if len(rest) != 1 {
+			fmt.Fprintln(os.Stderr, "rheem-bench: -compare OLD NEW needs exactly one positional argument (the new result set)")
+			os.Exit(2)
+		}
+		regressions, err := runCompare(*comparePath, rest[0], suite.CompareOptions{
+			ThresholdPct: *threshold,
+			Metric:       *compareMetric,
+		}, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rheem-bench: compare: %v\n", err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *suiteMode {
+		scfg := suiteConfig{tier: *tier, outDir: *outDir, quick: *quick}
+		if *verbose {
+			scfg.verbose = os.Stderr
+		}
+		if err := runSuite(scfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rheem-bench: suite: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *scrapeURL != "" {
 		if err := scrape(*scrapeURL, os.Stdout); err != nil {

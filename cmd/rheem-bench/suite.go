@@ -1,0 +1,97 @@
+// The -suite and -compare modes: the benchmark-suite harness that
+// persists the repo's perf trajectory as BENCH_<area>.json files and
+// gates regressions against a previous run (ROADMAP item 5).
+
+package main
+
+import (
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"time"
+
+	"rheem/internal/bench/suite"
+)
+
+// suiteConfig carries the -suite flag set.
+type suiteConfig struct {
+	tier    string
+	outDir  string
+	quick   bool
+	verbose io.Writer // nil = silent
+}
+
+// runSuite executes the scenario matrix and writes one
+// BENCH_<area>.json per area into outDir, printing a summary table.
+func runSuite(cfg suiteConfig, stdout io.Writer) error {
+	files, err := suite.Run(suite.Options{
+		Tier:   cfg.tier,
+		Quick:  cfg.quick,
+		Log:    cfg.verbose,
+		Commit: gitCommit(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := suite.WriteFiles(cfg.outDir, files); err != nil {
+		return err
+	}
+	for _, f := range files {
+		fmt.Fprintf(stdout, "== %s (tier %s, %s/%s, %s) ==\n",
+			suite.Filename(f.Area), f.Tier, f.Env.GOOS, f.Env.GOARCH, f.Env.GoVersion)
+		for _, r := range f.Scenarios {
+			noisy := ""
+			if r.Noisy {
+				noisy = fmt.Sprintf("  NOISY (spread %.0f%%)", r.SpreadPct)
+			}
+			fmt.Fprintf(stdout, "  %-22s wall %-12v sim %-12v %12.0f rec/s  p99 %-10v allocs/op %d%s\n",
+				r.Name,
+				time.Duration(r.WallNS).Round(10*time.Microsecond),
+				time.Duration(r.SimNS).Round(10*time.Microsecond),
+				r.RecordsPerSec,
+				time.Duration(r.P99LatencyNS).Round(10*time.Microsecond),
+				r.AllocsPerOp, noisy)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+// runCompare diffs two result sets (each a BENCH_*.json file or a
+// directory of them) and returns the number of regressions past the
+// threshold. Callers map regressions>0 to a non-zero exit.
+func runCompare(oldPath, newPath string, opts suite.CompareOptions, stdout io.Writer) (int, error) {
+	oldSet, err := suite.LoadSet(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newSet, err := suite.LoadSet(newPath)
+	if err != nil {
+		return 0, err
+	}
+	comparisons, err := suite.CompareSets(oldSet, newSet, opts)
+	if err != nil {
+		return 0, err
+	}
+	for _, c := range comparisons {
+		c.WriteTable(stdout)
+	}
+	n := suite.Regressions(comparisons)
+	if n > 0 {
+		fmt.Fprintf(stdout, "FAIL: %d scenario(s) regressed past the threshold\n", n)
+	} else {
+		fmt.Fprintln(stdout, "OK: no regressions past the threshold")
+	}
+	return n, nil
+}
+
+// gitCommit best-effort resolves the working tree's short commit hash
+// for the BENCH env metadata; empty when git or the repo is absent.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -343,10 +343,11 @@ func iejoin(cfg Config) ([]*Table, error) {
 
 // --- E5: the §1 multi-platform pipeline ----------------------------------
 
-// sensorPipeline is the oil-&-gas motivating pipeline: normalise raw
+// SensorPipeline is the oil-&-gas motivating pipeline (E5 and the
+// bench suite's multi-platform scenario): normalise raw
 // sensor quanta (opaque UDF), aggregate per well (relational
 // strength), emit per-well feature vectors.
-func sensorPipeline(ctx *rheem.Context, readings []data.Record, opts ...rheem.RunOption) ([]data.Record, *rheem.Report, error) {
+func SensorPipeline(ctx *rheem.Context, readings []data.Record, opts ...rheem.RunOption) ([]data.Record, *rheem.Report, error) {
 	job := ctx.NewJob("sensor-features")
 	q := job.ReadCollection("readings", readings).
 		// Normalise: psi→kPa-ish unit conversion plus clamping, an
@@ -407,7 +408,7 @@ func multiplatform(cfg Config) ([]*Table, error) {
 	var free, bestPinned time.Duration
 	for i, opt := range options {
 		cfg.logf("multiplatform: %s", opt.name)
-		wells, rep, err := sensorPipeline(ctx, readings, opt.opts...)
+		wells, rep, err := SensorPipeline(ctx, readings, opt.opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -426,7 +427,7 @@ func multiplatform(cfg Config) ([]*Table, error) {
 
 	// Downstream ML step on the aggregated wells: k-means over 32 tiny
 	// feature vectors — firmly single-node territory.
-	wells, _, err := sensorPipeline(ctx, readings)
+	wells, _, err := SensorPipeline(ctx, readings)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,266 @@
+package suite
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Delta statuses, from worst to best.
+const (
+	StatusRegressed    = "regressed"     // new is slower past the threshold
+	StatusMissingNew   = "missing-new"   // scenario vanished from the new set
+	StatusMissingOld   = "missing-old"   // scenario has no baseline yet
+	StatusZeroBaseline = "zero-baseline" // baseline too small to divide by
+	StatusOK           = "ok"            // within the threshold either way
+	StatusImproved     = "improved"      // new is faster past the threshold
+)
+
+// CompareOptions steers regression gating.
+type CompareOptions struct {
+	// ThresholdPct: a scenario regresses when the chosen metric grows
+	// by more than this percentage. 0 means DefaultThresholdPct.
+	ThresholdPct float64
+	// Metric is "wall" (default; min-of-reps measured time) or "sim"
+	// (the simulated cluster clock).
+	Metric string
+	// FloorNS guards near-zero baselines: baselines below it are
+	// reported as zero-baseline and never gate. 0 means DefaultFloorNS.
+	FloorNS int64
+}
+
+// DefaultThresholdPct is the regression gate used when none is given —
+// the >10% rule from ROADMAP item 5.
+const DefaultThresholdPct = 10.0
+
+// DefaultFloorNS is the near-zero baseline guard: 100µs of wall is
+// below the timer+scheduler noise floor for a whole scenario, so a
+// percentage against it is meaningless.
+const DefaultFloorNS = 100_000
+
+// Delta is one scenario's old-vs-new comparison.
+type Delta struct {
+	Name   string
+	Status string
+	OldNS  int64
+	NewNS  int64
+	// Pct is 100*(new-old)/old; only meaningful when both sides exist
+	// and the baseline is above the floor.
+	Pct float64
+	// Noisy is true when either side flagged the scenario's rep-to-rep
+	// spread — a reader should trust the delta less.
+	Noisy bool
+}
+
+// Comparison is one area's compare result.
+type Comparison struct {
+	Area         string
+	Metric       string
+	ThresholdPct float64
+	Deltas       []Delta
+}
+
+// Regressions counts deltas whose status is regressed.
+func (c *Comparison) Regressions() int {
+	n := 0
+	for _, d := range c.Deltas {
+		if d.Status == StatusRegressed {
+			n++
+		}
+	}
+	return n
+}
+
+func (o CompareOptions) normalize() (CompareOptions, error) {
+	if o.ThresholdPct == 0 {
+		o.ThresholdPct = DefaultThresholdPct
+	}
+	if o.ThresholdPct < 0 {
+		return o, fmt.Errorf("suite: negative threshold %v", o.ThresholdPct)
+	}
+	if o.FloorNS == 0 {
+		o.FloorNS = DefaultFloorNS
+	}
+	switch o.Metric {
+	case "":
+		o.Metric = "wall"
+	case "wall", "sim":
+	default:
+		return o, fmt.Errorf("suite: unknown compare metric %q (want wall or sim)", o.Metric)
+	}
+	return o, nil
+}
+
+func metricOf(r *Result, metric string) int64 {
+	if metric == "sim" {
+		return r.SimNS
+	}
+	return r.WallNS
+}
+
+// Compare diffs two result sets of the same area. Scenario matching is
+// by name; the delta order is the new file's scenario order with
+// old-only scenarios appended. Schema versions are already equal (both
+// files passed Decode), but mismatched areas are an error — comparing
+// BENCH_core.json against BENCH_sharding.json is a caller bug, not a
+// regression.
+func Compare(old, new *File, opts CompareOptions) (*Comparison, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if old.Schema != new.Schema {
+		return nil, fmt.Errorf("suite: schema version mismatch: old %d vs new %d", old.Schema, new.Schema)
+	}
+	if old.Area != new.Area {
+		return nil, fmt.Errorf("suite: area mismatch: old %q vs new %q", old.Area, new.Area)
+	}
+	// Different tiers (or a quick-shrunk side) ran different workload
+	// sizes; a delta between them is meaningless, not a regression.
+	if old.Tier != new.Tier {
+		return nil, fmt.Errorf("suite: tier mismatch: old %q vs new %q", old.Tier, new.Tier)
+	}
+	if old.Quick != new.Quick {
+		return nil, fmt.Errorf("suite: quick mismatch: old quick=%v vs new quick=%v", old.Quick, new.Quick)
+	}
+	oldBy := map[string]*Result{}
+	for i := range old.Scenarios {
+		oldBy[old.Scenarios[i].Name] = &old.Scenarios[i]
+	}
+	newNames := map[string]bool{}
+
+	c := &Comparison{Area: new.Area, Metric: opts.Metric, ThresholdPct: opts.ThresholdPct}
+	for i := range new.Scenarios {
+		nr := &new.Scenarios[i]
+		newNames[nr.Name] = true
+		d := Delta{Name: nr.Name, NewNS: metricOf(nr, opts.Metric), Noisy: nr.Noisy}
+		or, ok := oldBy[nr.Name]
+		switch {
+		case !ok:
+			d.Status = StatusMissingOld
+		default:
+			d.OldNS = metricOf(or, opts.Metric)
+			d.Noisy = d.Noisy || or.Noisy
+			if d.OldNS < opts.FloorNS {
+				d.Status = StatusZeroBaseline
+				break
+			}
+			d.Pct = 100 * float64(d.NewNS-d.OldNS) / float64(d.OldNS)
+			switch {
+			case d.Pct > opts.ThresholdPct:
+				d.Status = StatusRegressed
+			case d.Pct < -opts.ThresholdPct:
+				d.Status = StatusImproved
+			default:
+				d.Status = StatusOK
+			}
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for i := range old.Scenarios {
+		or := &old.Scenarios[i]
+		if newNames[or.Name] {
+			continue
+		}
+		c.Deltas = append(c.Deltas, Delta{
+			Name:   or.Name,
+			Status: StatusMissingNew,
+			OldNS:  metricOf(or, opts.Metric),
+			Noisy:  or.Noisy,
+		})
+	}
+	return c, nil
+}
+
+// CompareSets diffs two multi-area result sets, matching files by
+// area. An area present on only one side is an error: a result set
+// that silently lost an area must not read as "no regressions".
+func CompareSets(old, new []*File, opts CompareOptions) ([]*Comparison, error) {
+	oldBy := map[string]*File{}
+	for _, f := range old {
+		oldBy[f.Area] = f
+	}
+	newBy := map[string]*File{}
+	for _, f := range new {
+		newBy[f.Area] = f
+	}
+	for area := range oldBy {
+		if newBy[area] == nil {
+			return nil, fmt.Errorf("suite: area %q present in old set but missing from new", area)
+		}
+	}
+	var out []*Comparison
+	for _, nf := range new {
+		of := oldBy[nf.Area]
+		if of == nil {
+			return nil, fmt.Errorf("suite: area %q present in new set but missing from old", nf.Area)
+		}
+		c, err := Compare(of, nf, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Regressions sums regressed deltas across comparisons.
+func Regressions(cs []*Comparison) int {
+	n := 0
+	for _, c := range cs {
+		n += c.Regressions()
+	}
+	return n
+}
+
+// WriteTable renders the comparison as an aligned delta table.
+func (c *Comparison) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "== %s (%s, threshold %.0f%%) ==\n", Filename(c.Area), c.Metric, c.ThresholdPct)
+	rows := [][]string{{"scenario", "old", "new", "delta", "status"}}
+	for _, d := range c.Deltas {
+		delta := "-"
+		if d.Status != StatusMissingOld && d.Status != StatusMissingNew && d.Status != StatusZeroBaseline {
+			delta = fmt.Sprintf("%+.1f%%", d.Pct)
+		}
+		status := d.Status
+		if d.Noisy {
+			status += " (noisy)"
+		}
+		rows = append(rows, []string{d.Name, fmtNS(d.OldNS), fmtNS(d.NewNS), delta, status})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, r := range rows {
+		for i, cell := range r {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+		if ri == 0 {
+			for i := range r {
+				if i > 0 {
+					fmt.Fprint(w, "  ")
+				}
+				fmt.Fprint(w, strings.Repeat("-", widths[i]))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func fmtNS(ns int64) string {
+	if ns == 0 {
+		return "-"
+	}
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,155 @@
+package suite
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenFile is the fixed File value behind testdata/golden.json. Any
+// schema change shows up as a golden diff, forcing a conscious
+// SchemaVersion bump.
+func goldenFile() *File {
+	return &File{
+		Schema: SchemaVersion,
+		Area:   AreaCore,
+		Tier:   TierShort,
+		Quick:  true,
+		Env: Env{
+			GoVersion:  "go1.24.0",
+			GOOS:       "linux",
+			GOARCH:     "amd64",
+			GOMAXPROCS: 8,
+			Commit:     "abc1234",
+		},
+		Scenarios: []Result{
+			{
+				Name: "svm-java", Reps: 3, Warmup: 1,
+				WallNS: 1_500_000, SimNS: 2_000_000,
+				RepWallNS: []int64{1_600_000, 1_500_000, 1_550_000},
+				Records:   5_000, RecordsPerSec: 3_333_333.3333333335,
+				AllocsPerOp: 9_000, P99LatencyNS: 480_000,
+				SpreadPct: 6.666666666666667, Noisy: false,
+			},
+			{
+				Name: "sensor-multiplatform", Reps: 3, Warmup: 1,
+				WallNS: 600_000, SimNS: 760_000,
+				RepWallNS: []int64{600_000, 1_900_000, 700_000},
+				Records:   32_000, RecordsPerSec: 53_333_333.33333333,
+				AllocsPerOp: 6_800, P99LatencyNS: 2_400_000,
+				SpreadPct: 216.66666666666666, Noisy: true,
+			},
+		},
+	}
+}
+
+func TestGoldenEncoding(t *testing.T) {
+	got, err := goldenFile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Skip("golden regenerated")
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("golden mismatch — the BENCH schema changed; bump SchemaVersion and regenerate testdata/golden.json.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestEncodeDecodeEncodeFixpoint(t *testing.T) {
+	first, err := goldenFile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := decoded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("encode→decode→encode is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}
+
+func TestDecodeRejectsSchemaMismatch(t *testing.T) {
+	f := goldenFile()
+	f.Schema = SchemaVersion + 1
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Decode(b)
+	if err == nil {
+		t.Fatal("Decode accepted a future schema version")
+	}
+	if !strings.Contains(err.Error(), "schema version mismatch") {
+		t.Errorf("mismatch error does not name the problem: %v", err)
+	}
+
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Error("Decode accepted invalid JSON")
+	}
+	if _, err := Decode([]byte(`{"schema":1}`)); err == nil {
+		t.Error("Decode accepted a file with no area")
+	}
+}
+
+func TestLoadSetRejectsMismatchedVersions(t *testing.T) {
+	dir := t.TempDir()
+	f := goldenFile()
+	f.Schema = SchemaVersion + 1
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, Filename(f.Area))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSet(dir); err == nil {
+		t.Error("LoadSet accepted a directory holding a mismatched-version file")
+	}
+	if _, err := LoadSet(path); err == nil {
+		t.Error("LoadSet accepted a mismatched-version file")
+	}
+	if _, err := LoadSet(t.TempDir()); err == nil {
+		t.Error("LoadSet accepted a directory with no BENCH files")
+	}
+}
+
+func TestCanonicalZeroesOnlyMeasurements(t *testing.T) {
+	f := goldenFile()
+	c := f.Canonical()
+	if len(c.Scenarios) != len(f.Scenarios) {
+		t.Fatalf("Canonical changed the scenario count: %d vs %d", len(c.Scenarios), len(f.Scenarios))
+	}
+	for i, s := range c.Scenarios {
+		orig := f.Scenarios[i]
+		if s.Name != orig.Name || s.Reps != orig.Reps || s.Warmup != orig.Warmup {
+			t.Errorf("Canonical changed shape fields: %+v vs %+v", s, orig)
+		}
+		if len(s.RepWallNS) != len(orig.RepWallNS) {
+			t.Errorf("Canonical changed rep count for %s", s.Name)
+		}
+		if s.WallNS != 0 || s.SimNS != 0 || s.RecordsPerSec != 0 || s.Noisy {
+			t.Errorf("Canonical left measured values for %s: %+v", s.Name, s)
+		}
+	}
+	// The original must be untouched (deep copy).
+	if f.Scenarios[0].WallNS == 0 {
+		t.Error("Canonical mutated its receiver")
+	}
+}

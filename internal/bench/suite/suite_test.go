@@ -1,0 +1,144 @@
+package suite
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSuiteDeterminism is the shape contract behind checked-in
+// baselines: two consecutive quick short-tier runs must execute the
+// identical scenario matrix and produce schema-identical JSON — only
+// the measured values may differ. Canonical() zeroes exactly those, so
+// the canonical encodings must match byte for byte.
+func TestSuiteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick suite twice")
+	}
+	opts := Options{Tier: TierShort, Quick: true}
+	run1, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run1) != len(run2) {
+		t.Fatalf("area counts differ: %d vs %d", len(run1), len(run2))
+	}
+	for i := range run1 {
+		f1, f2 := run1[i], run2[i]
+		if f1.Area != f2.Area {
+			t.Fatalf("area order differs: %q vs %q", f1.Area, f2.Area)
+		}
+		names := func(f *File) []string {
+			out := make([]string, len(f.Scenarios))
+			for j, s := range f.Scenarios {
+				out[j] = s.Name
+			}
+			return out
+		}
+		n1, n2 := names(f1), names(f2)
+		if len(n1) != len(n2) {
+			t.Fatalf("%s: scenario counts differ: %v vs %v", f1.Area, n1, n2)
+		}
+		for j := range n1 {
+			if n1[j] != n2[j] {
+				t.Errorf("%s: scenario set differs at %d: %q vs %q", f1.Area, j, n1[j], n2[j])
+			}
+		}
+		b1, err := f1.Canonical().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := f2.Canonical().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: canonical encodings differ:\n%s\nvs\n%s", f1.Area, b1, b2)
+		}
+
+		// Record traffic is part of the deterministic workload, not
+		// timing: identical across runs.
+		for j := range f1.Scenarios {
+			if f1.Scenarios[j].Records != f2.Scenarios[j].Records {
+				t.Errorf("%s/%s: record counts differ across runs: %d vs %d",
+					f1.Area, f1.Scenarios[j].Name, f1.Scenarios[j].Records, f2.Scenarios[j].Records)
+			}
+		}
+	}
+
+	// Every scenario must carry a full measurement: reps recorded,
+	// positive wall clock, records observed, and the noisy flag
+	// consistent with the recorded spread.
+	for _, f := range run1 {
+		for _, s := range f.Scenarios {
+			if len(s.RepWallNS) != s.Reps {
+				t.Errorf("%s/%s: %d rep walls for %d reps", f.Area, s.Name, len(s.RepWallNS), s.Reps)
+			}
+			if s.WallNS <= 0 || s.Records <= 0 || s.RecordsPerSec <= 0 {
+				t.Errorf("%s/%s: incomplete measurement: %+v", f.Area, s.Name, s)
+			}
+			if s.P99LatencyNS <= 0 {
+				t.Errorf("%s/%s: no p99 extracted from the telemetry hub", f.Area, s.Name)
+			}
+			if s.Noisy != (s.SpreadPct > DefaultNoisePct) {
+				t.Errorf("%s/%s: noisy=%v inconsistent with spread %.1f%% (tolerance %v%%)",
+					f.Area, s.Name, s.Noisy, s.SpreadPct, DefaultNoisePct)
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnknownTier(t *testing.T) {
+	if _, err := Run(Options{Tier: "medium"}); err == nil {
+		t.Error("unknown tier accepted")
+	}
+}
+
+func TestSpreadPct(t *testing.T) {
+	cases := []struct {
+		reps []int64
+		want float64
+	}{
+		{nil, 0},
+		{[]int64{100}, 0},
+		{[]int64{100, 100}, 0},
+		{[]int64{100, 150}, 50},
+		{[]int64{200, 100, 150}, 100},
+		{[]int64{0, 100}, 0}, // degenerate min: no meaningful spread
+	}
+	for _, tc := range cases {
+		if got := spreadPct(tc.reps); got != tc.want {
+			t.Errorf("spreadPct(%v) = %v, want %v", tc.reps, got, tc.want)
+		}
+	}
+}
+
+// TestScenarioMatrixShape pins the matrix the BENCH files are built
+// from: every scenario named, areas grouped contiguously, names unique.
+func TestScenarioMatrixShape(t *testing.T) {
+	seen := map[string]bool{}
+	areas := map[string]bool{}
+	var lastArea string
+	for _, sc := range Scenarios() {
+		if sc.Name == "" || sc.Area == "" || sc.Run == nil {
+			t.Errorf("incomplete scenario: %+v", sc)
+		}
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Area != lastArea && areas[sc.Area] {
+			t.Errorf("area %q is not contiguous in the matrix", sc.Area)
+		}
+		areas[sc.Area] = true
+		lastArea = sc.Area
+	}
+	for _, want := range []string{AreaCore, AreaParallel, AreaSharding} {
+		if !areas[want] {
+			t.Errorf("matrix covers no %q scenarios", want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSnapshotQuantile(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.HistogramVec("lat_seconds", "Latency.", []float64{0.001, 0.01, 0.1, 1}, "platform")
+	// java: 90 obs at ~5ms, 10 at ~50ms → p99 inside the 0.01..0.1 bucket.
+	for i := 0; i < 90; i++ {
+		hv.With("java").Observe(0.005)
+	}
+	for i := 0; i < 10; i++ {
+		hv.With("java").Observe(0.05)
+	}
+	snap := reg.Snapshot()
+
+	p99, ok := snap.Quantile("lat_seconds", 0.99, map[string]string{"platform": "java"})
+	if !ok {
+		t.Fatal("Quantile: no sample matched")
+	}
+	if p99 <= 0.01 || p99 > 0.1 {
+		t.Errorf("p99 = %v, want in (0.01, 0.1]", p99)
+	}
+	p50, ok := snap.Quantile("lat_seconds", 0.50, nil)
+	if !ok || p50 <= 0.001 || p50 > 0.01 {
+		t.Errorf("p50 = %v ok=%v, want in (0.001, 0.01]", p50, ok)
+	}
+}
+
+func TestSnapshotQuantileMergesSamples(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.HistogramVec("lat_seconds", "Latency.", []float64{0.001, 0.01, 0.1}, "platform")
+	// All fast observations on java, all slow on spark: the merged
+	// cross-platform p99 must land in spark's bucket.
+	for i := 0; i < 50; i++ {
+		hv.With("java").Observe(0.0005)
+	}
+	for i := 0; i < 50; i++ {
+		hv.With("spark").Observe(0.05)
+	}
+	snap := reg.Snapshot()
+	p99, ok := snap.Quantile("lat_seconds", 0.99, nil)
+	if !ok {
+		t.Fatal("merged Quantile: not ok")
+	}
+	if p99 <= 0.01 || p99 > 0.1 {
+		t.Errorf("merged p99 = %v, want in (0.01, 0.1]", p99)
+	}
+	// Filtered to java only, the tail is fast.
+	p99j, ok := snap.Quantile("lat_seconds", 0.99, map[string]string{"platform": "java"})
+	if !ok || p99j > 0.001 {
+		t.Errorf("java p99 = %v ok=%v, want ≤ 0.001", p99j, ok)
+	}
+}
+
+func TestSnapshotQuantileEdges(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.HistogramVec("lat_seconds", "Latency.", []float64{0.001, 0.01}, "platform")
+	snap := reg.Snapshot()
+	if _, ok := snap.Quantile("lat_seconds", 0.99, nil); ok {
+		t.Error("empty histogram family reported a quantile")
+	}
+	if _, ok := snap.Quantile("missing", 0.99, nil); ok {
+		t.Error("missing family reported a quantile")
+	}
+
+	// Overflow-only observations clamp to the largest finite bound.
+	hv.With("java").Observe(5)
+	snap = reg.Snapshot()
+	p99, ok := snap.Quantile("lat_seconds", 0.99, nil)
+	if !ok || p99 != 0.01 {
+		t.Errorf("overflow p99 = %v ok=%v, want clamp to 0.01", p99, ok)
+	}
+	if _, ok := snap.Quantile("lat_seconds", 0, nil); ok {
+		t.Error("q=0 accepted")
+	}
+	if _, ok := snap.Quantile("lat_seconds", 1.5, nil); ok {
+		t.Error("q>1 accepted")
+	}
+
+	// Counters are not histograms.
+	reg.CounterVec("runs_total", "Runs.").With().Inc()
+	if _, ok := reg.Snapshot().Quantile("runs_total", 0.5, nil); ok {
+		t.Error("counter family reported a quantile")
+	}
+}
+
+func TestMergeBucketsMismatchedBounds(t *testing.T) {
+	a := []BucketSnapshot{{UpperBound: 0.001, CumulativeCount: 2}, {UpperBound: math.Inf(1), CumulativeCount: 3}}
+	b := []BucketSnapshot{{UpperBound: 0.01, CumulativeCount: 4}, {UpperBound: math.Inf(1), CumulativeCount: 5}}
+	m := mergeBuckets(mergeBuckets(nil, a), b)
+	last := m[len(m)-1]
+	if !math.IsInf(last.UpperBound, 1) || last.CumulativeCount != 8 {
+		t.Errorf("merged tail = %+v, want +Inf cum 8", last)
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].CumulativeCount < m[i-1].CumulativeCount {
+			t.Errorf("merged buckets not cumulative: %+v", m)
+		}
+	}
+}
