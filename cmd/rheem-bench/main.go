@@ -11,15 +11,19 @@
 //	rheem-bench [-experiment all|fig2|fig3left|fig3right|iejoin|multiplatform|optimizer|reopt|parallelism|chaos|telemetry|sharding]
 //	            [-quick] [-clock sim|wall] [-csv DIR] [-v] [-trace FILE]
 //	            [-metrics ADDR] [-linger DUR] [-scrape URL]
-//	rheem-bench -suite [-tier short|full] [-out DIR] [-quick] [-v]
+//	rheem-bench -suite [-tier short|full] [-areas a,b] [-out DIR] [-quick] [-v]
 //	rheem-bench -compare OLD NEW [-threshold PCT] [-metric wall|sim]
+//	            [-allocs-threshold PCT] [-rps-threshold PCT]
 //
-// -suite runs the fixed benchmark scenario matrix (E1/E5/E8/E11 cores)
-// with warmup + repetitions and writes one machine-readable
-// BENCH_<area>.json per area — the repo's persisted perf trajectory.
+// -suite runs the fixed benchmark scenario matrix (the E1/E5/E8/E11
+// cores plus the E12 job-service load) with warmup + repetitions and
+// writes one machine-readable BENCH_<area>.json per area — the repo's
+// persisted perf trajectory; -areas restricts the run to a subset.
 // -compare diffs two such result sets (files or directories), prints a
 // per-scenario delta table, and exits 1 if any scenario regressed more
-// than the threshold (default 10%).
+// than the threshold (default 10%) on the time metric, allocs/op
+// growth, or records/s drop (each sub-threshold inherits -threshold
+// when 0; negative disables it).
 //
 // With -metrics ADDR the process serves /metrics (Prometheus text
 // exposition), /runs (live per-run JSON progress) and /debug/pprof
@@ -67,6 +71,9 @@ func main() {
 	comparePath := flag.String("compare", "", "compare this baseline result set (file or dir) against NEW (first positional arg), then exit")
 	threshold := flag.Float64("threshold", suite.DefaultThresholdPct, "with -compare: regression threshold in percent")
 	compareMetric := flag.String("metric", "wall", "with -compare: metric to gate on, 'wall' or 'sim'")
+	allocsThreshold := flag.Float64("allocs-threshold", 0, "with -compare: allocs/op growth threshold in percent (0 inherits -threshold, negative disables)")
+	rpsThreshold := flag.Float64("rps-threshold", 0, "with -compare: records/s drop threshold in percent (0 inherits -threshold, negative disables)")
+	areasFlag := flag.String("areas", "", "with -suite: comma-separated area filter (e.g. core,service)")
 	flag.Parse()
 
 	if *comparePath != "" {
@@ -85,8 +92,10 @@ func main() {
 			os.Exit(2)
 		}
 		regressions, err := runCompare(*comparePath, rest[0], suite.CompareOptions{
-			ThresholdPct: *threshold,
-			Metric:       *compareMetric,
+			ThresholdPct:       *threshold,
+			Metric:             *compareMetric,
+			AllocsThresholdPct: *allocsThreshold,
+			RPSThresholdPct:    *rpsThreshold,
 		}, os.Stdout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rheem-bench: compare: %v\n", err)
@@ -99,7 +108,7 @@ func main() {
 	}
 
 	if *suiteMode {
-		scfg := suiteConfig{tier: *tier, outDir: *outDir, quick: *quick}
+		scfg := suiteConfig{tier: *tier, outDir: *outDir, quick: *quick, areas: splitAreas(*areasFlag)}
 		if *verbose {
 			scfg.verbose = os.Stderr
 		}

@@ -19,7 +19,19 @@ type suiteConfig struct {
 	tier    string
 	outDir  string
 	quick   bool
+	areas   []string  // empty = all areas
 	verbose io.Writer // nil = silent
+}
+
+// splitAreas parses the -areas flag: comma-separated, blanks dropped.
+func splitAreas(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // runSuite executes the scenario matrix and writes one
@@ -30,6 +42,7 @@ func runSuite(cfg suiteConfig, stdout io.Writer) error {
 		Quick:  cfg.quick,
 		Log:    cfg.verbose,
 		Commit: gitCommit(),
+		Areas:  cfg.areas,
 	})
 	if err != nil {
 		return err

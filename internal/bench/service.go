@@ -1,0 +1,71 @@
+// E12: multi-tenant job-service load. The closed-loop generator
+// (internal/service.RunLoad) drives N tenants × M jobs through one
+// shared engine behind admission control, sweeping the tenant count to
+// produce the throughput / tail-latency curve EXPERIMENTS.md records —
+// how job throughput scales and p99 degrades as tenants contend for
+// the bounded scheduler pool.
+package bench
+
+import (
+	"fmt"
+
+	"rheem/internal/service"
+)
+
+func init() {
+	register("service", serviceLoad)
+}
+
+func serviceLoad(cfg Config) ([]*Table, error) {
+	tenantSweep := []int{1, 2, 4, 8}
+	jobs, n := 6, 2_000
+	if cfg.Quick {
+		tenantSweep = []int{1, 2}
+		jobs, n = 3, 300
+	}
+	specs := []service.Spec{
+		{Kind: service.KindWorkload, Workload: service.WorkloadWordcount, N: n, Seed: 1},
+		{Kind: service.KindWorkload, Workload: service.WorkloadSensor, N: n, Wells: 8, Seed: 2},
+		{Kind: service.KindWorkload, Workload: service.WorkloadFanout, N: n / 8, Branches: 3, Seed: 3},
+	}
+
+	tab := &Table{
+		Title: "E12: multi-tenant service throughput and tail latency",
+		Note: "closed-loop load (2 in-flight jobs per tenant) against one shared engine;\n" +
+			"latencies are acceptance→terminal, queue wait included",
+		Columns: []string{"tenants", "jobs", "shed", "succeeded", "jobs/s", "p50", "p95", "p99", "wall"},
+	}
+	for _, tenants := range tenantSweep {
+		cfg.logf("service: %d tenants × %d jobs", tenants, jobs)
+		svc, err := service.New(service.Config{
+			Hub:          cfg.Hub,
+			CatalogScale: 500,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := service.RunLoad(svc, service.LoadConfig{
+			Tenants:       tenants,
+			JobsPerTenant: jobs,
+			Concurrency:   2,
+			Specs:         specs,
+		})
+		svc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("service: %d tenants: %w", tenants, err)
+		}
+		if res.Succeeded != tenants*jobs {
+			return nil, fmt.Errorf("service: %d tenants: %d/%d jobs succeeded (failed %d, cancelled %d)",
+				tenants, res.Succeeded, tenants*jobs, res.Failed, res.Cancelled)
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d", tenants),
+			fmt.Sprintf("%d", tenants*jobs),
+			fmt.Sprintf("%d", res.Shed),
+			fmt.Sprintf("%d", res.Succeeded),
+			fmt.Sprintf("%.1f", res.Throughput),
+			Dur(res.P50), Dur(res.P95), Dur(res.P99), Dur(res.Wall),
+		)
+	}
+	return []*Table{tab}, nil
+}

@@ -28,6 +28,17 @@ type CompareOptions struct {
 	// FloorNS guards near-zero baselines: baselines below it are
 	// reported as zero-baseline and never gate. 0 means DefaultFloorNS.
 	FloorNS int64
+	// AllocsThresholdPct gates allocs/op growth: a scenario regresses
+	// when its allocation count grows past this percentage. 0 inherits
+	// ThresholdPct; negative disables allocation gating.
+	AllocsThresholdPct float64
+	// RPSThresholdPct gates records/s: a scenario regresses when its
+	// throughput *drops* past this percentage. 0 inherits ThresholdPct;
+	// negative disables throughput gating.
+	RPSThresholdPct float64
+	// AllocsFloor guards tiny allocation baselines: baselines below it
+	// never gate. 0 means DefaultAllocsFloor.
+	AllocsFloor int64
 }
 
 // DefaultThresholdPct is the regression gate used when none is given —
@@ -39,6 +50,11 @@ const DefaultThresholdPct = 10.0
 // percentage against it is meaningless.
 const DefaultFloorNS = 100_000
 
+// DefaultAllocsFloor is the allocation-baseline guard: below 10k
+// allocs/op the runtime's own bookkeeping dominates the count and a
+// percentage against it is noise.
+const DefaultAllocsFloor = 10_000
+
 // Delta is one scenario's old-vs-new comparison.
 type Delta struct {
 	Name   string
@@ -48,9 +64,32 @@ type Delta struct {
 	// Pct is 100*(new-old)/old; only meaningful when both sides exist
 	// and the baseline is above the floor.
 	Pct float64
+	// Allocation sub-delta: allocs/op on both sides, the growth
+	// percentage, and its own status. AllocsStatus is empty when
+	// allocation gating is disabled or a side is missing.
+	OldAllocs    int64
+	NewAllocs    int64
+	AllocsPct    float64
+	AllocsStatus string
+	// Throughput sub-delta: records/s on both sides. A drop past the
+	// threshold regresses (lower is worse — the sign convention is the
+	// opposite of the time metrics). RPSStatus is empty when throughput
+	// gating is disabled or a side is missing.
+	OldRPS    float64
+	NewRPS    float64
+	RPSPct    float64
+	RPSStatus string
 	// Noisy is true when either side flagged the scenario's rep-to-rep
 	// spread — a reader should trust the delta less.
 	Noisy bool
+}
+
+// Regressed reports whether any gated metric — time, allocs/op, or
+// records/s — regressed past its threshold.
+func (d *Delta) Regressed() bool {
+	return d.Status == StatusRegressed ||
+		d.AllocsStatus == StatusRegressed ||
+		d.RPSStatus == StatusRegressed
 }
 
 // Comparison is one area's compare result.
@@ -64,8 +103,8 @@ type Comparison struct {
 // Regressions counts deltas whose status is regressed.
 func (c *Comparison) Regressions() int {
 	n := 0
-	for _, d := range c.Deltas {
-		if d.Status == StatusRegressed {
+	for i := range c.Deltas {
+		if c.Deltas[i].Regressed() {
 			n++
 		}
 	}
@@ -82,6 +121,15 @@ func (o CompareOptions) normalize() (CompareOptions, error) {
 	if o.FloorNS == 0 {
 		o.FloorNS = DefaultFloorNS
 	}
+	if o.AllocsThresholdPct == 0 {
+		o.AllocsThresholdPct = o.ThresholdPct
+	}
+	if o.RPSThresholdPct == 0 {
+		o.RPSThresholdPct = o.ThresholdPct
+	}
+	if o.AllocsFloor == 0 {
+		o.AllocsFloor = DefaultAllocsFloor
+	}
 	switch o.Metric {
 	case "":
 		o.Metric = "wall"
@@ -90,6 +138,41 @@ func (o CompareOptions) normalize() (CompareOptions, error) {
 		return o, fmt.Errorf("suite: unknown compare metric %q (want wall or sim)", o.Metric)
 	}
 	return o, nil
+}
+
+// gradePct maps a growth-is-bad percentage to a status.
+func gradePct(pct, threshold float64) string {
+	switch {
+	case pct > threshold:
+		return StatusRegressed
+	case pct < -threshold:
+		return StatusImproved
+	default:
+		return StatusOK
+	}
+}
+
+// fillSubDeltas computes the allocs/op and records/s sub-deltas for a
+// scenario present on both sides.
+func fillSubDeltas(d *Delta, or, nr *Result, opts CompareOptions) {
+	if opts.AllocsThresholdPct >= 0 {
+		d.OldAllocs, d.NewAllocs = or.AllocsPerOp, nr.AllocsPerOp
+		if or.AllocsPerOp < opts.AllocsFloor {
+			d.AllocsStatus = StatusZeroBaseline
+		} else {
+			d.AllocsPct = 100 * float64(nr.AllocsPerOp-or.AllocsPerOp) / float64(or.AllocsPerOp)
+			d.AllocsStatus = gradePct(d.AllocsPct, opts.AllocsThresholdPct)
+		}
+	}
+	if opts.RPSThresholdPct >= 0 {
+		d.OldRPS, d.NewRPS = or.RecordsPerSec, nr.RecordsPerSec
+		if or.RecordsPerSec <= 0 {
+			d.RPSStatus = StatusZeroBaseline
+		} else {
+			d.RPSPct = 100 * (nr.RecordsPerSec - or.RecordsPerSec) / or.RecordsPerSec
+			d.RPSStatus = gradePct(-d.RPSPct, opts.RPSThresholdPct) // a drop regresses
+		}
+	}
 }
 
 func metricOf(r *Result, metric string) int64 {
@@ -142,19 +225,13 @@ func Compare(old, new *File, opts CompareOptions) (*Comparison, error) {
 		default:
 			d.OldNS = metricOf(or, opts.Metric)
 			d.Noisy = d.Noisy || or.Noisy
+			fillSubDeltas(&d, or, nr, opts)
 			if d.OldNS < opts.FloorNS {
 				d.Status = StatusZeroBaseline
 				break
 			}
 			d.Pct = 100 * float64(d.NewNS-d.OldNS) / float64(d.OldNS)
-			switch {
-			case d.Pct > opts.ThresholdPct:
-				d.Status = StatusRegressed
-			case d.Pct < -opts.ThresholdPct:
-				d.Status = StatusImproved
-			default:
-				d.Status = StatusOK
-			}
+			d.Status = gradePct(d.Pct, opts.ThresholdPct)
 		}
 		c.Deltas = append(c.Deltas, d)
 	}
@@ -217,17 +294,24 @@ func Regressions(cs []*Comparison) int {
 // WriteTable renders the comparison as an aligned delta table.
 func (c *Comparison) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "== %s (%s, threshold %.0f%%) ==\n", Filename(c.Area), c.Metric, c.ThresholdPct)
-	rows := [][]string{{"scenario", "old", "new", "delta", "status"}}
+	rows := [][]string{{"scenario", "old", "new", "delta", "allocs", "rec/s", "status"}}
 	for _, d := range c.Deltas {
 		delta := "-"
 		if d.Status != StatusMissingOld && d.Status != StatusMissingNew && d.Status != StatusZeroBaseline {
 			delta = fmt.Sprintf("%+.1f%%", d.Pct)
 		}
 		status := d.Status
+		if d.AllocsStatus == StatusRegressed {
+			status += "+allocs"
+		}
+		if d.RPSStatus == StatusRegressed {
+			status += "+rec/s"
+		}
 		if d.Noisy {
 			status += " (noisy)"
 		}
-		rows = append(rows, []string{d.Name, fmtNS(d.OldNS), fmtNS(d.NewNS), delta, status})
+		rows = append(rows, []string{d.Name, fmtNS(d.OldNS), fmtNS(d.NewNS), delta,
+			subCell(d.AllocsStatus, d.AllocsPct), subCell(d.RPSStatus, d.RPSPct), status})
 	}
 	widths := make([]int, len(rows[0]))
 	for _, r := range rows {
@@ -256,6 +340,15 @@ func (c *Comparison) WriteTable(w io.Writer) {
 		}
 	}
 	fmt.Fprintln(w)
+}
+
+// subCell renders a sub-delta percentage, or "-" when the sub-metric
+// was disabled, had no baseline pair, or sat below its floor.
+func subCell(status string, pct float64) string {
+	if status == "" || status == StatusZeroBaseline {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
 }
 
 func fmtNS(ns int64) string {

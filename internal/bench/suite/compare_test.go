@@ -93,6 +93,127 @@ func TestCompareTable(t *testing.T) {
 	}
 }
 
+// resFull builds a Result with allocation and throughput baselines
+// above their floors, so the sub-delta gates engage.
+func resFull(name string, wallNS, allocs int64, rps float64) Result {
+	r := res(name, wallNS)
+	r.AllocsPerOp = allocs
+	r.RecordsPerSec = rps
+	return r
+}
+
+func TestCompareGatesAllocs(t *testing.T) {
+	base := int64(100_000_000)
+	cases := []struct {
+		name       string
+		oldAllocs  int64
+		newAllocs  int64
+		opts       CompareOptions
+		wantStatus string
+		wantGate   bool
+	}{
+		{name: "flat allocs ok", oldAllocs: 50_000, newAllocs: 50_000, wantStatus: StatusOK},
+		{name: "allocs growth past threshold regresses", oldAllocs: 50_000, newAllocs: 60_000, wantStatus: StatusRegressed, wantGate: true},
+		{name: "allocs drop past threshold improves", oldAllocs: 50_000, newAllocs: 40_000, wantStatus: StatusImproved},
+		{name: "tiny alloc baseline never gates", oldAllocs: DefaultAllocsFloor - 1, newAllocs: 1_000_000, wantStatus: StatusZeroBaseline},
+		{
+			name: "negative threshold disables alloc gating",
+			oldAllocs: 50_000, newAllocs: 500_000,
+			opts:       CompareOptions{AllocsThresholdPct: -1},
+			wantStatus: "",
+		},
+		{
+			name: "custom alloc threshold tightens the gate",
+			oldAllocs: 50_000, newAllocs: 52_000, // +4%
+			opts:       CompareOptions{AllocsThresholdPct: 2},
+			wantStatus: StatusRegressed, wantGate: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old := resFull("s", base, tc.oldAllocs, 0)
+			new := resFull("s", base, tc.newAllocs, 0)
+			c, err := Compare(benchFile(AreaCore, old), benchFile(AreaCore, new), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := c.Deltas[0]
+			if d.AllocsStatus != tc.wantStatus {
+				t.Errorf("allocs status = %q, want %q (delta %+v)", d.AllocsStatus, tc.wantStatus, d)
+			}
+			if gated := c.Regressions() > 0; gated != tc.wantGate {
+				t.Errorf("Regressions() > 0 = %v, want %v", gated, tc.wantGate)
+			}
+			if d.Status != StatusOK {
+				t.Errorf("wall status = %q, want ok (sub-gate must not disturb the time gate)", d.Status)
+			}
+		})
+	}
+}
+
+func TestCompareGatesRecordsPerSec(t *testing.T) {
+	base := int64(100_000_000)
+	cases := []struct {
+		name       string
+		oldRPS     float64
+		newRPS     float64
+		opts       CompareOptions
+		wantStatus string
+		wantGate   bool
+	}{
+		{name: "flat throughput ok", oldRPS: 1000, newRPS: 1000, wantStatus: StatusOK},
+		{name: "throughput drop past threshold regresses", oldRPS: 1000, newRPS: 800, wantStatus: StatusRegressed, wantGate: true},
+		{name: "throughput gain past threshold improves", oldRPS: 1000, newRPS: 1200, wantStatus: StatusImproved},
+		{name: "zero throughput baseline never gates", oldRPS: 0, newRPS: 1000, wantStatus: StatusZeroBaseline},
+		{
+			name: "negative threshold disables rps gating",
+			oldRPS: 1000, newRPS: 10,
+			opts:       CompareOptions{RPSThresholdPct: -1},
+			wantStatus: "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old := resFull("s", base, 0, tc.oldRPS)
+			new := resFull("s", base, 0, tc.newRPS)
+			c, err := Compare(benchFile(AreaCore, old), benchFile(AreaCore, new), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := c.Deltas[0]
+			if d.RPSStatus != tc.wantStatus {
+				t.Errorf("rps status = %q, want %q (delta %+v)", d.RPSStatus, tc.wantStatus, d)
+			}
+			if gated := c.Regressions() > 0; gated != tc.wantGate {
+				t.Errorf("Regressions() > 0 = %v, want %v", gated, tc.wantGate)
+			}
+		})
+	}
+}
+
+// TestCompareSubDeltaTable checks the rendered table carries the
+// sub-delta columns and flags which metric tripped the gate.
+func TestCompareSubDeltaTable(t *testing.T) {
+	base := int64(100_000_000)
+	old := resFull("s", base, 50_000, 1000)
+	new := resFull("s", base, 70_000, 500)
+	c, err := Compare(benchFile(AreaCore, old), benchFile(AreaCore, new), CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	c.WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"+40.0%", "-50.0%", "ok+allocs+rec/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if c.Regressions() != 1 {
+		t.Errorf("one scenario tripping two sub-gates must count once, got %d", c.Regressions())
+	}
+}
+
 func TestCompareSimMetricRegression(t *testing.T) {
 	// Wall improves, sim regresses: the chosen metric decides.
 	old := Result{Name: "s", WallNS: 100_000_000, SimNS: 100_000_000}

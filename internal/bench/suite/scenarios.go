@@ -19,6 +19,7 @@ const (
 	AreaCore     = "core"     // single-platform cores + multi-platform choice (E1/E5)
 	AreaParallel = "parallel" // concurrent DAG scheduling (E8)
 	AreaSharding = "sharding" // intra-atom shard fan-out (E11)
+	// AreaService ("service", E12) is declared in service.go.
 )
 
 // Scale is the knob set a scenario sizes itself from: the tier picks
@@ -73,9 +74,9 @@ type Scenario struct {
 
 // Scenarios returns the fixed scenario matrix in persisted order. The
 // set is independent of tier and host — the determinism contract — and
-// covers the four regimes ROADMAP item 5 names: single-platform cores
-// (E1), multi-platform optimizer choice (E5), parallel DAG scheduling
-// (E8), and intra-atom sharding (E11).
+// covers single-platform cores (E1), multi-platform optimizer choice
+// (E5), parallel DAG scheduling (E8), intra-atom sharding (E11), and
+// multi-tenant service load (E12).
 func Scenarios() []Scenario {
 	return []Scenario{
 		{Name: "svm-java", Area: AreaCore, Run: svmScenario(javaengine.ID)},
@@ -85,6 +86,8 @@ func Scenarios() []Scenario {
 		{Name: "fanout-par4", Area: AreaParallel, Run: fanoutScenario(4)},
 		{Name: "wide-unsharded", Area: AreaSharding, Run: wideScenario(1)},
 		{Name: "wide-shard4", Area: AreaSharding, Run: wideScenario(4)},
+		{Name: "serve-tenants1", Area: AreaService, Run: serviceScenario(1)},
+		{Name: "serve-tenants4", Area: AreaService, Run: serviceScenario(4)},
 	}
 }
 

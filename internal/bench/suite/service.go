@@ -1,0 +1,58 @@
+// The service area: E12's multi-tenant job-service load, persisted in
+// the perf trajectory. Each scenario drives the closed-loop generator
+// against a freshly built service and reports the run's wall time and
+// total output-record traffic, so -compare gates job-service
+// throughput the same way it gates the engine cores.
+package suite
+
+import (
+	"fmt"
+
+	"rheem/internal/core/metrics"
+	"rheem/internal/service"
+)
+
+// AreaService is the multi-tenant job-service area (E12).
+const AreaService = "service"
+
+// serviceScenario runs tenants × jobs through the job service with a
+// closed loop of 2 in-flight jobs per tenant. The spec mix and sizes
+// depend only on the scale, so record traffic is rep-invariant.
+func serviceScenario(tenants int) func(Scale, *metrics.Hub) (Measure, error) {
+	return func(s Scale, hub *metrics.Hub) (Measure, error) {
+		jobs := s.pick3(2, 4, 10)
+		n := s.pick3(300, 1_000, 10_000)
+		svc, err := service.New(service.Config{
+			Hub:          hub,
+			CatalogScale: 500,
+		})
+		if err != nil {
+			return Measure{}, err
+		}
+		defer svc.Close()
+		res, err := service.RunLoad(svc, service.LoadConfig{
+			Tenants:       tenants,
+			JobsPerTenant: jobs,
+			Concurrency:   2,
+			Specs: []service.Spec{
+				{Kind: service.KindWorkload, Workload: service.WorkloadWordcount, N: n, Seed: 1},
+				{Kind: service.KindWorkload, Workload: service.WorkloadSensor, N: n, Wells: 8, Seed: 2},
+				{Kind: service.KindWorkload, Workload: service.WorkloadFanout, N: n / 8, Branches: 3, Seed: 3},
+			},
+		})
+		if err != nil {
+			return Measure{}, err
+		}
+		if res.Succeeded != tenants*jobs {
+			return Measure{}, fmt.Errorf("service load: %d/%d jobs succeeded (failed %d, cancelled %d)",
+				res.Succeeded, tenants*jobs, res.Failed, res.Cancelled)
+		}
+		var records int64
+		for _, st := range svc.Jobs() {
+			records += int64(st.Records)
+		}
+		// The service has no simulated clock of its own; report the job
+		// p99 as Sim so the sim column carries the tail-latency curve.
+		return Measure{Wall: res.Wall, Sim: res.P99, Records: records}, nil
+	}
+}

@@ -235,6 +235,10 @@ type Options struct {
 	// NoisePct flags scenarios whose rep-to-rep wall spread exceeds
 	// this percentage; 0 means DefaultNoisePct.
 	NoisePct float64
+	// Areas, when non-empty, restricts the run to these areas. A name
+	// matching no scenario is an error — a typo must not silently
+	// produce an empty result set.
+	Areas []string
 }
 
 // DefaultNoisePct is the rep-to-rep spread above which a scenario is
@@ -262,9 +266,24 @@ func Run(opts Options) ([]*File, error) {
 	env := CaptureEnv(opts.Commit)
 	scale := Scale{Tier: opts.Tier, Quick: opts.Quick}
 
+	known := map[string]bool{}
+	for _, sc := range Scenarios() {
+		known[sc.Area] = true
+	}
+	want := map[string]bool{}
+	for _, a := range opts.Areas {
+		if !known[a] {
+			return nil, fmt.Errorf("suite: unknown area %q", a)
+		}
+		want[a] = true
+	}
+
 	var areas []string
 	byArea := map[string]*File{}
 	for _, sc := range Scenarios() {
+		if len(want) > 0 && !want[sc.Area] {
+			continue
+		}
 		opts.logf("suite: %s/%s (%s tier)", sc.Area, sc.Name, opts.Tier)
 		res, err := runScenario(sc, scale, opts)
 		if err != nil {

@@ -136,9 +136,30 @@ func TestScenarioMatrixShape(t *testing.T) {
 		areas[sc.Area] = true
 		lastArea = sc.Area
 	}
-	for _, want := range []string{AreaCore, AreaParallel, AreaSharding} {
+	for _, want := range []string{AreaCore, AreaParallel, AreaSharding, AreaService} {
 		if !areas[want] {
 			t.Errorf("matrix covers no %q scenarios", want)
 		}
+	}
+}
+
+// TestRunAreasFilter pins the -areas contract: only the requested
+// areas run, and a typo errors instead of yielding an empty set.
+func TestRunAreasFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick sharding area")
+	}
+	files, err := Run(Options{Tier: TierShort, Quick: true, Areas: []string{AreaSharding}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].Area != AreaSharding {
+		t.Fatalf("areas filter produced %+v", files)
+	}
+	if len(files[0].Scenarios) == 0 {
+		t.Fatal("filtered area ran no scenarios")
+	}
+	if _, err := Run(Options{Tier: TierShort, Quick: true, Areas: []string{"shardnig"}}); err == nil {
+		t.Error("unknown area accepted")
 	}
 }

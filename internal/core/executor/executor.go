@@ -106,6 +106,14 @@ type Options struct {
 	// its own run-wide budget of Shards concurrent shard executions,
 	// independent of Parallelism's atom budget.
 	Shards int
+	// Pool, when set, is a cross-run bound on atom execution: every
+	// compute atom additionally acquires a slot from this shared pool
+	// before executing (loop atoms never hold one — see pool.go for the
+	// no-deadlock argument). Parallelism still bounds this run's own
+	// in-flight atoms; the pool bounds the host-wide total across every
+	// run sharing it. nil means no cross-run bound — the single-shot
+	// behavior.
+	Pool *Pool
 	// Failover enables cross-platform failover: when an atom exhausts
 	// its retries on a platform the health tracker has quarantined, the
 	// executor quiesces in-flight atoms and re-plans the remaining

@@ -231,6 +231,19 @@ func scheduleAtoms(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Opti
 					doneCh <- doneMsg{n: n, err: err}
 					return
 				}
+				// Compute atoms take a slot from the shared cross-run pool
+				// (when one is set) for the duration of their execution;
+				// the wait is part of the atom's queue time. Loop atoms
+				// never hold a slot — their body plans' compute atoms
+				// acquire their own — so slot holders cannot wait on each
+				// other (see pool.go).
+				if opts.Pool != nil && n.atom.Kind != engine.AtomLoop {
+					if err := opts.Pool.Acquire(opts.Context); err != nil {
+						doneCh <- doneMsg{n: n, err: err}
+						return
+					}
+					defer opts.Pool.Release()
+				}
 				st.mu.Lock()
 				before := len(st.res.Mismatches)
 				st.mu.Unlock()

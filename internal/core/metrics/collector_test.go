@@ -139,12 +139,12 @@ func TestRunTrackerOccupancyAndRetirement(t *testing.T) {
 	}
 
 	// Finished runs retire into bounded history.
-	for i := 0; i < doneHistory+10; i++ {
+	for i := 0; i < DefaultDoneHistory+10; i++ {
 		r := tk.Begin("churn")
 		r.End(nil)
 	}
-	if got := len(tk.Status()); got != doneHistory {
-		t.Fatalf("history length = %d, want %d", got, doneHistory)
+	if got := len(tk.Status()); got != DefaultDoneHistory {
+		t.Fatalf("history length = %d, want %d", got, DefaultDoneHistory)
 	}
 }
 

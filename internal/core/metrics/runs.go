@@ -15,8 +15,10 @@ import (
 	"time"
 )
 
-// doneHistory bounds how many finished runs /runs keeps reporting.
-const doneHistory = 32
+// DefaultDoneHistory bounds how many finished runs /runs keeps
+// reporting (and the tracker keeps in memory) unless SetDoneHistory
+// overrides it.
+const DefaultDoneHistory = 32
 
 // rateWindow is the sliding window current records/sec is computed
 // over.
@@ -33,6 +35,7 @@ type rateSample struct {
 // use.
 type Run struct {
 	mu        sync.Mutex
+	tracker   *RunTracker // retires the run on End; nil in tests
 	id        int64
 	name      string
 	startedAt time.Time
@@ -158,18 +161,29 @@ func (r *Run) trimWindowLocked(now time.Time) {
 	}
 }
 
-// End marks the run finished. A non-nil err records the failure the
-// caller is about to return.
+// End marks the run finished and retires it into the tracker's
+// bounded done-history. A non-nil err records the failure the caller
+// is about to return. Retiring here — not on the next /runs scrape —
+// is what keeps a long-lived server's tracker from growing without
+// bound when nobody is scraping.
 func (r *Run) End(err error) {
 	r.mu.Lock()
-	if !r.done {
+	first := !r.done
+	if first {
 		r.done = true
 		r.endedAt = r.now()
 		if err != nil {
 			r.err = err.Error()
 		}
 	}
+	t := r.tracker
 	r.mu.Unlock()
+	// r.mu is released before taking the tracker lock: Status acquires
+	// tracker-then-run, so holding run-then-tracker here would invert
+	// the order.
+	if first && t != nil {
+		t.retire(r)
+	}
 }
 
 // status snapshots the run (deep-copied).
@@ -223,16 +237,18 @@ func (r *Run) status() RunStatus {
 // RunTracker registers runs and serves their progress. One tracker is
 // shared by every Context bound to the same Hub.
 type RunTracker struct {
-	mu     sync.Mutex
-	now    func() time.Time
-	nextID int64
-	active []*Run
-	done   []*Run // most recent last, bounded by doneHistory
+	mu      sync.Mutex
+	now     func() time.Time
+	nextID  int64
+	history int // finished runs kept; see SetDoneHistory
+	active  []*Run
+	done    []*Run // most recent last, bounded by history
 }
 
-// NewRunTracker returns an empty tracker.
+// NewRunTracker returns an empty tracker keeping DefaultDoneHistory
+// finished runs.
 func NewRunTracker() *RunTracker {
-	return &RunTracker{now: time.Now}
+	return &RunTracker{now: time.Now, history: DefaultDoneHistory}
 }
 
 // SetClock injects a clock (tests only). It applies to runs begun
@@ -243,19 +259,72 @@ func (t *RunTracker) SetClock(now func() time.Time) {
 	t.mu.Unlock()
 }
 
+// SetDoneHistory caps how many finished runs the tracker retains
+// (n < 0 selects 0 — finished runs vanish from /runs immediately).
+// A long-lived server tunes this to its traffic; the excess beyond the
+// new cap is evicted right away, oldest first.
+func (t *RunTracker) SetDoneHistory(n int) {
+	if n < 0 {
+		n = 0
+	}
+	t.mu.Lock()
+	t.history = n
+	t.trimDoneLocked()
+	t.mu.Unlock()
+}
+
 // Begin registers a new in-flight run.
 func (t *RunTracker) Begin(name string) *Run {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.nextID++
-	r := &Run{id: t.nextID, name: name, now: t.now, startedAt: t.now()}
+	r := &Run{tracker: t, id: t.nextID, name: name, now: t.now, startedAt: t.now()}
 	t.active = append(t.active, r)
 	return r
 }
 
+// Tracked returns how many runs the tracker currently holds, active
+// and retired — the figure the memory-bound tests pin.
+func (t *RunTracker) Tracked() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active) + len(t.done)
+}
+
+// retire moves a finished run from the active list into the bounded
+// done-history. Idempotent: a run already retired (or swept by Status)
+// is left alone.
+func (t *RunTracker) retire(r *Run) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, a := range t.active {
+		if a == r {
+			t.active = append(t.active[:i], t.active[i+1:]...)
+			t.done = append(t.done, r)
+			t.trimDoneLocked()
+			return
+		}
+	}
+}
+
+// trimDoneLocked drops the oldest finished runs past the history cap.
+func (t *RunTracker) trimDoneLocked() {
+	if excess := len(t.done) - t.history; excess > 0 {
+		// Copy down and nil out the tail so evicted runs (and their
+		// rate windows) are actually garbage-collectable.
+		copy(t.done, t.done[excess:])
+		for i := len(t.done) - excess; i < len(t.done); i++ {
+			t.done[i] = nil
+		}
+		t.done = t.done[:len(t.done)-excess]
+	}
+}
+
 // Status snapshots every tracked run: in-flight runs first (oldest
-// first), then up to doneHistory finished ones. Finished runs are
-// retired from the active list as a side effect.
+// first), then up to the history cap of finished ones. Runs normally
+// retire themselves on End; the sweep here is a safety net for runs
+// created without a tracker backlink (direct struct literals in
+// tests).
 func (t *RunTracker) Status() []RunStatus {
 	t.mu.Lock()
 	var stillActive []*Run
@@ -270,9 +339,7 @@ func (t *RunTracker) Status() []RunStatus {
 		}
 	}
 	t.active = stillActive
-	if excess := len(t.done) - doneHistory; excess > 0 {
-		t.done = append(t.done[:0], t.done[excess:]...)
-	}
+	t.trimDoneLocked()
 	runs := make([]*Run, 0, len(t.active)+len(t.done))
 	runs = append(runs, t.active...)
 	runs = append(runs, t.done...)

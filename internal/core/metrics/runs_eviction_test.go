@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRunTrackerBoundedWithoutScrapes is the memory-leak regression
+// test: a long-lived server that nobody scrapes must still evict
+// finished runs. Before eviction-on-End, finished runs sat in the
+// active list until the next Status call — forever, on an unscraped
+// server.
+func TestRunTrackerBoundedWithoutScrapes(t *testing.T) {
+	tr := NewRunTracker()
+	for i := 0; i < 10*DefaultDoneHistory; i++ {
+		r := tr.Begin(fmt.Sprintf("run-%d", i))
+		r.End(nil)
+	}
+	if got, want := tr.Tracked(), DefaultDoneHistory; got != want {
+		t.Fatalf("tracker holds %d runs after 10x churn with no scrapes, want %d", got, want)
+	}
+	// The survivors are the most recent cap's worth, oldest first.
+	st := tr.Status()
+	if len(st) != DefaultDoneHistory {
+		t.Fatalf("Status returned %d runs, want %d", len(st), DefaultDoneHistory)
+	}
+	if got, want := st[0].Name, fmt.Sprintf("run-%d", 10*DefaultDoneHistory-DefaultDoneHistory); got != want {
+		t.Fatalf("oldest surviving run is %q, want %q", got, want)
+	}
+}
+
+// TestRunTrackerSetDoneHistory reconfigures the cap mid-flight: the
+// excess is evicted immediately, and later churn respects the new cap.
+func TestRunTrackerSetDoneHistory(t *testing.T) {
+	tr := NewRunTracker()
+	for i := 0; i < 20; i++ {
+		tr.Begin(fmt.Sprintf("run-%d", i)).End(nil)
+	}
+	tr.SetDoneHistory(5)
+	if got := tr.Tracked(); got != 5 {
+		t.Fatalf("tracker holds %d runs after SetDoneHistory(5), want 5", got)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Begin(fmt.Sprintf("late-%d", i)).End(nil)
+	}
+	if got := tr.Tracked(); got != 5 {
+		t.Fatalf("tracker holds %d runs after churn under cap 5, want 5", got)
+	}
+	tr.SetDoneHistory(-1) // clamps to 0: finished runs vanish
+	if got := tr.Tracked(); got != 0 {
+		t.Fatalf("tracker holds %d runs with history 0, want 0", got)
+	}
+	// Active runs are never evicted, whatever the cap.
+	r := tr.Begin("live")
+	if got := tr.Tracked(); got != 1 {
+		t.Fatalf("tracker holds %d runs with one live run, want 1", got)
+	}
+	r.End(nil)
+	if got := tr.Tracked(); got != 0 {
+		t.Fatalf("tracker holds %d runs after the live run ended, want 0", got)
+	}
+}
+
+// TestRunTrackerEvictionConcurrent hammers Begin/End/Status from
+// several goroutines — the lock-order contract between Run.End and
+// Status (tracker-then-run) is what the race detector checks here.
+func TestRunTrackerEvictionConcurrent(t *testing.T) {
+	tr := NewRunTracker()
+	tr.SetDoneHistory(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r := tr.Begin(fmt.Sprintf("g%d-%d", g, i))
+				r.spanStarted("java")
+				r.spanEnded("java", 1, false, true)
+				r.End(nil)
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Status()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if got := tr.Tracked(); got > 8 {
+		t.Fatalf("tracker holds %d runs, cap is 8", got)
+	}
+}

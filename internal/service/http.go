@@ -1,0 +1,189 @@
+// The HTTP/JSON surface: submit a plan, poll status, fetch results,
+// cancel — plus the telemetry endpoints (/metrics, /runs, pprof)
+// delegated to the hub's monitoring server so one port serves both
+// the job API and observability.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"time"
+
+	"rheem/internal/core/metrics"
+	"rheem/internal/data"
+)
+
+// Handler mounts the job API:
+//
+//	POST   /jobs            submit (202, or 429 + Retry-After, or 503 draining)
+//	GET    /jobs            list every remembered job
+//	GET    /jobs/{id}       one job's status
+//	GET    /jobs/{id}/result a succeeded job's records (JSON rows + digest)
+//	DELETE /jobs/{id}       cancel
+//	GET    /tenants         per-tenant quotas, counters, health
+//	GET    /healthz         liveness (503 while draining)
+//	GET    /metrics /runs /debug/pprof/...  telemetry (hub server)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /tenants", s.handleTenants)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("/", metrics.NewServer(s.hub).Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	st, err := s.Submit(req)
+	if err != nil {
+		var shed *ShedError
+		switch {
+		case errors.As(err, &shed):
+			// Load shedding: tell the client when to come back.
+			secs := int(math.Ceil(shed.RetryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		}
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{Jobs: s.Jobs()})
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	recs, digest, err := s.Result(id)
+	if err != nil {
+		code := http.StatusNotFound
+		if !errors.Is(err, ErrNotFound) {
+			// The job exists but has no result (yet, or ever).
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, apiError{Error: err.Error()})
+		return
+	}
+	rows := make([][]any, len(recs))
+	for i, rec := range recs {
+		row := make([]any, rec.Len())
+		for f := 0; f < rec.Len(); f++ {
+			row[f] = valueJSON(rec.Field(f))
+		}
+		rows[i] = row
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ID      string  `json:"id"`
+		Records int     `json:"records"`
+		Digest  string  `json:"digest"`
+		Rows    [][]any `json:"rows"`
+	}{ID: id, Records: len(recs), Digest: digest, Rows: rows})
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Tenants []TenantStatus `json:"tenants"`
+	}{Tenants: s.Tenants()})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	queued, active := s.queued, s.active
+	s.mu.Unlock()
+	code := http.StatusOK
+	if draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status string `json:"status"`
+		Queued int    `json:"queued"`
+		Active int    `json:"active"`
+	}{Status: map[bool]string{false: "ok", true: "draining"}[draining], Queued: queued, Active: active})
+}
+
+// valueJSON converts one field to its natural JSON shape.
+func valueJSON(v data.Value) any {
+	switch v.Kind() {
+	case data.KindBool:
+		return v.Bool()
+	case data.KindInt:
+		return v.Int()
+	case data.KindFloat:
+		return v.Float()
+	case data.KindString:
+		return v.Str()
+	case data.KindVector:
+		return v.Vec()
+	default:
+		return nil
+	}
+}
+
+// Serve starts an HTTP server for the handler on addr (":0" picks a
+// free port) and returns it with its bound address; shut it down with
+// the returned server's Shutdown/Close.
+func (s *Service) Serve(addr string) (*http.Server, string, error) {
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

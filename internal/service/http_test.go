@@ -1,0 +1,282 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startAPI(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	s := newTestService(t, cfg)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func postJob(t *testing.T, base string, req Request) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, payload
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestHTTPSubmitPollResult walks the documented client flow: POST
+// /jobs → 202 + Location, poll GET /jobs/{id} to terminal, fetch
+// /jobs/{id}/result and check the digest matches the status.
+func TestHTTPSubmitPollResult(t *testing.T) {
+	_, srv := startAPI(t, Config{})
+	resp, payload := postJob(t, srv.URL, Request{
+		Tenant: "acme",
+		Spec:   Spec{Kind: KindWorkload, Workload: WorkloadWordcount, N: 300, Seed: 5},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit returned %d: %s", resp.StatusCode, payload)
+	}
+	var acked JobStatus
+	if err := json.Unmarshal(payload, &acked); err != nil {
+		t.Fatal(err)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/jobs/"+acked.ID {
+		t.Fatalf("Location = %q, want /jobs/%s", loc, acked.ID)
+	}
+
+	var final JobStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, srv.URL+"/jobs/"+acked.ID, &final)
+		if terminal(final.State) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", final.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if final.State != StateSucceeded {
+		t.Fatalf("job ended %s (%s)", final.State, final.Err)
+	}
+
+	var result struct {
+		ID      string  `json:"id"`
+		Records int     `json:"records"`
+		Digest  string  `json:"digest"`
+		Rows    [][]any `json:"rows"`
+	}
+	if resp := getJSON(t, srv.URL+"/jobs/"+acked.ID+"/result", &result); resp.StatusCode != http.StatusOK {
+		t.Fatalf("result returned %d", resp.StatusCode)
+	}
+	if result.Digest != final.Digest || len(result.Rows) != final.Records {
+		t.Fatalf("result (%d rows, %s) disagrees with status (%d, %s)",
+			len(result.Rows), result.Digest, final.Records, final.Digest)
+	}
+
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	getJSON(t, srv.URL+"/jobs", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != acked.ID {
+		t.Fatalf("job list = %+v", list.Jobs)
+	}
+}
+
+func TestHTTPShedReturns429WithRetryAfter(t *testing.T) {
+	s, srv := startAPI(t, Config{MaxActiveJobs: 1, QueueDepth: 1, PoolSize: 1})
+	if err := s.SchedulerPool().Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.SchedulerPool().Release()
+
+	req := Request{Tenant: "acme", Spec: Spec{Kind: KindWorkload, Workload: WorkloadWordcount, N: 100}}
+	resp, payload := postJob(t, srv.URL, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", resp.StatusCode, payload)
+	}
+	var acked JobStatus
+	json.Unmarshal(payload, &acked)
+	waitState(t, s, acked.ID, StateRunning)
+	if resp, _ := postJob(t, srv.URL, req); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued submit: %d", resp.StatusCode)
+	}
+
+	resp, payload = postJob(t, srv.URL, req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: %d %s, want 429", resp.StatusCode, payload)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, srv := startAPI(t, Config{})
+	cases := []string{
+		`{`,                      // broken JSON
+		`{"unknown_field": 1}`,   // unknown field
+		`{"spec":{"kind":"no"}}`, // unknown kind
+		`{"spec":{"kind":"sql","query":"SELEC"}}`, // parse error
+	}
+	for i, body := range cases {
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: %d, want 400", i, resp.StatusCode)
+		}
+	}
+	if resp := getJSON(t, srv.URL+"/jobs/j-404", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status: %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/jobs/j-404/result", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job result: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	s, srv := startAPI(t, Config{MaxActiveJobs: 1, PoolSize: 1})
+	if err := s.SchedulerPool().Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.SchedulerPool().Release()
+
+	req := Request{Tenant: "acme", Spec: Spec{Kind: KindWorkload, Workload: WorkloadWordcount, N: 100}}
+	_, payload := postJob(t, srv.URL, req)
+	var running JobStatus
+	json.Unmarshal(payload, &running)
+	waitState(t, s, running.ID, StateRunning)
+	_, payload = postJob(t, srv.URL, req)
+	var queued JobStatus
+	json.Unmarshal(payload, &queued)
+
+	httpReq, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+queued.ID, nil)
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st.State != StateCancelled {
+		t.Fatalf("cancel returned %d state %s", resp.StatusCode, st.State)
+	}
+	// A cancelled-but-running job turns terminal once the executor
+	// unwinds; the result endpoint reports the conflict meanwhile.
+	if resp := getJSON(t, srv.URL+"/jobs/"+running.ID+"/result", nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result of running job: %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestHTTPTenantsHealthzMetricsRuns(t *testing.T) {
+	s, srv := startAPI(t, Config{})
+	_, payload := postJob(t, srv.URL, Request{
+		Tenant: "acme",
+		Spec:   Spec{Kind: KindWorkload, Workload: WorkloadWordcount, N: 200, Seed: 2},
+	})
+	var acked JobStatus
+	json.Unmarshal(payload, &acked)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := s.Wait(ctx, acked.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	var tenants struct {
+		Tenants []TenantStatus `json:"tenants"`
+	}
+	getJSON(t, srv.URL+"/tenants", &tenants)
+	if len(tenants.Tenants) != 1 || tenants.Tenants[0].Name != "acme" || tenants.Tenants[0].Accepted != 1 {
+		t.Fatalf("tenants = %+v", tenants.Tenants)
+	}
+
+	if resp := getJSON(t, srv.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// The telemetry endpoints ride on the same port.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"service_queue_depth", "service_jobs_accepted_total", "service_pool_slots"} {
+		if !bytes.Contains(prom, []byte(want)) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	var runs struct {
+		Runs []json.RawMessage `json:"runs"`
+	}
+	getJSON(t, srv.URL+"/runs", &runs)
+	if len(runs.Runs) == 0 {
+		t.Fatal("/runs reports no runs after an executed job")
+	}
+
+	// Draining flips /healthz to 503.
+	go s.Drain(context.Background())
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if resp := getJSON(t, srv.URL+"/healthz", nil); resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resp, _ := postJob(t, srv.URL, Request{Spec: Spec{Kind: KindWorkload, Workload: WorkloadFanout}}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestServeBindsAndServes(t *testing.T) {
+	s := newTestService(t, Config{})
+	srv, addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over Serve: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"time"
+
+	"rheem/internal/core/engine"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+// Job states. A job the service has acked always reaches exactly one
+// of the three terminal states — never silently disappears — which is
+// the invariant the drain chaos suite pins.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateSucceeded = "succeeded"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Job is one accepted submission. Mutable fields are guarded by the
+// owning Service's mutex; the done channel closes when the job reaches
+// a terminal state.
+type Job struct {
+	id        string
+	tenant    string
+	name      string
+	req       Request
+	submitted time.Time
+	// buildPlan lowers the spec when the job starts; SQL is compiled at
+	// submit (good errors at the door), workload inputs are generated
+	// lazily so admission stays O(1).
+	buildPlan func() (*plan.Plan, error)
+
+	state           string
+	started         time.Time
+	ended           time.Time
+	err             string
+	cancelRequested bool
+	cancel          func()
+
+	records   []data.Record
+	digest    string
+	outRecs   int64
+	failovers int
+	platforms []engine.PlatformID
+
+	done chan struct{}
+}
+
+// ID returns the job's service-assigned identity.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobStatus is the API's JSON view of one job.
+type JobStatus struct {
+	ID        string    `json:"id"`
+	Tenant    string    `json:"tenant"`
+	Name      string    `json:"name"`
+	State     string    `json:"state"`
+	Submitted time.Time `json:"submitted_at"`
+	Started   time.Time `json:"started_at"`
+	Ended     time.Time `json:"ended_at"`
+	Err       string    `json:"error,omitempty"`
+	// Records is the result cardinality (terminal successful jobs only).
+	Records int `json:"records,omitempty"`
+	// Digest is the SHA-256 of the result's canonical binary encoding —
+	// what the chaos suite compares for byte identity.
+	Digest string `json:"digest,omitempty"`
+	// Platforms lists the platforms the final execution plan used.
+	Platforms []string `json:"platforms,omitempty"`
+	Failovers int      `json:"failovers,omitempty"`
+}
+
+// terminal reports whether the state is final.
+func terminal(state string) bool {
+	switch state {
+	case StateSucceeded, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// statusLocked snapshots the job; the caller holds the service mutex.
+func (j *Job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID: j.id, Tenant: j.tenant, Name: j.name, State: j.state,
+		Submitted: j.submitted, Started: j.started, Ended: j.ended,
+		Err: j.err, Digest: j.digest, Failovers: j.failovers,
+	}
+	if j.state == StateSucceeded {
+		st.Records = len(j.records)
+	}
+	for _, p := range j.platforms {
+		st.Platforms = append(st.Platforms, string(p))
+	}
+	return st
+}
+
+// Digest is the canonical result fingerprint: SHA-256 over the
+// records' binary encoding. Two result sets are byte-identical iff
+// their digests match.
+func Digest(recs []data.Record) (string, error) {
+	h := sha256.New()
+	if _, err := data.WriteBinary(h, recs); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

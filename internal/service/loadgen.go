@@ -1,0 +1,201 @@
+// Closed-loop multi-tenant load generator — the measurement harness
+// behind experiment E12 and the bench suite's service area: N tenants,
+// each running a fixed number of jobs through a bounded number of
+// in-flight submissions, yielding throughput and the tail-latency
+// curve of accepted jobs.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadConfig shapes one load run.
+type LoadConfig struct {
+	// Tenants is how many distinct tenants submit (default 4).
+	Tenants int
+	// JobsPerTenant is each tenant's job count (default 8).
+	JobsPerTenant int
+	// Concurrency is each tenant's closed-loop width: how many of its
+	// jobs are in flight (submitted, not yet terminal) at once
+	// (default 2).
+	Concurrency int
+	// Specs is the workload mix, assigned round-robin per tenant job
+	// index; empty uses a small fanout job.
+	Specs []Spec
+	// Timeout bounds each job's wait (default 2m) — a liveness
+	// backstop, not a measurement knob.
+	Timeout time.Duration
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.JobsPerTenant <= 0 {
+		c.JobsPerTenant = 8
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2
+	}
+	if len(c.Specs) == 0 {
+		c.Specs = []Spec{{Kind: KindWorkload, Workload: WorkloadFanout, N: 64, Branches: 3, Seed: 1}}
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	return c
+}
+
+// LoadResult is one load run's measurement.
+type LoadResult struct {
+	Submitted int `json:"submitted"`
+	Accepted  int `json:"accepted"`
+	Shed      int `json:"shed"`
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+
+	Wall time.Duration `json:"wall_ns"`
+	// Throughput is terminal jobs per second of wall time.
+	Throughput float64 `json:"jobs_per_sec"`
+	// P50/P95/P99 are accepted-job latencies, acceptance → terminal
+	// (queue wait included: the client-observed figure).
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+}
+
+// RunLoad drives the service with cfg and blocks until every job is
+// terminal. Shed submissions are retried after the service's hint, so
+// a run measures sustained throughput under admission control rather
+// than failing on the first 429.
+func RunLoad(s *Service, cfg LoadConfig) (LoadResult, error) {
+	cfg = cfg.withDefaults()
+	var (
+		mu        sync.Mutex
+		res       LoadResult
+		latencies []time.Duration
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Tenants; t++ {
+		tenantName := fmt.Sprintf("tenant-%d", t)
+		next := make(chan int)
+		go func() {
+			for i := 0; i < cfg.JobsPerTenant; i++ {
+				next <- i
+			}
+			close(next)
+		}()
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					spec := cfg.Specs[i%len(cfg.Specs)]
+					req := Request{
+						Tenant: tenantName,
+						Name:   fmt.Sprintf("load-%d", i),
+						Spec:   spec,
+					}
+					st, sheds, err := submitPersistent(s, req, cfg.Timeout)
+					mu.Lock()
+					res.Submitted += sheds + 1
+					res.Shed += sheds
+					mu.Unlock()
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						continue
+					}
+					accepted := time.Now()
+					ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+					final, err := s.Wait(ctx, st.ID)
+					cancel()
+					mu.Lock()
+					res.Accepted++
+					if err != nil {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("wait %s: %w", st.ID, err)
+						}
+						mu.Unlock()
+						continue
+					}
+					latencies = append(latencies, time.Since(accepted))
+					switch final.State {
+					case StateSucceeded:
+						res.Succeeded++
+					case StateFailed:
+						res.Failed++
+					case StateCancelled:
+						res.Cancelled++
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	if secs := res.Wall.Seconds(); secs > 0 {
+		res.Throughput = float64(res.Succeeded+res.Failed+res.Cancelled) / secs
+	}
+	res.P50 = percentile(latencies, 0.50)
+	res.P95 = percentile(latencies, 0.95)
+	res.P99 = percentile(latencies, 0.99)
+	return res, firstErr
+}
+
+// submitPersistent retries shed submissions (honouring Retry-After,
+// capped for test speed) until acceptance or the timeout elapses,
+// returning how many times the job was shed on the way in.
+func submitPersistent(s *Service, req Request, timeout time.Duration) (JobStatus, int, error) {
+	deadline := time.Now().Add(timeout)
+	sheds := 0
+	for {
+		st, err := s.Submit(req)
+		if err == nil {
+			return st, sheds, nil
+		}
+		var shed *ShedError
+		if !errors.As(err, &shed) {
+			return JobStatus{}, sheds, err
+		}
+		sheds++
+		if time.Now().After(deadline) {
+			return JobStatus{}, sheds, fmt.Errorf("service: still shedding after %s: %w", timeout, err)
+		}
+		wait := shed.RetryAfter
+		if wait <= 0 || wait > 50*time.Millisecond {
+			wait = 50 * time.Millisecond
+		}
+		time.Sleep(wait)
+	}
+}
+
+// percentile is the nearest-rank percentile of the (unsorted) samples.
+func percentile(d []time.Duration, q float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(d))
+	copy(sorted, d)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(float64(len(sorted))*q+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

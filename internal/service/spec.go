@@ -1,0 +1,298 @@
+// Job specifications. The wire format cannot carry Go UDFs, so a
+// submitted job names either a RheemQL query over the server's shared
+// catalog or a parametric built-in workload whose plan the service
+// constructs deterministically from the spec — deterministic enough
+// that the chaos suite can recompute every job's expected output
+// offline and demand byte identity from whatever the server returns.
+
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"rheem/internal/apps/rheemql"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+	"rheem/internal/data/datagen"
+)
+
+// Spec kinds.
+const (
+	KindSQL      = "sql"
+	KindWorkload = "workload"
+)
+
+// Built-in workload names.
+const (
+	WorkloadWordcount = "wordcount"
+	WorkloadSensor    = "sensor"
+	WorkloadFanout    = "fanout"
+)
+
+// Spec describes what a job computes.
+type Spec struct {
+	// Kind is "sql" (Query over the server catalog) or "workload"
+	// (a parametric built-in).
+	Kind string `json:"kind"`
+	// Query is the RheemQL text for Kind "sql".
+	Query string `json:"query,omitempty"`
+	// Workload names the built-in for Kind "workload": "wordcount",
+	// "sensor" or "fanout".
+	Workload string `json:"workload,omitempty"`
+	// N sizes the workload's generated input (records). 0 picks a
+	// workload-specific default.
+	N int `json:"n,omitempty"`
+	// Seed makes the generated input reproducible; the same (workload,
+	// n, seed, branches, wells) spec always computes the same output.
+	Seed uint64 `json:"seed,omitempty"`
+	// Branches is the fanout workload's branch count (default 4).
+	Branches int `json:"branches,omitempty"`
+	// Wells is the sensor workload's group count (default 32).
+	Wells int `json:"wells,omitempty"`
+}
+
+// Request is the job-submission payload.
+type Request struct {
+	// Tenant is the submitting tenant's identity; "" maps to "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Name labels the job in statuses and /runs; "" derives one from
+	// the spec.
+	Name string `json:"name,omitempty"`
+	Spec Spec   `json:"spec"`
+
+	// DeadlineMS bounds the whole job (queue wait excluded) in
+	// milliseconds; 0 uses the service default, and values above the
+	// service maximum are clamped to it.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// AtomTimeoutMS bounds each execution attempt of a single task
+	// atom; 0 uses the service default.
+	AtomTimeoutMS int64 `json:"atom_timeout_ms,omitempty"`
+	// Platform pins the job to one platform instead of letting the
+	// optimizer choose.
+	Platform string `json:"platform,omitempty"`
+	// Shards enables intra-atom data parallelism (see rheem.WithShards).
+	Shards int `json:"shards,omitempty"`
+	// NoFailover disables cross-platform failover for this job
+	// (failover is on by default — a service survives platform trouble).
+	NoFailover bool `json:"no_failover,omitempty"`
+}
+
+func (r *Request) normalize() {
+	if r.Tenant == "" {
+		r.Tenant = "default"
+	}
+	if r.Name == "" {
+		switch r.Spec.Kind {
+		case KindSQL:
+			r.Name = "sql"
+		default:
+			r.Name = r.Spec.Workload
+		}
+	}
+}
+
+func (r *Request) deadline(def, max time.Duration) time.Duration {
+	d := time.Duration(r.DeadlineMS) * time.Millisecond
+	if d <= 0 {
+		d = def
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}
+
+// Validate rejects malformed requests before they cost anything.
+func (r *Request) Validate() error {
+	if r.DeadlineMS < 0 || r.AtomTimeoutMS < 0 {
+		return fmt.Errorf("service: negative deadline")
+	}
+	if r.Spec.N < 0 || r.Spec.Branches < 0 || r.Spec.Wells < 0 {
+		return fmt.Errorf("service: negative workload size")
+	}
+	switch r.Spec.Kind {
+	case KindSQL:
+		if r.Spec.Query == "" {
+			return fmt.Errorf("service: sql spec needs a query")
+		}
+	case KindWorkload:
+		switch r.Spec.Workload {
+		case WorkloadWordcount, WorkloadSensor, WorkloadFanout:
+		default:
+			return fmt.Errorf("service: unknown workload %q", r.Spec.Workload)
+		}
+	default:
+		return fmt.Errorf("service: unknown spec kind %q (want %q or %q)", r.Spec.Kind, KindSQL, KindWorkload)
+	}
+	return nil
+}
+
+// BuildPlan lowers the spec to a logical plan named name, compiling
+// SQL against cat. Building is deterministic: the same spec always
+// yields a plan computing the same output.
+func (s *Spec) BuildPlan(name string, cat *rheemql.Catalog) (*plan.Plan, error) {
+	switch s.Kind {
+	case KindSQL:
+		q, err := rheemql.Parse(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		c, err := rheemql.Compile(q, cat)
+		if err != nil {
+			return nil, err
+		}
+		return c.Plan, nil
+	case KindWorkload:
+		switch s.Workload {
+		case WorkloadWordcount:
+			return wordcountPlan(name, s.sized(2000), s.Seed)
+		case WorkloadSensor:
+			return sensorPlan(name, s.sized(2000), s.wells(), s.Seed)
+		case WorkloadFanout:
+			return fanoutPlan(name, s.sized(200), s.branches(), s.Seed)
+		}
+	}
+	return nil, fmt.Errorf("service: cannot build plan for spec kind %q", s.Kind)
+}
+
+func (s *Spec) sized(def int) int {
+	if s.N > 0 {
+		return s.N
+	}
+	return def
+}
+
+func (s *Spec) branches() int {
+	if s.Branches > 0 {
+		return s.Branches
+	}
+	return 4
+}
+
+func (s *Spec) wells() int {
+	if s.Wells > 0 {
+		return s.Wells
+	}
+	return 32
+}
+
+// wordcountPlan is the classic: word → (word, 1) → per-key sum →
+// sort by word.
+func wordcountPlan(name string, n int, seed uint64) (*plan.Plan, error) {
+	words := datagen.Words(n, seed)
+	b := plan.NewBuilder(name)
+	src := b.Source("words", plan.Collection(words))
+	src.CardHint = int64(n)
+	pairs := b.Map(src, func(r data.Record) (data.Record, error) {
+		return data.NewRecord(r.Field(0), data.Int(1)), nil
+	})
+	counts := b.ReduceByKey(pairs, plan.FieldKey(0), func(a, b data.Record) (data.Record, error) {
+		return data.NewRecord(a.Field(0), data.Int(a.Field(1).Int()+b.Field(1).Int())), nil
+	})
+	b.Collect(b.Sort(counts, plan.FieldKey(0), false))
+	return b.Build()
+}
+
+// sensorPlan is the §1 pipeline shape: normalize → per-well aggregate
+// → feature vector → sort, over generated readings.
+func sensorPlan(name string, n, wells int, seed uint64) (*plan.Plan, error) {
+	readings := datagen.Sensors(datagen.SensorConfig{N: n, Wells: wells, Seed: seed})
+	b := plan.NewBuilder(name)
+	src := b.Source("readings", plan.Collection(readings))
+	src.CardHint = int64(n)
+	norm := b.Map(src, func(r data.Record) (data.Record, error) {
+		p := r.Field(2).Float() * 6.894
+		if p < 0 {
+			p = 0
+		}
+		return data.NewRecord(r.Field(0),
+			data.Float(p), data.Float(r.Field(3).Float()), data.Float(r.Field(4).Float()),
+			data.Int(1)), nil
+	})
+	agg := b.ReduceByKey(norm, plan.FieldKey(0), func(a, b data.Record) (data.Record, error) {
+		return data.NewRecord(a.Field(0),
+			data.Float(a.Field(1).Float()+b.Field(1).Float()),
+			data.Float(a.Field(2).Float()+b.Field(2).Float()),
+			data.Float(a.Field(3).Float()+b.Field(3).Float()),
+			data.Int(a.Field(4).Int()+b.Field(4).Int())), nil
+	})
+	feats := b.Map(agg, func(r data.Record) (data.Record, error) {
+		cnt := float64(r.Field(4).Int())
+		return data.NewRecord(r.Field(0), data.Vec([]float64{
+			r.Field(1).Float() / cnt, r.Field(2).Float() / cnt, r.Field(3).Float() / cnt,
+		})), nil
+	})
+	b.Collect(b.Sort(feats, plan.FieldKey(0), false))
+	return b.Build()
+}
+
+// fanoutPlan is the E8-style diamond: one source feeding `branches`
+// independent map legs (each burning a deterministic amount of CPU per
+// record), unioned and folded to a checksum — wide enough to exercise
+// the shared scheduler pool.
+func fanoutPlan(name string, n, branches int, seed uint64) (*plan.Plan, error) {
+	recs := make([]data.Record, n)
+	for i := range recs {
+		recs[i] = data.NewRecord(data.Int(int64(i) + int64(seed)))
+	}
+	b := plan.NewBuilder(name)
+	src := b.Source("ints", plan.Collection(recs))
+	src.CardHint = int64(n)
+	legs := make([]*plan.Operator, branches)
+	for i := range legs {
+		leg := uint64(i + 1)
+		legs[i] = b.Map(src, func(r data.Record) (data.Record, error) {
+			x := uint64(r.Field(0).Int()) ^ leg
+			// A short deterministic mix loop: CPU work without sleeps,
+			// identical on every platform.
+			for j := 0; j < 64; j++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+			}
+			return data.NewRecord(data.Int(int64(x>>1) % 1_000_003)), nil
+		})
+	}
+	out := legs[0]
+	for _, l := range legs[1:] {
+		out = b.Union(out, l)
+	}
+	sum := b.Reduce(out, func(a, b data.Record) (data.Record, error) {
+		return data.NewRecord(data.Int(a.Field(0).Int() + b.Field(0).Int())), nil
+	})
+	b.Collect(sum)
+	return b.Build()
+}
+
+// DefaultCatalog is the server's shared queryable catalog: generated
+// datasets with fixed seeds, registered once at startup. Scale shrinks
+// the tables for tests and quick demos (0 = full size).
+func DefaultCatalog(scale int) (*rheemql.Catalog, error) {
+	if scale <= 0 {
+		scale = 20_000
+	}
+	cat := rheemql.NewCatalog()
+	sensorSchema, err := data.NewSchema(
+		data.Field{Name: "well", Type: data.KindInt},
+		data.Field{Name: "hour", Type: data.KindInt},
+		data.Field{Name: "pressure", Type: data.KindFloat},
+		data.Field{Name: "temperature", Type: data.KindFloat},
+		data.Field{Name: "flow", Type: data.KindFloat},
+	)
+	if err != nil {
+		return nil, err
+	}
+	if err := cat.Register("sensors", sensorSchema,
+		datagen.Sensors(datagen.SensorConfig{N: scale, Wells: 32, Seed: 7})); err != nil {
+		return nil, err
+	}
+	wordSchema, err := data.NewSchema(data.Field{Name: "word", Type: data.KindString})
+	if err != nil {
+		return nil, err
+	}
+	if err := cat.Register("words", wordSchema, datagen.Words(scale, 11)); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}

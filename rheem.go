@@ -29,6 +29,7 @@
 package rheem
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -211,6 +212,41 @@ type runConfig struct {
 // better than the optimizer.
 func OnPlatform(id engine.PlatformID) RunOption {
 	return func(rc *runConfig) { rc.opt.FixedPlatform = id }
+}
+
+// WithContext bounds the run with ctx: cancelling it aborts in-flight
+// atoms and Execute returns the context's error. A deadline on ctx is
+// the whole-job budget (pair it with WithAtomTimeout to also bound
+// individual attempts). nil keeps the default background context.
+func WithContext(ctx context.Context) RunOption {
+	return func(rc *runConfig) { rc.exec.Context = ctx }
+}
+
+// WithExcludedPlatforms removes platforms from the optimizer's
+// consideration for this run — the job-service's per-tenant isolation
+// lever: a tenant whose jobs keep failing on one platform gets it
+// excluded from its own plans without quarantining it for anybody
+// else. Excluding every registered platform fails optimization.
+func WithExcludedPlatforms(ids ...engine.PlatformID) RunOption {
+	return func(rc *runConfig) {
+		if len(ids) == 0 {
+			return
+		}
+		if rc.opt.ExcludePlatforms == nil {
+			rc.opt.ExcludePlatforms = make(map[engine.PlatformID]bool, len(ids))
+		}
+		for _, id := range ids {
+			rc.opt.ExcludePlatforms[id] = true
+		}
+	}
+}
+
+// WithSchedulerPool makes the run draw its atom-execution slots from a
+// shared executor.Pool in addition to its own Parallelism bound — how
+// a long-running service keeps N concurrent jobs from oversubscribing
+// the host with N independent worker pools.
+func WithSchedulerPool(p *executor.Pool) RunOption {
+	return func(rc *runConfig) { rc.exec.Pool = p }
 }
 
 // WithMonitor subscribes to executor progress events.
