@@ -19,6 +19,7 @@ const (
 	AreaCore     = "core"     // single-platform cores + multi-platform choice (E1/E5)
 	AreaParallel = "parallel" // concurrent DAG scheduling (E8)
 	AreaSharding = "sharding" // intra-atom shard fan-out (E11)
+	AreaColumnar = "columnar" // columnar batch kernels vs row path (E13)
 	// AreaService ("service", E12) is declared in service.go.
 )
 
@@ -88,6 +89,8 @@ func Scenarios() []Scenario {
 		{Name: "wide-shard4", Area: AreaSharding, Run: wideScenario(4)},
 		{Name: "serve-tenants1", Area: AreaService, Run: serviceScenario(1)},
 		{Name: "serve-tenants4", Area: AreaService, Run: serviceScenario(4)},
+		{Name: "colchain-row", Area: AreaColumnar, Run: columnarScenario(false)},
+		{Name: "colchain-batch", Area: AreaColumnar, Run: columnarScenario(true)},
 	}
 }
 
@@ -158,6 +161,27 @@ func fanoutScenario(par int) func(Scale, *metrics.Hub) (Measure, error) {
 		}
 		defer ctx.Close()
 		res, err := bench.RunFanOutTraced(ctx.Registry(), hub, branches, recs, delay, par)
+		if err != nil {
+			return Measure{}, err
+		}
+		return Measure{Wall: res.Metrics.Wall, Sim: res.Metrics.Sim, Records: res.Metrics.OutRecords}, nil
+	}
+}
+
+// columnarScenario is the E13 core: the filter → project → aggregate
+// hot-path chain with the vectorized batch path on or off. Both cells
+// run the identical plan and platform assignment; the gap between them
+// is the row-at-a-time tax the columnar format removes.
+func columnarScenario(batch bool) func(Scale, *metrics.Hub) (Measure, error) {
+	return func(s Scale, hub *metrics.Hub) (Measure, error) {
+		n := s.pick3(5_000, 150_000, 1_000_000)
+		recs := bench.ColumnarRecords(n)
+		ctx, err := bench.NewColumnarContext(hub, batch)
+		if err != nil {
+			return Measure{}, err
+		}
+		defer ctx.Close()
+		res, err := bench.RunColumnarTraced(ctx, hub, recs)
 		if err != nil {
 			return Measure{}, err
 		}

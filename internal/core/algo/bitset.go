@@ -2,28 +2,33 @@ package algo
 
 import "math/bits"
 
-// bitset is the dense bit array at the heart of IEJoin: positions of
-// already-visited tuples in the first sort order. Scanning runs of set
-// bits word-by-word is what gives IEJoin its small constants compared
-// to a nested loop.
-type bitset struct {
+// Bitset is a dense bit array. It is the heart of IEJoin (positions of
+// already-visited tuples in the first sort order) and doubles as the
+// validity bitmap of the columnar batch format: scanning runs of set
+// bits word-by-word is what gives both their small constants compared
+// to a per-element loop.
+type Bitset struct {
 	words []uint64
 	n     int
 }
 
-func newBitset(n int) *bitset {
-	return &bitset{words: make([]uint64, (n+63)/64), n: n}
+// NewBitset returns a Bitset of n bits, all clear.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
 }
 
-// set marks bit i.
-func (b *bitset) set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+// Len returns the number of addressable bits.
+func (b *Bitset) Len() int { return b.n }
 
-// get reports bit i.
-func (b *bitset) get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+// Set marks bit i.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
 
-// scanRange calls visit for every set bit in [from, to), in ascending
+// Get reports bit i.
+func (b *Bitset) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// ScanRange calls visit for every set bit in [from, to), in ascending
 // order. visit returning a non-nil error aborts the scan.
-func (b *bitset) scanRange(from, to int, visit func(i int) error) error {
+func (b *Bitset) ScanRange(from, to int, visit func(i int) error) error {
 	if from < 0 {
 		from = 0
 	}
@@ -58,11 +63,37 @@ func (b *bitset) scanRange(from, to int, visit func(i int) error) error {
 	return nil
 }
 
-// count returns the number of set bits in [0, n).
-func (b *bitset) count() int {
+// Count returns the number of set bits in [0, n).
+func (b *Bitset) Count() int {
 	c := 0
 	for _, w := range b.words {
 		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CountRange returns the number of set bits in [from, to).
+func (b *Bitset) CountRange(from, to int) int {
+	if from < 0 {
+		from = 0
+	}
+	if to > b.n {
+		to = b.n
+	}
+	if from >= to {
+		return 0
+	}
+	firstWord, lastWord := from>>6, (to-1)>>6
+	c := 0
+	for w := firstWord; w <= lastWord; w++ {
+		word := b.words[w]
+		if w == firstWord {
+			word &= ^uint64(0) << (uint(from) & 63)
+		}
+		if w == lastWord && (to&63) != 0 {
+			word &= (1 << (uint(to) & 63)) - 1
+		}
+		c += bits.OnesCount64(word)
 	}
 	return c
 }

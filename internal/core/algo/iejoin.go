@@ -85,7 +85,7 @@ func IEJoin(l, r []data.Record, c1, c2 plan.IECondition, emit func(l, r data.Rec
 		return c > 0
 	})
 
-	visited := newBitset(n)
+	visited := NewBitset(n)
 	strict2 := c2.Op == plan.Greater || c2.Op == plan.Less
 
 	// lowerBound returns the first L1 position with x >= v; upperBound
@@ -115,7 +115,7 @@ func IEJoin(l, r []data.Record, c1, c2 plan.IECondition, emit func(l, r data.Rec
 		default:
 			return fmt.Errorf("algo: IEJoin unsupported op %v", c1.Op)
 		}
-		return visited.scanRange(from, to, func(pos int) error {
+		return visited.ScanRange(from, to, func(pos int) error {
 			other := tuples[l1[pos]]
 			return emit(tup.rec, other.rec)
 		})
@@ -135,7 +135,7 @@ func IEJoin(l, r []data.Record, c1, c2 plan.IECondition, emit func(l, r data.Rec
 		if !strict2 {
 			for _, t := range group {
 				if !tuples[t].left {
-					visited.set(posInL1[t])
+					visited.Set(posInL1[t])
 				}
 			}
 		}
@@ -147,7 +147,7 @@ func IEJoin(l, r []data.Record, c1, c2 plan.IECondition, emit func(l, r data.Rec
 		if strict2 {
 			for _, t := range group {
 				if !tuples[t].left {
-					visited.set(posInL1[t])
+					visited.Set(posInL1[t])
 				}
 			}
 		}

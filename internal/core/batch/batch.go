@@ -1,0 +1,466 @@
+// Package batch implements RHEEM's columnar in-memory format: typed
+// slices per column with a validity bitmap, the representation Shark
+// showed is the decisive lever against the row-at-a-time tax at the
+// abstraction layer. A Batch is exchanged between platforms through
+// the channel conversion graph (channel.Batch); vectorized execution
+// operators loop over its columns without boxing values, and shard
+// fan-out takes zero-copy column-slice views.
+//
+// The format is lossless over the full data.Record model. Columns
+// whose values are uniformly one scalar kind become typed slices
+// (int64 / float64 / string / bool) with nulls tracked in an
+// algo.Bitset validity bitmap; columns mixing kinds or holding vectors
+// fall back to a generic []data.Value column; a ragged record set
+// (records of differing arity) is carried as rows behind the same
+// Batch interface. ToRecords therefore always reproduces the source
+// records exactly — byte-identical under the canonical binary
+// encoding — no matter the shape of the input.
+package batch
+
+import (
+	"fmt"
+
+	"rheem/internal/core/algo"
+	"rheem/internal/data"
+)
+
+// ColKind enumerates the physical representations a column can take.
+type ColKind uint8
+
+// Column representations. Typed columns store one Go scalar per row;
+// ColAny is the lossless fallback for mixed-kind and vector columns.
+const (
+	ColInt64 ColKind = iota
+	ColFloat64
+	ColString
+	ColBool
+	ColAny
+)
+
+// String returns the column kind's name.
+func (k ColKind) String() string {
+	switch k {
+	case ColInt64:
+		return "int64"
+	case ColFloat64:
+		return "float64"
+	case ColString:
+		return "string"
+	case ColBool:
+		return "bool"
+	case ColAny:
+		return "any"
+	default:
+		return fmt.Sprintf("ColKind(%d)", uint8(k))
+	}
+}
+
+// Column is one column of a batch: exactly one of the typed slices is
+// populated according to Kind. Valid marks non-null rows for typed
+// columns; a nil Valid means every row is valid. Because zero-copy
+// views sub-slice the typed storage but share the validity bitmap,
+// row i of a view maps to bit view.Off()+i of Valid. ColAny columns
+// carry nulls as data.Null values and never use Valid.
+type Column struct {
+	Kind     ColKind
+	Int64s   []int64
+	Float64s []float64
+	Strings  []string
+	Bools    []bool
+	Any      []data.Value
+	Valid    *algo.Bitset
+}
+
+// length returns the populated slice's length.
+func (c *Column) length() int {
+	switch c.Kind {
+	case ColInt64:
+		return len(c.Int64s)
+	case ColFloat64:
+		return len(c.Float64s)
+	case ColString:
+		return len(c.Strings)
+	case ColBool:
+		return len(c.Bools)
+	default:
+		return len(c.Any)
+	}
+}
+
+// slice returns the zero-copy [lo, hi) view of the column. The validity
+// bitmap is shared, not re-based; the caller tracks the offset.
+func (c Column) slice(lo, hi int) Column {
+	switch c.Kind {
+	case ColInt64:
+		c.Int64s = c.Int64s[lo:hi]
+	case ColFloat64:
+		c.Float64s = c.Float64s[lo:hi]
+	case ColString:
+		c.Strings = c.Strings[lo:hi]
+	case ColBool:
+		c.Bools = c.Bools[lo:hi]
+	default:
+		c.Any = c.Any[lo:hi]
+	}
+	return c
+}
+
+// ValidAt reports whether row i of a view with validity offset off is
+// non-null. ColAny columns track nulls in the values themselves.
+func (c *Column) ValidAt(off, i int) bool {
+	if c.Kind == ColAny {
+		return !c.Any[i].IsNull()
+	}
+	return c.Valid == nil || c.Valid.Get(off+i)
+}
+
+// Value materialises row i (with validity offset off) as a data.Value.
+func (c *Column) Value(off, i int) data.Value {
+	if c.Kind == ColAny {
+		return c.Any[i]
+	}
+	if c.Valid != nil && !c.Valid.Get(off+i) {
+		return data.Null()
+	}
+	switch c.Kind {
+	case ColInt64:
+		return data.Int(c.Int64s[i])
+	case ColFloat64:
+		return data.Float(c.Float64s[i])
+	case ColString:
+		return data.Str(c.Strings[i])
+	default:
+		return data.Bool(c.Bools[i])
+	}
+}
+
+// Batch is a columnar view over n records. The zero value is an empty
+// batch. Views produced by Slice share column storage and validity
+// bitmaps with their parent.
+type Batch struct {
+	cols []Column
+	n    int
+	off  int // validity-bitmap offset of row 0 in shared Valid bitsets
+
+	// rows is the lossless fallback for ragged record sets, which have
+	// no rectangular column decomposition. When set, cols is empty.
+	rows []data.Record
+}
+
+// FromRecords builds a batch from records. The records themselves are
+// never mutated; string and vector payloads are shared, not copied.
+// Rectangular scalar inputs become typed columns; anything else takes
+// a lossless fallback representation (see package comment), so the
+// conversion is total.
+func FromRecords(recs []data.Record) *Batch {
+	n := len(recs)
+	if n == 0 {
+		return &Batch{}
+	}
+	w := recs[0].Len()
+	for i := 1; i < n; i++ {
+		if recs[i].Len() != w {
+			return &Batch{rows: recs, n: n}
+		}
+	}
+	cols := make([]Column, w)
+	for c := 0; c < w; c++ {
+		cols[c] = buildColumn(recs, c)
+	}
+	return &Batch{cols: cols, n: n}
+}
+
+// buildColumn decides a column's representation and fills it in a
+// single speculative pass: the first non-null value picks a typed
+// representation; a later value of another kind abandons the attempt
+// for the generic fallback (mixed columns are ColAny anyway, so only
+// they pay the restart). The conversion is on the columnar hot path —
+// every Collection/Table → Batch edge runs it over the whole input —
+// which is why it avoids a separate kind-scan pass.
+func buildColumn(recs []data.Record, c int) Column {
+	for i := range recs {
+		switch recs[i].Field(c).Kind() {
+		case data.KindNull:
+			continue
+		case data.KindInt:
+			return fillInt64(recs, c, i)
+		case data.KindFloat:
+			return fillFloat64(recs, c, i)
+		case data.KindString:
+			return fillString(recs, c, i)
+		case data.KindBool:
+			return fillBool(recs, c, i)
+		default: // vectors take the generic representation
+			return genericColumn(recs, c)
+		}
+	}
+	return genericColumn(recs, c) // all null
+}
+
+// genericColumn is the lossless ColAny fallback.
+func genericColumn(recs []data.Record, c int) Column {
+	any := make([]data.Value, len(recs))
+	for i := range recs {
+		any[i] = recs[i].Field(c)
+	}
+	return Column{Kind: ColAny, Any: any}
+}
+
+// markNull lazily materialises the validity bitmap on the first null:
+// rows [start, i) of the speculative fill were all valid, rows before
+// start all null.
+func markNull(valid *algo.Bitset, n, start, i int) *algo.Bitset {
+	if valid == nil {
+		valid = algo.NewBitset(n)
+		for j := start; j < i; j++ {
+			valid.Set(j)
+		}
+	}
+	return valid
+}
+
+// The typed fill loops. All four are the same shape: store the scalar,
+// track validity only once a null has appeared, bail to the generic
+// representation on a kind mismatch.
+
+func fillInt64(recs []data.Record, c, start int) Column {
+	n := len(recs)
+	vals := make([]int64, n)
+	var valid *algo.Bitset
+	if start > 0 {
+		valid = algo.NewBitset(n) // leading nulls
+	}
+	for i := start; i < n; i++ {
+		v := recs[i].Field(c)
+		switch v.Kind() {
+		case data.KindInt:
+			vals[i] = v.Int()
+			if valid != nil {
+				valid.Set(i)
+			}
+		case data.KindNull:
+			valid = markNull(valid, n, start, i)
+		default:
+			return genericColumn(recs, c)
+		}
+	}
+	return Column{Kind: ColInt64, Int64s: vals, Valid: valid}
+}
+
+func fillFloat64(recs []data.Record, c, start int) Column {
+	n := len(recs)
+	vals := make([]float64, n)
+	var valid *algo.Bitset
+	if start > 0 {
+		valid = algo.NewBitset(n)
+	}
+	for i := start; i < n; i++ {
+		v := recs[i].Field(c)
+		switch v.Kind() {
+		case data.KindFloat:
+			vals[i] = v.Float()
+			if valid != nil {
+				valid.Set(i)
+			}
+		case data.KindNull:
+			valid = markNull(valid, n, start, i)
+		default:
+			return genericColumn(recs, c)
+		}
+	}
+	return Column{Kind: ColFloat64, Float64s: vals, Valid: valid}
+}
+
+func fillString(recs []data.Record, c, start int) Column {
+	n := len(recs)
+	vals := make([]string, n)
+	var valid *algo.Bitset
+	if start > 0 {
+		valid = algo.NewBitset(n)
+	}
+	for i := start; i < n; i++ {
+		v := recs[i].Field(c)
+		switch v.Kind() {
+		case data.KindString:
+			vals[i] = v.Str()
+			if valid != nil {
+				valid.Set(i)
+			}
+		case data.KindNull:
+			valid = markNull(valid, n, start, i)
+		default:
+			return genericColumn(recs, c)
+		}
+	}
+	return Column{Kind: ColString, Strings: vals, Valid: valid}
+}
+
+func fillBool(recs []data.Record, c, start int) Column {
+	n := len(recs)
+	vals := make([]bool, n)
+	var valid *algo.Bitset
+	if start > 0 {
+		valid = algo.NewBitset(n)
+	}
+	for i := start; i < n; i++ {
+		v := recs[i].Field(c)
+		switch v.Kind() {
+		case data.KindBool:
+			vals[i] = v.Bool()
+			if valid != nil {
+				valid.Set(i)
+			}
+		case data.KindNull:
+			valid = markNull(valid, n, start, i)
+		default:
+			return genericColumn(recs, c)
+		}
+	}
+	return Column{Kind: ColBool, Bools: vals, Valid: valid}
+}
+
+// New assembles a batch of n rows from freshly built columns (validity
+// offset zero). Every column's storage must hold exactly n rows.
+func New(n int, cols []Column) (*Batch, error) {
+	for i := range cols {
+		if got := cols[i].length(); got != n {
+			return nil, fmt.Errorf("batch: column %d holds %d rows, batch wants %d", i, got, n)
+		}
+	}
+	return &Batch{cols: cols, n: n}, nil
+}
+
+// FromRows wraps records in a fallback row-backed batch without
+// attempting a columnar decomposition.
+func FromRows(recs []data.Record) *Batch {
+	return &Batch{rows: recs, n: len(recs)}
+}
+
+// Len returns the number of rows.
+func (b *Batch) Len() int { return b.n }
+
+// NumCols returns the number of columns (0 for row-backed batches).
+func (b *Batch) NumCols() int { return len(b.cols) }
+
+// Col returns column c. The returned struct shares storage with the
+// batch; callers must not mutate the slices.
+func (b *Batch) Col(c int) *Column { return &b.cols[c] }
+
+// Off returns the validity-bitmap offset of row 0 — pass it to
+// Column.ValidAt / Column.Value when reading this batch's columns.
+func (b *Batch) Off() int { return b.off }
+
+// Columnar reports whether the batch has a column decomposition.
+// Row-backed fallback batches (ragged inputs) return false; note the
+// empty batch is columnar with zero columns.
+func (b *Batch) Columnar() bool { return b.rows == nil }
+
+// Rows returns the fallback row representation, or nil for columnar
+// batches. Callers must not mutate the returned slice.
+func (b *Batch) Rows() []data.Record { return b.rows }
+
+// Slice returns the zero-copy [lo, hi) row view. Bounds are clamped to
+// the batch like slice expressions clamp to capacity.
+func (b *Batch) Slice(lo, hi int) *Batch {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo > hi {
+		lo = hi
+	}
+	if b.rows != nil {
+		return &Batch{rows: b.rows[lo:hi], n: hi - lo}
+	}
+	cols := make([]Column, len(b.cols))
+	for c := range b.cols {
+		cols[c] = b.cols[c].slice(lo, hi)
+	}
+	return &Batch{cols: cols, n: hi - lo, off: b.off + lo}
+}
+
+// Project returns the zero-copy batch keeping the selected columns in
+// order. It panics on a row-backed batch or an out-of-range index,
+// like Record.Project panics on a bad field index.
+func (b *Batch) Project(idx ...int) *Batch {
+	if b.rows != nil {
+		panic("batch: Project on a row-backed batch")
+	}
+	cols := make([]Column, len(idx))
+	for i, j := range idx {
+		cols[i] = b.cols[j]
+	}
+	return &Batch{cols: cols, n: b.n, off: b.off}
+}
+
+// ToRecords materialises the batch back into records. For columnar
+// batches the result is freshly allocated; for row-backed batches the
+// underlying rows are returned directly (records are immutable, so
+// sharing is safe — treat the result as read-only).
+func (b *Batch) ToRecords() []data.Record {
+	if b.rows != nil {
+		return b.rows
+	}
+	w := len(b.cols)
+	out := make([]data.Record, b.n)
+	if w == 0 {
+		for i := range out {
+			out[i] = data.NewRecord()
+		}
+		return out
+	}
+	// One backing array for all field slices keeps the materialisation
+	// a single allocation instead of one per record.
+	backing := make([]data.Value, b.n*w)
+	for i := 0; i < b.n; i++ {
+		row := backing[i*w : (i+1)*w : (i+1)*w]
+		for c := range b.cols {
+			row[c] = b.cols[c].Value(b.off, i)
+		}
+		out[i] = data.NewRecord(row...)
+	}
+	return out
+}
+
+// Bytes estimates the in-memory footprint using the same accounting as
+// data.Record.Bytes, so channel metadata (and therefore conversion
+// pricing and the virtual clock) is identical whether a dataset flows
+// as rows or as a batch.
+func (b *Batch) Bytes() int64 {
+	if b.rows != nil {
+		return data.TotalBytes(b.rows)
+	}
+	total := int64(b.n) * 16 // per-record base
+	for c := range b.cols {
+		col := &b.cols[c]
+		switch col.Kind {
+		case ColString:
+			total += int64(b.n) * 16
+			for i, s := range col.Strings {
+				if col.ValidAt(b.off, i) {
+					total += int64(len(s))
+				}
+			}
+		case ColAny:
+			for i := range col.Any {
+				v := col.Any[i]
+				switch v.Kind() {
+				case data.KindString:
+					total += 16 + int64(len(v.Str()))
+				case data.KindVector:
+					total += 24 + 8*int64(len(v.Vec()))
+				default:
+					total += 16
+				}
+			}
+		default:
+			total += int64(b.n) * 16
+		}
+	}
+	return total
+}

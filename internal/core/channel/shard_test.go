@@ -231,11 +231,16 @@ func recordMultiset(t *testing.T, recs []data.Record) []string {
 func randomRecords(rng *rand.Rand, n int) []data.Record {
 	recs := make([]data.Record, n)
 	for i := range recs {
-		recs[i] = data.NewRecord(
-			data.Int(rng.Int63n(1000)-500),
-			data.Str(fmt.Sprintf("s%x", rng.Uint32())),
-			data.Float(rng.NormFloat64()),
-		)
+		// Occasional nulls so the batch edges exercise their validity
+		// bitmaps, not just the dense typed fast path.
+		f0, f2 := data.Int(rng.Int63n(1000)-500), data.Float(rng.NormFloat64())
+		if rng.Intn(8) == 0 {
+			f0 = data.Null()
+		}
+		if rng.Intn(8) == 0 {
+			f2 = data.Null()
+		}
+		recs[i] = data.NewRecord(f0, data.Str(fmt.Sprintf("s%x", rng.Uint32())), f2)
 	}
 	return recs
 }
@@ -249,7 +254,10 @@ func randomRecords(rng *rand.Rand, n int) []data.Record {
 func TestConversionChainsPreserveMultiset(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260806))
 	reg := propRegistry()
-	formats := []Format{Collection, Partitioned, Table, DFSFile}
+	// Walk the real columnar edges too — the production converters, not
+	// test doubles — so batch hops interleave with the synthetic routes.
+	RegisterBatchConverters(reg)
+	formats := []Format{Collection, Partitioned, Table, DFSFile, Batch}
 	for trial := 0; trial < 100; trial++ {
 		recs := randomRecords(rng, 1+rng.Intn(64))
 		want := recordMultiset(t, recs)

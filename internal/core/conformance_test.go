@@ -34,10 +34,10 @@ import (
 // the full operator set.
 var confPlatforms = []engine.PlatformID{javaengine.ID, sparksim.ID, relengine.ID}
 
-func confRegistry(t *testing.T) *engine.Registry {
+func confRegistry(t *testing.T, columnar bool) *engine.Registry {
 	t.Helper()
 	reg := engine.NewRegistry()
-	if _, err := javaengine.Register(reg, javaengine.Config{}); err != nil {
+	if _, err := javaengine.Register(reg, javaengine.Config{Columnar: columnar}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := sparksim.Register(reg, sparksim.Config{}); err != nil {
@@ -89,10 +89,11 @@ type confCase struct {
 // shard fan-out and returns the canonicalized output. The sources are
 // pinned to a *different* feeder platform so the compute chain is a
 // separate atom with an external input — the shape sharding applies
-// to — and every result crosses a real platform boundary.
-func runConformance(t *testing.T, c confCase, target engine.PlatformID, shards int) string {
+// to — and every result crosses a real platform boundary. columnar
+// toggles the java engine's vectorized batch path.
+func runConformance(t *testing.T, c confCase, target engine.PlatformID, shards int, columnar bool) string {
 	t.Helper()
-	reg := confRegistry(t)
+	reg := confRegistry(t, columnar)
 	feeder := javaengine.ID
 	if target == javaengine.ID {
 		feeder = sparksim.ID
@@ -247,6 +248,28 @@ func conformanceBattery() []confCase {
 				return a.Field(0).Int() < bb.Field(0).Int(), nil
 			}))
 		}},
+		{name: "filter-col", build: func(b *plan.Builder, s []*plan.Operator) {
+			// Declarative column predicate: vectorized on the java
+			// engine's batch path, generated row UDF everywhere else.
+			b.Collect(b.FilterWhere(s[0], 0, plan.GreaterEq, data.Int(30)))
+		}},
+		{name: "project-col", build: func(b *plan.Builder, s []*plan.Operator) {
+			b.Collect(b.ProjectCols(s[0], 1, 0))
+		}},
+		{name: "agg-col", build: func(b *plan.Builder, s []*plan.Operator) {
+			m := b.Map(s[0], func(r data.Record) (data.Record, error) {
+				k := r.Field(0).Int()
+				return data.NewRecord(data.Int(k), data.Int(k * k % 19), data.Float(float64(k) / 4)), nil
+			})
+			b.Collect(b.AggregateCols(m, plan.AggSum, plan.AggMax, plan.AggMin))
+		}},
+		{name: "columnar-chain", build: func(b *plan.Builder, s []*plan.Operator) {
+			// The hot-path shape the columnar scenario benchmarks:
+			// filter → project → aggregate, hinted end to end.
+			f := b.FilterWhere(s[0], 0, plan.Less, data.Int(60))
+			p := b.ProjectCols(f, 0)
+			b.Collect(b.AggregateCols(p, plan.AggSum))
+		}},
 		{name: "repeat", loop: true, build: func(b *plan.Builder, s []*plan.Operator) {
 			bb := plan.NewBodyBuilder("body")
 			li := bb.LoopInput("st")
@@ -274,7 +297,7 @@ func conformanceBattery() []confCase {
 func TestCrossPlatformConformance(t *testing.T) {
 	for _, c := range conformanceBattery() {
 		t.Run(c.name, func(t *testing.T) {
-			ref := runConformance(t, c, javaengine.ID, 1)
+			ref := runConformance(t, c, javaengine.ID, 1, false)
 			if ref == "" && c.name != "flatmap" {
 				// Every battery case is built to produce output; an empty
 				// reference means the case itself is broken.
@@ -285,11 +308,30 @@ func TestCrossPlatformConformance(t *testing.T) {
 					if target == javaengine.ID && shards == 1 {
 						continue // the reference itself
 					}
-					got := runConformance(t, c, target, shards)
+					got := runConformance(t, c, target, shards, false)
 					if got != ref {
 						t.Errorf("%s on %s with shards=%d diverges from the java shards=1 reference",
 							c.name, target, shards)
 					}
+				}
+			}
+		})
+	}
+}
+
+// TestCrossPlatformConformanceColumnar re-runs the full battery with
+// the java engine's vectorized batch path enabled and compares every
+// output against the row-path reference: columnar execution must be a
+// pure physical substitution — byte-identical results, sharded or not.
+func TestCrossPlatformConformanceColumnar(t *testing.T) {
+	for _, c := range conformanceBattery() {
+		t.Run(c.name, func(t *testing.T) {
+			ref := runConformance(t, c, javaengine.ID, 1, false)
+			for _, shards := range []int{1, 4} {
+				got := runConformance(t, c, javaengine.ID, shards, true)
+				if got != ref {
+					t.Errorf("%s with columnar batches (shards=%d) diverges from the row-path reference",
+						c.name, shards)
 				}
 			}
 		})
@@ -301,7 +343,7 @@ func TestCrossPlatformConformance(t *testing.T) {
 // the conformance battery. The set of exercised kinds is derived from
 // the battery's own plans, so the check can't drift from the cases.
 func TestConformanceCoversAllSharedKinds(t *testing.T) {
-	reg := confRegistry(t)
+	reg := confRegistry(t, false)
 	mappedOn := map[plan.OpKind]map[engine.PlatformID]bool{}
 	for _, m := range reg.Mappings() {
 		if mappedOn[m.Kind] == nil {

@@ -171,6 +171,22 @@ type Sharder interface {
 	SplitNative(ch *channel.Channel, p int) ([]*channel.Channel, error)
 }
 
+// Vectorized is an optional Platform capability: the platform executes
+// some operators directly on the columnar batch format
+// (channel.Batch). SupportsBatch reports, per physical operator,
+// whether its columnar kernel applies — typically requiring the
+// logical operator to carry declarative column hints (plan.ColPred,
+// plan.ColProject, plan.ColAgg), since an opaque UDF closure cannot be
+// vectorized. The executor delivers external inputs of supporting
+// operators as Batch channels instead of the platform's native format,
+// and the optimizer prices such edges with the cheaper of the two
+// conversion paths. The columnar result must be byte-identical to the
+// row path's — the hints are an execution strategy, never a semantics
+// change.
+type Vectorized interface {
+	SupportsBatch(op *physical.Operator) bool
+}
+
 // Mapping declares that a platform implements a (kind, algorithm)
 // physical operator, at the cost the model estimates. Hint carries
 // free-form context for the optimizer, mirroring the paper's mapping
@@ -207,6 +223,10 @@ func NewRegistry() *Registry {
 		health:    newHealth(),
 		stats:     newStats(),
 	}
+	// The columnar batch format is a driver format like Collection, not
+	// a platform's: every registry carries its hub edges so any pair of
+	// platforms can exchange batches once one of them vectorizes.
+	channel.RegisterBatchConverters(r.channels)
 	// Breaker transitions feed the per-platform counters, so trips and
 	// recoveries are visible without subscribing to the health tracker.
 	r.health.observe = r.stats.breakerTransition

@@ -380,9 +380,17 @@ func runComputeAtom(atom *engine.TaskAtom, ep *optimizer.ExecutionPlan, reg *eng
 		st.tr.End(sp, engine.Metrics{}, err)
 		return err
 	}
+	vec, _ := platform.(engine.Vectorized)
 	inputs := engine.AtomInputs{}
 	var moveMetrics engine.Metrics
 	for _, op := range atom.Ops {
+		// Batch-capable consumers take their external inputs in the
+		// columnar format instead of the platform's native one — the
+		// cheaper edge the optimizer priced via channel.Batch.
+		want := platform.NativeFormat()
+		if vec != nil && vec.SupportsBatch(op) {
+			want = channel.Batch
+		}
 		for slot, in := range op.Inputs {
 			if atom.Contains(in.ID) {
 				continue
@@ -395,7 +403,7 @@ func runComputeAtom(atom *engine.TaskAtom, ep *optimizer.ExecutionPlan, reg *eng
 				st.tr.End(sp, moveMetrics, err)
 				return err
 			}
-			conv, cost, steps, err := reg.Channels().Convert(src, platform.NativeFormat())
+			conv, cost, steps, err := reg.Channels().Convert(src, want)
 			if err != nil {
 				err = fmt.Errorf("executor: feeding %s: %w", atom, err)
 				st.tr.End(sp, moveMetrics, err)

@@ -117,12 +117,14 @@ func shardClasses(atom *engine.TaskAtom) (map[int]*physical.Operator, bool) {
 	return combineOf, true
 }
 
-// splitShardInput splits a native-format input channel into at most n
-// shards: natively when the platform is an engine.Sharder, otherwise
-// through the hub Collection format. The mechanical split cost is not
-// charged to the run — native splits are slice views, and the hub
-// fallback only triggers for platforms without native sharding. nil
-// (or a single shard) means "don't shard".
+// splitShardInput splits an input channel (the consuming operator's
+// wanted format — platform-native, or channel.Batch on the vectorized
+// path) into at most n shards: natively when the platform is an
+// engine.Sharder, otherwise through the hub Collection format with the
+// shards converted back to the input's own format. The mechanical
+// split cost is not charged to the run — native splits are slice
+// views, and the hub fallback only triggers for platforms without
+// native sharding. nil (or a single shard) means "don't shard".
 func splitShardInput(platform engine.Platform, reg *engine.Registry, ch *channel.Channel, n int) []*channel.Channel {
 	if s, ok := platform.(engine.Sharder); ok {
 		if shards, err := s.SplitNative(ch, n); err == nil {
@@ -139,7 +141,7 @@ func splitShardInput(platform engine.Platform, reg *engine.Registry, ch *channel
 	}
 	out := make([]*channel.Channel, 0, len(parts))
 	for _, p := range parts {
-		conv, _, _, cerr := reg.Channels().Convert(p, platform.NativeFormat())
+		conv, _, _, cerr := reg.Channels().Convert(p, ch.Format)
 		if cerr != nil {
 			return nil
 		}

@@ -88,6 +88,43 @@ func TestSnapshotQuantileEdges(t *testing.T) {
 	}
 }
 
+// TestSnapshotQuantileOverflowClamp pins the +Inf overflow-bucket
+// behaviour with finite observations present: a quantile whose rank
+// lands in the overflow bucket clamps to the largest finite bound and
+// never reports +Inf, while quantiles below the tail still interpolate
+// within their finite bucket.
+func TestSnapshotQuantileOverflowClamp(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.HistogramVec("lat_seconds", "Latency.", []float64{0.001, 0.01}, "platform")
+	h := hv.With("java")
+	// 8 fast observations, 2 past every finite bound.
+	for i := 0; i < 8; i++ {
+		h.Observe(0.0005)
+	}
+	h.Observe(5)
+	h.Observe(100)
+	snap := reg.Snapshot()
+
+	// p99 rank 9.9 of 10 falls in the overflow bucket: clamp, stay
+	// finite.
+	p99, ok := snap.Quantile("lat_seconds", 0.99, nil)
+	if !ok {
+		t.Fatal("p99 not reported")
+	}
+	if math.IsInf(p99, 1) {
+		t.Fatal("p99 reported +Inf instead of clamping to the largest finite bound")
+	}
+	if p99 != 0.01 {
+		t.Errorf("p99 = %v, want clamp to largest finite bound 0.01", p99)
+	}
+	// p50 rank 5 of 10 sits inside the first finite bucket and
+	// interpolates there, untouched by the overflow tail.
+	p50, ok := snap.Quantile("lat_seconds", 0.5, nil)
+	if !ok || p50 > 0.001 {
+		t.Errorf("p50 = %v ok=%v, want ≤ 0.001", p50, ok)
+	}
+}
+
 func TestMergeBucketsMismatchedBounds(t *testing.T) {
 	a := []BucketSnapshot{{UpperBound: 0.001, CumulativeCount: 2}, {UpperBound: math.Inf(1), CumulativeCount: 3}}
 	b := []BucketSnapshot{{UpperBound: 0.01, CumulativeCount: 4}, {UpperBound: math.Inf(1), CumulativeCount: 5}}

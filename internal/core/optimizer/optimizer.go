@@ -25,6 +25,7 @@ import (
 	"math"
 	"time"
 
+	"rheem/internal/core/channel"
 	"rheem/internal/core/cost"
 	"rheem/internal/core/engine"
 	"rheem/internal/core/physical"
@@ -266,7 +267,7 @@ func assignPlatforms(p *physical.Plan, reg *engine.Registry, opts Options, est *
 			c.total = c.opCost.Total()
 			c.inPlats = make([]engine.PlatformID, len(op.Inputs))
 			for i, in := range op.Inputs {
-				bestIn, ok := cheapestInput(dp[in.ID], reg, est, in.ID, pl)
+				bestIn, ok := cheapestInput(dp[in.ID], reg, est, in.ID, pl, op)
 				if !ok {
 					return fmt.Errorf("optimizer: no feasible platform chain into %s", op.Name())
 				}
@@ -293,7 +294,7 @@ func assignPlatforms(p *physical.Plan, reg *engine.Registry, opts Options, est *
 			var inTotal time.Duration
 			feasibleInputs := true
 			for i, in := range op.Inputs {
-				bestIn, found := cheapestInput(dp[in.ID], reg, est, in.ID, pl)
+				bestIn, found := cheapestInput(dp[in.ID], reg, est, in.ID, pl, op)
 				if !found {
 					feasibleInputs = false
 					break
@@ -389,8 +390,12 @@ type inPick struct {
 
 // cheapestInput finds the input-platform choice minimising input
 // subtree cost plus the conversion cost from that platform's native
-// format to the consumer's.
-func cheapestInput(cells map[engine.PlatformID]*choice, reg *engine.Registry, est *cost.Estimates, inID int, consumer engine.PlatformID) (inPick, bool) {
+// format to the consuming operator's wanted format — the consumer
+// platform's native format, or, when the consumer is batch-capable for
+// op (engine.Vectorized), the cheaper of native and channel.Batch.
+// Pricing the batch alternative is what lets plans adopt the columnar
+// format on edges where it wins.
+func cheapestInput(cells map[engine.PlatformID]*choice, reg *engine.Registry, est *cost.Estimates, inID int, consumer engine.PlatformID, op *physical.Operator) (inPick, bool) {
 	consumerPlat, _ := reg.Platform(consumer)
 	best := inPick{cost: time.Duration(math.MaxInt64)}
 	found := false
@@ -401,7 +406,7 @@ func cheapestInput(cells map[engine.PlatformID]*choice, reg *engine.Registry, es
 		move := time.Duration(0)
 		if pl != consumer {
 			producerPlat, _ := reg.Platform(pl)
-			mc, ok := reg.Channels().PathCost(producerPlat.NativeFormat(), consumerPlat.NativeFormat(), est.Bytes(inID))
+			mc, ok := moveCost(reg, producerPlat, consumerPlat, op, est.Bytes(inID))
 			if !ok {
 				continue
 			}
@@ -413,6 +418,21 @@ func cheapestInput(cells map[engine.PlatformID]*choice, reg *engine.Registry, es
 		}
 	}
 	return best, found
+}
+
+// moveCost prices moving an input produced on from's native format to
+// the consuming operator op executing on to: the conversion path to
+// to's native format, or to channel.Batch when that is cheaper and to
+// is batch-capable for op. It mirrors the executor's per-op want-format
+// decision (runComputeAtom), so the plan is priced the way it runs.
+func moveCost(reg *engine.Registry, from, to engine.Platform, op *physical.Operator, bytes int64) (time.Duration, bool) {
+	mc, ok := reg.Channels().PathCost(from.NativeFormat(), to.NativeFormat(), bytes)
+	if vec, isVec := to.(engine.Vectorized); isVec && op != nil && vec.SupportsBatch(op) {
+		if bc, bok := reg.Channels().PathCost(from.NativeFormat(), channel.Batch, bytes); bok && (!ok || bc < mc) {
+			return bc, true
+		}
+	}
+	return mc, ok
 }
 
 // backtrack fixes assignments and algorithms along the chosen DP path.
@@ -471,7 +491,7 @@ func vectorCost(p *physical.Plan, reg *engine.Registry, opts Options, est *cost.
 			}
 			from, _ := reg.Platform(inPl)
 			to, _ := reg.Platform(pl)
-			if mc, ok := reg.Channels().PathCost(from.NativeFormat(), to.NativeFormat(), est.Bytes(in.ID)); ok {
+			if mc, ok := moveCost(reg, from, to, op, est.Bytes(in.ID)); ok {
 				total = total.Plus(cost.Cost{Net: mc})
 			}
 		}

@@ -1,0 +1,206 @@
+// Declarative column forms of the hot-path UDFs. A closure over
+// data.Record cannot be vectorized, so operators that want a columnar
+// kernel carry a declarative specification alongside the UDF. The
+// builder helpers below derive BOTH from one spec — the hint and the
+// closure are two renderings of the same predicate/projection/fold,
+// so the batch path and the row path cannot disagree.
+
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"rheem/internal/data"
+)
+
+// CompareValues orders two values like data.Compare, except that two
+// values of the same kind compare exactly instead of through the
+// float64 widening data.Compare applies to numerics — so int64 keys
+// beyond 2⁵³ still order correctly. It is the comparison both the
+// generated row UDFs and the columnar kernels use, which is what keeps
+// their outputs byte-identical.
+func CompareValues(a, b data.Value) int {
+	if a.Kind() != b.Kind() {
+		return data.Compare(a, b)
+	}
+	switch a.Kind() {
+	case data.KindInt:
+		ai, bi := a.Int(), b.Int()
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		}
+		return 0
+	case data.KindFloat:
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0 // equal, or NaN involved: keep-left, like data.Compare
+	case data.KindString:
+		return strings.Compare(a.Str(), b.Str())
+	default:
+		return data.Compare(a, b)
+	}
+}
+
+// ColumnPredicate is the declarative filter "Field ⟨Op⟩ Operand".
+type ColumnPredicate struct {
+	Field   int
+	Op      CompareOp
+	Operand data.Value
+}
+
+// Match reports whether v satisfies the predicate. A null v never
+// matches (the SQL convention), regardless of the operator.
+func (p *ColumnPredicate) Match(v data.Value) bool {
+	if v.IsNull() {
+		return false
+	}
+	cmp := CompareValues(v, p.Operand)
+	switch p.Op {
+	case Less:
+		return cmp < 0
+	case LessEq:
+		return cmp <= 0
+	case Greater:
+		return cmp > 0
+	case GreaterEq:
+		return cmp >= 0
+	case Eq:
+		return cmp == 0
+	case NotEq:
+		return cmp != 0
+	default:
+		return false
+	}
+}
+
+// FilterFunc renders the predicate as the row-path UDF.
+func (p *ColumnPredicate) FilterFunc() FilterFunc {
+	return func(r data.Record) (bool, error) { return p.Match(r.Field(p.Field)), nil }
+}
+
+// AggFn enumerates the per-field fold functions of a ColumnAggregate.
+type AggFn uint8
+
+// Per-field folds. AggFirst keeps the left (accumulated) value — the
+// shape key-carrying fields use.
+const (
+	AggFirst AggFn = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+// String returns the fold's name.
+func (f AggFn) String() string {
+	switch f {
+	case AggFirst:
+		return "first"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFn(%d)", uint8(f))
+	}
+}
+
+// ColumnAggregate is the declarative global reduce: field i of the
+// result is the Fns[i]-fold of field i across all input records, in
+// input order (so even float sums are reproducible).
+type ColumnAggregate struct {
+	Fns []AggFn
+}
+
+// SumValues adds two values of the same numeric kind; mixing kinds,
+// nulls, or non-numerics is an error rather than a silent widening.
+func SumValues(a, b data.Value) (data.Value, error) {
+	switch {
+	case a.Kind() == data.KindInt && b.Kind() == data.KindInt:
+		return data.Int(a.Int() + b.Int()), nil
+	case a.Kind() == data.KindFloat && b.Kind() == data.KindFloat:
+		return data.Float(a.Float() + b.Float()), nil
+	default:
+		return data.Null(), fmt.Errorf("plan: cannot sum %s and %s values", a.Kind(), b.Kind())
+	}
+}
+
+// Fold combines one field pair under the fold function.
+func (f AggFn) Fold(a, b data.Value) (data.Value, error) {
+	switch f {
+	case AggFirst:
+		return a, nil
+	case AggSum:
+		return SumValues(a, b)
+	case AggMin:
+		if CompareValues(b, a) < 0 {
+			return b, nil
+		}
+		return a, nil
+	case AggMax:
+		if CompareValues(b, a) > 0 {
+			return b, nil
+		}
+		return a, nil
+	default:
+		return data.Null(), fmt.Errorf("plan: unknown aggregate fold %s", f)
+	}
+}
+
+// ReduceFunc renders the aggregate as the row-path pairwise fold.
+func (c *ColumnAggregate) ReduceFunc() ReduceFunc {
+	return func(a, b data.Record) (data.Record, error) {
+		if a.Len() != len(c.Fns) || b.Len() != len(c.Fns) {
+			return data.Record{}, fmt.Errorf("plan: column aggregate over %d fields folding %d/%d-field records",
+				len(c.Fns), a.Len(), b.Len())
+		}
+		out := make([]data.Value, len(c.Fns))
+		for i, fn := range c.Fns {
+			v, err := fn.Fold(a.Field(i), b.Field(i))
+			if err != nil {
+				return data.Record{}, err
+			}
+			out[i] = v
+		}
+		return data.NewRecord(out...), nil
+	}
+}
+
+// FilterWhere adds a Filter carrying the declarative column predicate
+// "field ⟨op⟩ operand" alongside its generated UDF.
+func (b *Builder) FilterWhere(in *Operator, field int, op CompareOp, operand data.Value) *Operator {
+	p := &ColumnPredicate{Field: field, Op: op, Operand: operand}
+	o := b.Filter(in, p.FilterFunc())
+	o.ColPred = p
+	return o
+}
+
+// ProjectCols adds a Map that projects the selected fields in order,
+// carrying the column list as a vectorization hint.
+func (b *Builder) ProjectCols(in *Operator, idx ...int) *Operator {
+	cols := append([]int(nil), idx...)
+	o := b.Map(in, func(r data.Record) (data.Record, error) {
+		return r.Project(cols...), nil
+	})
+	o.ColProject = cols
+	return o
+}
+
+// AggregateCols adds a global Reduce folding field i of the input with
+// fns[i], carrying the fold list as a vectorization hint.
+func (b *Builder) AggregateCols(in *Operator, fns ...AggFn) *Operator {
+	agg := &ColumnAggregate{Fns: append([]AggFn(nil), fns...)}
+	o := b.Reduce(in, agg.ReduceFunc())
+	o.ColAgg = agg
+	return o
+}

@@ -108,13 +108,17 @@ type (
 // CompareOp is a comparison operator of an inequality join condition.
 type CompareOp int
 
-// Inequality comparison operators, in the notation of the IEJoin paper
-// (Khayyat et al., PVLDB 2015).
+// Comparison operators. The first four are the inequality operators in
+// the notation of the IEJoin paper (Khayyat et al., PVLDB 2015) — the
+// only ones valid in an IECondition; Eq and NotEq complete the set for
+// column predicates.
 const (
 	Less CompareOp = iota
 	LessEq
 	Greater
 	GreaterEq
+	Eq
+	NotEq
 )
 
 // String renders the comparison operator.
@@ -128,6 +132,10 @@ func (c CompareOp) String() string {
 		return ">"
 	case GreaterEq:
 		return ">="
+	case Eq:
+		return "=="
+	case NotEq:
+		return "!="
 	default:
 		return fmt.Sprintf("CompareOp(%d)", int(c))
 	}
@@ -145,6 +153,10 @@ func (c CompareOp) Eval(a, b data.Value) bool {
 		return cmp > 0
 	case GreaterEq:
 		return cmp >= 0
+	case Eq:
+		return cmp == 0
+	case NotEq:
+		return cmp != 0
 	default:
 		return false
 	}
@@ -198,6 +210,16 @@ type Operator struct {
 	Selectivity float64      // Filter/ThetaJoin: expected pass fraction (0 = default)
 	DistinctKeys int64       // GroupBy/ReduceByKey/Distinct: expected key count
 	GroupFanout  float64     // GroupBy: expected output records per input record (0 = default 1)
+
+	// Vectorization hints: declarative column forms of the operator's
+	// UDF, letting batch-capable platforms run a columnar kernel
+	// instead of calling the closure per record. The builder helpers
+	// (FilterWhere, ProjectCols, AggregateCols) derive the UDF and the
+	// hint from one specification so the two can never disagree; the
+	// UDF remains the semantic ground truth on row-path platforms.
+	ColPred    *ColumnPredicate // Filter: Field ⟨Op⟩ Operand
+	ColProject []int            // Map that is a pure field projection
+	ColAgg     *ColumnAggregate // Reduce: per-field pairwise fold
 }
 
 // ID returns the operator's plan-local identifier.

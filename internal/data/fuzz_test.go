@@ -36,6 +36,17 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		{NewRecord(Str("")), NewRecord(Str("héllo\x00world"))},
 		{NewRecord(Vec(nil)), NewRecord(Vec([]float64{1.5, math.Inf(-1)}))},
 		{NewRecord(), NewRecord(Int(7))},
+		// Columnar-conversion decision space: these shapes steer which
+		// representation batch.FromRecords picks (validity bitmaps,
+		// all-null and mixed-kind ColAny columns, the ragged row
+		// fallback), so the corpus reaches every branch of the
+		// Collection → batch → Collection round trip.
+		{NewRecord(Null(), Int(1)), NewRecord(Null(), Int(2))},
+		{NewRecord(Int(1), Null()), NewRecord(Null(), Str("x")), NewRecord(Float(3), Null())},
+		{NewRecord(Int(1)), NewRecord(Str("two")), NewRecord(Float(3)), NewRecord(Bool(true))},
+		{NewRecord(Int(1)), NewRecord(Int(2), Str("ragged"))},
+		{NewRecord(Null()), NewRecord(Null())},
+		{NewRecord(Bool(true), Float(math.NaN())), NewRecord(Null(), Float(-0.0))},
 	}
 	for _, batch := range seedBatches {
 		var buf bytes.Buffer

@@ -1,0 +1,365 @@
+// Vectorized execution operators: columnar kernels for the hot-path
+// operator shapes (filter, projection, global aggregate) running
+// directly over batch.Batch inputs. Each kernel is the column form of
+// the same declarative spec that generated the operator's row UDF
+// (plan.ColumnPredicate / ColProject / ColumnAggregate), so the two
+// paths compute identical results — the conformance battery checks
+// byte-identity under the canonical encoding.
+//
+// The typed fast loops below express every comparison through < and >
+// only, exactly like plan.CompareValues, so NaN ordering ("keep-left")
+// matches the row path bit for bit.
+
+package javaengine
+
+import (
+	"fmt"
+	"strings"
+
+	"rheem/internal/core/algo"
+	"rheem/internal/core/batch"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+// execColumnar runs op on a columnar kernel when the input is a batch
+// and the operator carries a matching column hint. handled=false sends
+// the operator to the row path (after lossless materialisation), which
+// remains the semantic ground truth.
+func execColumnar(op *physical.Operator, inputs []any) (out any, handled bool, err error) {
+	lop := op.Logical
+	if lop == nil {
+		return nil, false, nil
+	}
+	switch lop.Kind() {
+	case plan.KindFilter:
+		if lop.ColPred == nil {
+			return nil, false, nil
+		}
+		b, ok := batchInput(inputs, 0)
+		if !ok || lop.ColPred.Field >= b.NumCols() {
+			return nil, false, nil
+		}
+		res := filterBatch(b, lop.ColPred)
+		return res, true, nil
+	case plan.KindMap:
+		if lop.ColProject == nil {
+			return nil, false, nil
+		}
+		b, ok := batchInput(inputs, 0)
+		if !ok {
+			return nil, false, nil
+		}
+		for _, c := range lop.ColProject {
+			if c < 0 || c >= b.NumCols() {
+				return nil, false, nil // row path reproduces Record.Project's panic
+			}
+		}
+		return b.Project(lop.ColProject...), true, nil
+	case plan.KindReduce:
+		if lop.ColAgg == nil {
+			return nil, false, nil
+		}
+		b, ok := batchInput(inputs, 0)
+		if !ok {
+			return nil, false, nil
+		}
+		res, err := aggregateBatch(b, lop.ColAgg)
+		if err != nil {
+			return nil, true, err
+		}
+		return res, true, nil
+	case plan.KindSink:
+		// Sinks pass data through untouched; keeping the batch intact
+		// defers materialisation to the channel boundary.
+		return inputs[0], true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// batchInput returns input i as a columnar batch, or ok=false when the
+// dataset is rows or a row-backed (ragged) batch.
+func batchInput(inputs []any, i int) (*batch.Batch, bool) {
+	b, ok := inputs[i].(*batch.Batch)
+	if !ok || !b.Columnar() {
+		return nil, false
+	}
+	return b, true
+}
+
+// filterBatch evaluates the predicate column-at-a-time, collecting the
+// indices of matching rows and gathering them into a fresh batch. When
+// every row matches, the input batch is returned unchanged (zero-copy).
+func filterBatch(b *batch.Batch, p *plan.ColumnPredicate) *batch.Batch {
+	n := b.Len()
+	if n == 0 {
+		return b
+	}
+	sel := selectRows(b, p)
+	if len(sel) == n {
+		return b
+	}
+	return gather(b, sel)
+}
+
+// selectRows returns the indices of rows matching the predicate, in
+// order. Typed columns whose kind matches the operand take a tight
+// unboxed loop; everything else goes through the generic value path,
+// which applies the exact row-UDF semantics (plan.ColumnPredicate.Match).
+func selectRows(b *batch.Batch, p *plan.ColumnPredicate) []int32 {
+	n := b.Len()
+	col := b.Col(p.Field)
+	off := b.Off()
+	sel := make([]int32, 0, n)
+	keep := func(i int) { sel = append(sel, int32(i)) }
+
+	switch {
+	case col.Kind == batch.ColInt64 && p.Operand.Kind() == data.KindInt:
+		k := p.Operand.Int()
+		if col.Valid == nil {
+			for i, v := range col.Int64s {
+				if cmpMatch(p.Op, v < k, v > k) {
+					keep(i)
+				}
+			}
+		} else {
+			for i, v := range col.Int64s {
+				if col.Valid.Get(off+i) && cmpMatch(p.Op, v < k, v > k) {
+					keep(i)
+				}
+			}
+		}
+	case col.Kind == batch.ColFloat64 && p.Operand.Kind() == data.KindFloat:
+		k := p.Operand.Float()
+		if col.Valid == nil {
+			for i, v := range col.Float64s {
+				if cmpMatch(p.Op, v < k, v > k) {
+					keep(i)
+				}
+			}
+		} else {
+			for i, v := range col.Float64s {
+				if col.Valid.Get(off+i) && cmpMatch(p.Op, v < k, v > k) {
+					keep(i)
+				}
+			}
+		}
+	case col.Kind == batch.ColString && p.Operand.Kind() == data.KindString:
+		k := p.Operand.Str()
+		if col.Valid == nil {
+			for i, v := range col.Strings {
+				c := strings.Compare(v, k)
+				if cmpMatch(p.Op, c < 0, c > 0) {
+					keep(i)
+				}
+			}
+		} else {
+			for i, v := range col.Strings {
+				if !col.Valid.Get(off + i) {
+					continue
+				}
+				c := strings.Compare(v, k)
+				if cmpMatch(p.Op, c < 0, c > 0) {
+					keep(i)
+				}
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			if p.Match(col.Value(off, i)) {
+				keep(i)
+			}
+		}
+	}
+	return sel
+}
+
+// cmpMatch decides a comparison from the two primitive orderings
+// (less, greater) alone — ≤, ≥, == and != are derived by negation, the
+// formulation that keeps NaN semantics identical to plan.CompareValues.
+func cmpMatch(op plan.CompareOp, less, greater bool) bool {
+	switch op {
+	case plan.Less:
+		return less
+	case plan.LessEq:
+		return !greater
+	case plan.Greater:
+		return greater
+	case plan.GreaterEq:
+		return !less
+	case plan.Eq:
+		return !less && !greater
+	case plan.NotEq:
+		return less || greater
+	default:
+		return false
+	}
+}
+
+// gather builds a new batch holding the selected rows of b, column by
+// column. Validity bitmaps are rebuilt densely (offset zero).
+func gather(b *batch.Batch, sel []int32) *batch.Batch {
+	n := len(sel)
+	off := b.Off()
+	cols := make([]batch.Column, b.NumCols())
+	for c := range cols {
+		src := b.Col(c)
+		dst := batch.Column{Kind: src.Kind}
+		if src.Kind != batch.ColAny && src.Valid != nil {
+			valid := algo.NewBitset(n)
+			for j, i := range sel {
+				if src.Valid.Get(off + int(i)) {
+					valid.Set(j)
+				}
+			}
+			dst.Valid = valid
+		}
+		switch src.Kind {
+		case batch.ColInt64:
+			dst.Int64s = make([]int64, n)
+			for j, i := range sel {
+				dst.Int64s[j] = src.Int64s[i]
+			}
+		case batch.ColFloat64:
+			dst.Float64s = make([]float64, n)
+			for j, i := range sel {
+				dst.Float64s[j] = src.Float64s[i]
+			}
+		case batch.ColString:
+			dst.Strings = make([]string, n)
+			for j, i := range sel {
+				dst.Strings[j] = src.Strings[i]
+			}
+		case batch.ColBool:
+			dst.Bools = make([]bool, n)
+			for j, i := range sel {
+				dst.Bools[j] = src.Bools[i]
+			}
+		default:
+			dst.Any = make([]data.Value, n)
+			for j, i := range sel {
+				dst.Any[j] = src.Any[i]
+			}
+		}
+		cols[c] = dst
+	}
+	nb, err := batch.New(n, cols)
+	if err != nil {
+		panic(fmt.Sprintf("javaengine: gather built inconsistent batch: %v", err))
+	}
+	return nb
+}
+
+// aggregateBatch folds each column under its AggFn, mirroring
+// algo.Reduce exactly: empty input yields empty output, a single row
+// comes back unfolded, and a column-count mismatch surfaces the same
+// arity error the row-path ReduceFunc raises.
+func aggregateBatch(b *batch.Batch, agg *plan.ColumnAggregate) ([]data.Record, error) {
+	n := b.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	if n == 1 {
+		return b.ToRecords(), nil
+	}
+	if b.NumCols() != len(agg.Fns) {
+		// Same shape check (and message) the row fold applies per pair.
+		return nil, fmt.Errorf("algo: reduce: plan: column aggregate over %d fields folding %d/%d-field records",
+			len(agg.Fns), b.NumCols(), b.NumCols())
+	}
+	out := make([]data.Value, len(agg.Fns))
+	for c, fn := range agg.Fns {
+		v, err := foldColumn(b, c, fn)
+		if err != nil {
+			return nil, fmt.Errorf("algo: reduce: %w", err)
+		}
+		out[c] = v
+	}
+	return []data.Record{data.NewRecord(out...)}, nil
+}
+
+// foldColumn folds one column under fn. Typed all-valid columns take
+// unboxed loops; anything else folds materialised values pairwise via
+// AggFn.Fold, which is the row semantics verbatim (including the error
+// on summing nulls or mixed kinds).
+func foldColumn(b *batch.Batch, c int, fn plan.AggFn) (data.Value, error) {
+	col := b.Col(c)
+	off := b.Off()
+	n := b.Len()
+
+	if fn == plan.AggFirst {
+		return col.Value(off, 0), nil
+	}
+	if col.Kind != batch.ColAny && col.Valid == nil {
+		switch col.Kind {
+		case batch.ColInt64:
+			acc := col.Int64s[0]
+			switch fn {
+			case plan.AggSum:
+				for _, v := range col.Int64s[1:] {
+					acc += v
+				}
+			case plan.AggMin:
+				for _, v := range col.Int64s[1:] {
+					if v < acc {
+						acc = v
+					}
+				}
+			case plan.AggMax:
+				for _, v := range col.Int64s[1:] {
+					if v > acc {
+						acc = v
+					}
+				}
+			}
+			return data.Int(acc), nil
+		case batch.ColFloat64:
+			acc := col.Float64s[0]
+			switch fn {
+			case plan.AggSum:
+				for _, v := range col.Float64s[1:] {
+					acc += v
+				}
+			case plan.AggMin:
+				// CompareValues(b,a) < 0 ⇔ b < a; NaN keeps the left
+				// accumulator, so plain < matches the fold exactly.
+				for _, v := range col.Float64s[1:] {
+					if v < acc {
+						acc = v
+					}
+				}
+			case plan.AggMax:
+				for _, v := range col.Float64s[1:] {
+					if v > acc {
+						acc = v
+					}
+				}
+			}
+			return data.Float(acc), nil
+		case batch.ColString:
+			if fn == plan.AggSum {
+				return data.Null(), fmt.Errorf("plan: cannot sum string and string values")
+			}
+			acc := col.Strings[0]
+			for _, v := range col.Strings[1:] {
+				c := strings.Compare(v, acc)
+				if (fn == plan.AggMin && c < 0) || (fn == plan.AggMax && c > 0) {
+					acc = v
+				}
+			}
+			return data.Str(acc), nil
+		}
+	}
+	// Generic pairwise fold over materialised values.
+	acc := col.Value(off, 0)
+	for i := 1; i < n; i++ {
+		v, err := fn.Fold(acc, col.Value(off, i))
+		if err != nil {
+			return data.Null(), err
+		}
+		acc = v
+	}
+	return acc, nil
+}

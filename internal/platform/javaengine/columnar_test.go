@@ -1,0 +1,269 @@
+package javaengine
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"rheem/internal/core/batch"
+	"rheem/internal/core/physical"
+	"rheem/internal/core/plan"
+	"rheem/internal/data"
+)
+
+// physOp wraps a logical operator the way physical.FromLogical would,
+// enough for ExecOp dispatch.
+func physOp(lop *plan.Operator) *physical.Operator {
+	return &physical.Operator{Logical: lop, Algo: physical.Default}
+}
+
+// buildHinted builds the three hinted operators over one source and
+// returns them (filter, project, aggregate).
+func buildHinted(t *testing.T, op plan.CompareOp, operand data.Value) (*plan.Operator, *plan.Operator, *plan.Operator) {
+	t.Helper()
+	b := plan.NewBuilder("kernels")
+	src := b.Source("s", plan.Collection(nil))
+	f := b.FilterWhere(src, 0, op, operand)
+	p := b.ProjectCols(f, 1, 0)
+	a := b.AggregateCols(p, plan.AggSum, plan.AggMax)
+	b.Collect(a)
+	b.MustBuild()
+	return f, p, a
+}
+
+// encodeRecs is the byte-identity yardstick.
+func encodeRecs(t *testing.T, recs []data.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := data.WriteBinary(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runBoth executes one operator on the same input through the row path
+// and the columnar path and asserts byte-identical outputs; it returns
+// the row-path output. A row-path error must be matched by a
+// columnar-path error with the same message.
+func runBoth(t *testing.T, op *physical.Operator, recs []data.Record) []data.Record {
+	t.Helper()
+	row := &datasetOps{}
+	rowOut, rowErr := row.ExecOp(context.Background(), op, []any{data.CloneRecords(recs)})
+	col := &datasetOps{columnar: true}
+	colOut, colErr := col.ExecOp(context.Background(), op, []any{batch.FromRecords(data.CloneRecords(recs))})
+	if (rowErr == nil) != (colErr == nil) {
+		t.Fatalf("error divergence: row %v, columnar %v", rowErr, colErr)
+	}
+	if rowErr != nil {
+		if rowErr.Error() != colErr.Error() {
+			t.Fatalf("error message divergence:\n  row      %q\n  columnar %q", rowErr, colErr)
+		}
+		return nil
+	}
+	rowRecs := rowOut.([]data.Record)
+	colRecs := asRecords(colOut)
+	if w, h := encodeRecs(t, rowRecs), encodeRecs(t, colRecs); !bytes.Equal(w, h) {
+		t.Fatalf("output divergence:\n  row      %v\n  columnar %v", rowRecs, colRecs)
+	}
+	return rowRecs
+}
+
+func TestColumnarFilterMatchesRowPath(t *testing.T) {
+	ints := []data.Record{
+		data.NewRecord(data.Int(5), data.Str("a")),
+		data.NewRecord(data.Int(-3), data.Str("b")),
+		data.NewRecord(data.Null(), data.Str("c")),
+		data.NewRecord(data.Int(7), data.Str("d")),
+		data.NewRecord(data.Int(5), data.Str("e")),
+	}
+	floats := []data.Record{
+		data.NewRecord(data.Float(1.5), data.Int(1)),
+		data.NewRecord(data.Float(math.NaN()), data.Int(2)),
+		data.NewRecord(data.Float(-0.0), data.Int(3)),
+		data.NewRecord(data.Float(0.0), data.Int(4)),
+		data.NewRecord(data.Float(math.Inf(-1)), data.Int(5)),
+	}
+	strs := []data.Record{
+		data.NewRecord(data.Str("pear"), data.Int(1)),
+		data.NewRecord(data.Str(""), data.Int(2)),
+		data.NewRecord(data.Str("apple"), data.Int(3)),
+		data.NewRecord(data.Null(), data.Int(4)),
+	}
+	mixed := []data.Record{
+		data.NewRecord(data.Int(1), data.Int(1)),
+		data.NewRecord(data.Str("x"), data.Int(2)),
+		data.NewRecord(data.Float(2.5), data.Int(3)),
+	}
+	ops := []plan.CompareOp{plan.Less, plan.LessEq, plan.Greater, plan.GreaterEq, plan.Eq, plan.NotEq}
+	cases := []struct {
+		name    string
+		recs    []data.Record
+		operand data.Value
+	}{
+		{"int", ints, data.Int(5)},
+		{"float", floats, data.Float(0.0)},
+		{"float-nan-operand", floats, data.Float(math.NaN())},
+		{"string", strs, data.Str("mango")},
+		{"mixed-any-column", mixed, data.Int(2)},
+		{"cross-kind-operand", ints, data.Float(5)},
+		{"empty", nil, data.Int(0)},
+	}
+	for _, tc := range cases {
+		for _, cmp := range ops {
+			t.Run(tc.name+"/"+cmp.String(), func(t *testing.T) {
+				f, _, _ := buildHinted(t, cmp, tc.operand)
+				runBoth(t, physOp(f), tc.recs)
+			})
+		}
+	}
+}
+
+func TestColumnarProjectMatchesRowPath(t *testing.T) {
+	recs := []data.Record{
+		data.NewRecord(data.Int(1), data.Str("a"), data.Bool(true)),
+		data.NewRecord(data.Null(), data.Str("b"), data.Bool(false)),
+	}
+	b := plan.NewBuilder("proj")
+	src := b.Source("s", plan.Collection(nil))
+	p := b.ProjectCols(src, 2, 0, 2)
+	b.Collect(p)
+	b.MustBuild()
+	out := runBoth(t, physOp(p), recs)
+	if len(out) != 2 || out[0].Len() != 3 {
+		t.Fatalf("unexpected projection shape: %v", out)
+	}
+}
+
+func TestColumnarAggregateMatchesRowPath(t *testing.T) {
+	cases := []struct {
+		name string
+		recs []data.Record
+		fns  []plan.AggFn
+	}{
+		{"ints", []data.Record{
+			data.NewRecord(data.Int(3), data.Int(9)),
+			data.NewRecord(data.Int(-5), data.Int(2)),
+			data.NewRecord(data.Int(8), data.Int(2)),
+		}, []plan.AggFn{plan.AggSum, plan.AggMin}},
+		{"floats-with-nan", []data.Record{
+			data.NewRecord(data.Float(1.5), data.Float(2)),
+			data.NewRecord(data.Float(math.NaN()), data.Float(math.NaN())),
+			data.NewRecord(data.Float(-3), data.Float(7)),
+		}, []plan.AggFn{plan.AggMin, plan.AggMax}},
+		{"nan-first", []data.Record{
+			data.NewRecord(data.Float(math.NaN())),
+			data.NewRecord(data.Float(1)),
+			data.NewRecord(data.Float(2)),
+		}, []plan.AggFn{plan.AggMax}},
+		{"strings", []data.Record{
+			data.NewRecord(data.Str("pear"), data.Str("pear")),
+			data.NewRecord(data.Str("apple"), data.Str("quince")),
+		}, []plan.AggFn{plan.AggMin, plan.AggMax}},
+		{"first", []data.Record{
+			data.NewRecord(data.Str("keep"), data.Int(1)),
+			data.NewRecord(data.Str("drop"), data.Int(2)),
+		}, []plan.AggFn{plan.AggFirst, plan.AggSum}},
+		{"empty", nil, []plan.AggFn{plan.AggSum}},
+		{"single-row", []data.Record{
+			data.NewRecord(data.Int(42)),
+		}, []plan.AggFn{plan.AggSum}},
+		{"sum-null-errors", []data.Record{
+			data.NewRecord(data.Int(1)),
+			data.NewRecord(data.Null()),
+		}, []plan.AggFn{plan.AggSum}},
+		{"sum-string-errors", []data.Record{
+			data.NewRecord(data.Str("a")),
+			data.NewRecord(data.Str("b")),
+		}, []plan.AggFn{plan.AggSum}},
+		{"arity-mismatch-errors", []data.Record{
+			data.NewRecord(data.Int(1), data.Int(2)),
+			data.NewRecord(data.Int(3), data.Int(4)),
+		}, []plan.AggFn{plan.AggSum}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := plan.NewBuilder("agg")
+			src := b.Source("s", plan.Collection(nil))
+			a := b.AggregateCols(src, tc.fns...)
+			b.Collect(a)
+			b.MustBuild()
+			runBoth(t, physOp(a), tc.recs)
+		})
+	}
+}
+
+// TestColumnarKernelsActuallyVectorize guards against silent fallback:
+// hinted operators over columnar batches must be handled by
+// execColumnar, and batch results must stay batches through the sink.
+func TestColumnarKernelsActuallyVectorize(t *testing.T) {
+	recs := []data.Record{
+		data.NewRecord(data.Int(1), data.Str("a")),
+		data.NewRecord(data.Int(2), data.Str("b")),
+	}
+	f, p, a := buildHinted(t, plan.Less, data.Int(10))
+	in := batch.FromRecords(recs)
+	out, handled, err := execColumnar(physOp(f), []any{in})
+	if err != nil || !handled {
+		t.Fatalf("filter not handled: handled=%v err=%v", handled, err)
+	}
+	fb, ok := out.(*batch.Batch)
+	if !ok {
+		t.Fatalf("filter output is %T, want *batch.Batch", out)
+	}
+	if fb != in {
+		t.Error("all-pass filter should return the input batch unchanged")
+	}
+	out, handled, err = execColumnar(physOp(p), []any{fb})
+	if err != nil || !handled {
+		t.Fatalf("project not handled: handled=%v err=%v", handled, err)
+	}
+	pb := out.(*batch.Batch)
+	// Zero-copy projection: column 1 of the projection aliases column 0
+	// of the source batch.
+	if &pb.Col(1).Int64s[0] != &in.Col(0).Int64s[0] {
+		t.Error("projection copied column storage")
+	}
+	if _, handled, _ = execColumnar(physOp(a), []any{pb}); !handled {
+		t.Fatal("aggregate not handled")
+	}
+	// Row-backed (ragged) batches must fall back.
+	ragged := batch.FromRows([]data.Record{data.NewRecord(data.Int(1))})
+	if _, handled, _ = execColumnar(physOp(f), []any{ragged}); handled {
+		t.Error("row-backed batch should fall back to the row path")
+	}
+	// Unhinted operators must fall back.
+	b := plan.NewBuilder("plain")
+	src := b.Source("s", plan.Collection(nil))
+	plainF := b.Filter(src, func(r data.Record) (bool, error) { return true, nil })
+	b.Collect(plainF)
+	b.MustBuild()
+	if _, handled, _ = execColumnar(physOp(plainF), []any{in}); handled {
+		t.Error("unhinted filter should fall back to the row path")
+	}
+}
+
+func TestSupportsBatch(t *testing.T) {
+	f, p, a := buildHinted(t, plan.Less, data.Int(1))
+	on := New(Config{Columnar: true})
+	off := New(Config{})
+	for _, lop := range []*plan.Operator{f, p, a} {
+		if !on.SupportsBatch(physOp(lop)) {
+			t.Errorf("columnar platform should support batch for hinted %s", lop.Kind())
+		}
+		if off.SupportsBatch(physOp(lop)) {
+			t.Errorf("row platform must not advertise batch for %s", lop.Kind())
+		}
+	}
+	b := plan.NewBuilder("plain")
+	src := b.Source("s", plan.Collection(nil))
+	plainF := b.Filter(src, func(r data.Record) (bool, error) { return true, nil })
+	sink := b.Collect(plainF)
+	b.MustBuild()
+	if on.SupportsBatch(physOp(plainF)) {
+		t.Error("unhinted filter must not be batch-capable")
+	}
+	if !on.SupportsBatch(physOp(sink)) {
+		t.Error("sinks pass batches through and should be batch-capable")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"rheem/internal/core/algo"
+	"rheem/internal/core/batch"
 	"rheem/internal/core/channel"
 	"rheem/internal/core/cost"
 	"rheem/internal/core/engine"
@@ -33,6 +34,13 @@ type Config struct {
 	// StartupOverhead is charged to simulated time once per atom
 	// execution, modelling in-process dispatch. Default 200µs.
 	StartupOverhead time.Duration
+	// Columnar enables the vectorized execution path: operators
+	// carrying declarative column hints (plan.ColPred, plan.ColProject,
+	// plan.ColAgg) run columnar kernels over channel.Batch inputs
+	// instead of calling their UDF per record, and the platform
+	// advertises batch capability to the optimizer and executor
+	// (engine.Vectorized). Results are byte-identical to the row path.
+	Columnar bool
 }
 
 func (c *Config) defaults() {
@@ -75,10 +83,33 @@ func (p *Platform) SplitNative(ch *channel.Channel, n int) ([]*channel.Channel, 
 	return channel.Partition(ch, n)
 }
 
+// SupportsBatch implements engine.Vectorized: with the columnar path
+// enabled, operators whose logical form carries a declarative column
+// hint (and sinks, which pass data through untouched) execute directly
+// on channel.Batch inputs.
+func (p *Platform) SupportsBatch(op *physical.Operator) bool {
+	if !p.cfg.Columnar || op.Logical == nil {
+		return false
+	}
+	lop := op.Logical
+	switch lop.Kind() {
+	case plan.KindFilter:
+		return lop.ColPred != nil
+	case plan.KindMap:
+		return lop.ColProject != nil
+	case plan.KindReduce:
+		return lop.ColAgg != nil
+	case plan.KindSink:
+		return true
+	default:
+		return false
+	}
+}
+
 // ExecuteAtom implements engine.Platform.
 func (p *Platform) ExecuteAtom(ctx context.Context, atom *engine.TaskAtom, inputs engine.AtomInputs) (map[int]*channel.Channel, engine.Metrics, error) {
 	start := time.Now()
-	d := &datasetOps{}
+	d := &datasetOps{columnar: p.cfg.Columnar}
 	exits, err := engine.RunAtom(ctx, d, atom, inputs)
 	wall := time.Since(start)
 	m := engine.Metrics{
@@ -94,13 +125,24 @@ func (p *Platform) ExecuteAtom(ctx context.Context, atom *engine.TaskAtom, input
 	return exits, m, nil
 }
 
-// datasetOps adapts []data.Record datasets to the generic atom runner.
+// datasetOps adapts the engine's datasets — []data.Record rows, or
+// *batch.Batch columns on the vectorized path — to the generic atom
+// runner.
 type datasetOps struct {
+	columnar   bool
 	inRecords  int64
 	outRecords int64
 }
 
 func (d *datasetOps) FromChannel(ch *channel.Channel) (any, error) {
+	if ch.Format == channel.Batch {
+		b, err := ch.AsBatch()
+		if err != nil {
+			return nil, err
+		}
+		d.inRecords += int64(b.Len())
+		return b, nil
+	}
 	recs, err := ch.AsCollection()
 	if err != nil {
 		return nil, err
@@ -110,15 +152,35 @@ func (d *datasetOps) FromChannel(ch *channel.Channel) (any, error) {
 }
 
 func (d *datasetOps) ToChannel(ds any) (*channel.Channel, error) {
+	if b, ok := ds.(*batch.Batch); ok {
+		d.outRecords += int64(b.Len())
+		return channel.NewBatch(b), nil
+	}
 	recs := ds.([]data.Record)
 	d.outRecords += int64(len(recs))
 	return channel.NewCollection(recs), nil
 }
 
-// ExecOp executes one physical operator on collections via the shared
-// kernels. It is the java engine's complete set of execution operators.
+// asRecords materialises a dataset for the row path; columnar batches
+// are converted losslessly.
+func asRecords(ds any) []data.Record {
+	if b, ok := ds.(*batch.Batch); ok {
+		return b.ToRecords()
+	}
+	return ds.([]data.Record)
+}
+
+// ExecOp executes one physical operator via the shared kernels —
+// columnar where an input batch and a column hint line up, rows
+// otherwise. It is the java engine's complete set of execution
+// operators.
 func (d *datasetOps) ExecOp(_ context.Context, op *physical.Operator, inputs []any) (any, error) {
-	in := func(i int) []data.Record { return inputs[i].([]data.Record) }
+	if d.columnar {
+		if out, handled, err := execColumnar(op, inputs); handled {
+			return out, err
+		}
+	}
+	in := func(i int) []data.Record { return asRecords(inputs[i]) }
 	lop := op.Logical
 	switch lop.Kind() {
 	case plan.KindSource:

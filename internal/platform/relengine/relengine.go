@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rheem/internal/core/algo"
+	"rheem/internal/core/batch"
 	"rheem/internal/core/channel"
 	"rheem/internal/core/cost"
 	"rheem/internal/core/engine"
@@ -110,6 +111,35 @@ func (p *Platform) RegisterConverters(reg *channel.Registry) {
 				return nil, err
 			}
 			return channel.NewCollection(t.Rows()), nil
+		},
+	})
+	// Direct table ↔ batch edges: a columnar export skips the row
+	// materialisation a table → collection → batch chain would pay.
+	// Priced so that no two-hop route through Batch undercuts the
+	// direct table ↔ collection edges above (2.6+0.5 > 3.0 fixed,
+	// 1.2+0.8 = 2.0 per byte), keeping every pre-existing conversion
+	// path — batch-capable consumers still win because they stop at
+	// the batch instead of paying the full export.
+	reg.Register(channel.Converter{
+		From: channel.Table, To: channel.Batch,
+		Fixed: 2600 * time.Microsecond, PerByteNS: 1.2,
+		Convert: func(ch *channel.Channel) (*channel.Channel, error) {
+			t, err := tableOf(ch)
+			if err != nil {
+				return nil, err
+			}
+			return channel.NewBatch(batch.FromRecords(t.rowsUnsafe())), nil
+		},
+	})
+	reg.Register(channel.Converter{
+		From: channel.Batch, To: channel.Table,
+		Fixed: 2800 * time.Microsecond, PerByteNS: 1.6,
+		Convert: func(ch *channel.Channel) (*channel.Channel, error) {
+			b, err := ch.AsBatch()
+			if err != nil {
+				return nil, err
+			}
+			return TableChannel(p.db.tempTable(data.CloneRecords(b.ToRecords()))), nil
 		},
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -136,8 +137,19 @@ func TestHTTPShedReturns429WithRetryAfter(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit: %d %s, want 429", resp.StatusCode, payload)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	// RFC 9110: Retry-After carries whole seconds. A sub-second shed
+	// hint must clamp up to 1, never render as "0" (which clients read
+	// as "retry immediately" — the opposite of shedding).
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
 		t.Fatal("429 without Retry-After")
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", ra, err)
+	}
+	if secs < 1 {
+		t.Errorf("Retry-After = %d, want ≥ 1", secs)
 	}
 }
 

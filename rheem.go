@@ -60,6 +60,16 @@ type Config struct {
 	// DB shares an existing relational catalog with the context; nil
 	// creates a fresh one.
 	DB *relengine.DB
+
+	// Columnar enables vectorized batch execution on the single-node
+	// engine: filter/projection/aggregate operators built with the
+	// column-hint helpers (plan.FilterWhere, ProjectCols, AggregateCols)
+	// run columnar kernels over the channel.Batch format instead of
+	// calling their UDF per record, and the optimizer prices the batch
+	// conversion edges so plans adopt the format where it wins. Results
+	// are byte-identical to the row path (see DESIGN.md §9). Off by
+	// default.
+	Columnar bool
 }
 
 // ContextOption customises a Context beyond the platform Config —
@@ -110,6 +120,9 @@ func NewContext(cfg Config, opts ...ContextOption) (*Context, error) {
 		c.hub = metrics.NewHub()
 	}
 	var err error
+	if cfg.Columnar {
+		cfg.Java.Columnar = true
+	}
 	if !cfg.DisableJava {
 		if c.java, err = javaengine.Register(c.reg, cfg.Java); err != nil {
 			return nil, err
