@@ -18,6 +18,7 @@ import (
 	"rheem/internal/core/engine"
 	"rheem/internal/core/metrics"
 	"rheem/internal/core/plan"
+	"rheem/internal/core/profile"
 	"rheem/internal/data"
 	"rheem/internal/data/datagen"
 	"rheem/internal/platform/javaengine"
@@ -255,6 +256,34 @@ func BenchmarkExecutorParallelism(b *testing.B) {
 func BenchmarkExecutorParallelismMetrics(b *testing.B) {
 	ctx := benchCtx(b)
 	hub := metrics.NewHub()
+	const branches, recs = 8, 20
+	const delay = 500 * time.Microsecond
+	for _, par := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunFanOutTraced(ctx.Registry(), hub, branches, recs, delay, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Records) != branches*recs {
+					b.Fatalf("%d records", len(res.Records))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecutorParallelismProfiled adds the flight recorder on top
+// of the live hub: every run's trace snapshot is folded into the
+// bounded profile history (critical path, attribution, Perfetto-ready
+// spans). The acceptance bar is the profiler's overhead over
+// BenchmarkExecutorParallelismMetrics — it must stay under a few
+// percent, since profile analysis runs once per run, off the atom hot
+// path.
+func BenchmarkExecutorParallelismProfiled(b *testing.B) {
+	ctx := benchCtx(b)
+	hub := metrics.NewHub()
+	hub.SetFlightRecorder(profile.NewRecorder(8, nil))
 	const branches, recs = 8, 20
 	const delay = 500 * time.Microsecond
 	for _, par := range []int{1, 2, 8} {

@@ -10,6 +10,7 @@
 //
 //	rheem-bench [-experiment all|fig2|fig3left|fig3right|iejoin|multiplatform|optimizer|reopt|parallelism|chaos|telemetry|sharding]
 //	            [-quick] [-clock sim|wall] [-csv DIR] [-v] [-trace FILE]
+//	            [-profile FILE] [-perfetto FILE]
 //	            [-metrics ADDR] [-linger DUR] [-scrape URL]
 //	rheem-bench -suite [-tier short|full] [-areas a,b] [-out DIR] [-quick] [-v]
 //	rheem-bench -compare OLD NEW [-threshold PCT] [-metric wall|sim]
@@ -24,6 +25,12 @@
 // than the threshold (default 10%) on the time metric, allocs/op
 // growth, or records/s drop (each sub-threshold inherits -threshold
 // when 0; negative disables it).
+//
+// -profile runs the same demo job as -trace with the flight recorder
+// attached and writes the analyzed run profile — critical path, time
+// attribution per platform and operator, top atoms — as JSON; -perfetto
+// additionally writes the Chrome-trace-event export, loadable in
+// ui.perfetto.dev or chrome://tracing.
 //
 // With -metrics ADDR the process serves /metrics (Prometheus text
 // exposition), /runs (live per-run JSON progress) and /debug/pprof
@@ -51,6 +58,7 @@ import (
 	"rheem/internal/bench/suite"
 	"rheem/internal/core/metrics"
 	"rheem/internal/core/plan"
+	"rheem/internal/core/profile"
 	"rheem/internal/data"
 )
 
@@ -62,6 +70,8 @@ func main() {
 	verbose := flag.Bool("v", false, "log progress")
 	mappings := flag.Bool("mappings", false, "print the declarative operator-mapping table and exit")
 	tracePath := flag.String("trace", "", "run a traced demo job and dump its span trace as JSON lines to FILE ('-' for stdout), then exit")
+	profilePath := flag.String("profile", "", "run the demo job under the flight recorder and write its analyzed profile as JSON to FILE ('-' for stdout), then exit")
+	perfettoPath := flag.String("perfetto", "", "with -profile: also write the Chrome-trace-event export to FILE")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /runs and /debug/pprof on ADDR while experiments run, then print a final scrape to stdout")
 	linger := flag.Duration("linger", 0, "with -metrics: keep serving this long after the experiments finish")
 	scrapeURL := flag.String("scrape", "", "GET URL, validate the response (Prometheus exposition or JSON), then exit")
@@ -161,6 +171,33 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rheem-bench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *profilePath != "" {
+		out := io.WriteCloser(os.Stdout)
+		if *profilePath != "-" {
+			f, err := os.Create(*profilePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rheem-bench: %v\n", err)
+				os.Exit(1)
+			}
+			out = f
+		}
+		buf := bufio.NewWriter(out)
+		err := profileDump(buf, *perfettoPath)
+		if ferr := buf.Flush(); err == nil {
+			err = ferr
+		}
+		if *profilePath != "-" {
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rheem-bench: profile: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -268,6 +305,17 @@ func traceDump(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	_, rep, err := ctx.Execute(demoPlan(), rheem.WithTracing())
+	if err != nil {
+		return err
+	}
+	return rep.Trace.WriteJSON(w)
+}
+
+// demoPlan builds the demo job -trace and -profile share: a filter with
+// a deliberately wrong selectivity (0.5 vs the actual ≈ 6/7, so the
+// estimate-vs-actual audit has signal) feeding a per-key reduction.
+func demoPlan() *plan.Plan {
 	recs := make([]data.Record, 5000)
 	for i := range recs {
 		recs[i] = data.NewRecord(data.Int(int64(i)), data.Int(int64(i%7)))
@@ -278,17 +326,51 @@ func traceDump(w io.Writer) error {
 	f := b.Filter(src, func(r data.Record) (bool, error) {
 		return r.Field(1).Int() != 0, nil
 	})
-	f.Selectivity = 0.5 // deliberately off (actual ≈ 6/7) so the audit has signal
+	f.Selectivity = 0.5
 	red := b.ReduceByKey(f, plan.FieldKey(1), func(a, b data.Record) (data.Record, error) {
 		return data.NewRecord(a.Field(0), data.Int(a.Field(1).Int()+b.Field(1).Int())), nil
 	})
 	b.Collect(red)
+	return b.MustBuild()
+}
 
-	_, rep, err := ctx.Execute(b.MustBuild(), rheem.WithTracing())
+// profileDump is the -profile mode: run the demo job with the flight
+// recorder attached and write its analyzed profile (critical path, time
+// attribution, top atoms) as indented JSON; a non-empty perfettoPath
+// additionally receives the Chrome-trace-event export.
+func profileDump(w io.Writer, perfettoPath string) error {
+	rec := profile.NewRecorder(1, nil)
+	ctx, err := rheem.NewContext(rheem.Config{}, rheem.WithFlightRecorder(rec))
 	if err != nil {
 		return err
 	}
-	return rep.Trace.WriteJSON(w)
+	_, rep, err := ctx.Execute(demoPlan())
+	if err != nil {
+		return err
+	}
+	r, ok := rec.Get(rep.RunID)
+	if !ok {
+		return fmt.Errorf("no profile recorded for run %d", rep.RunID)
+	}
+	b, err := json.MarshalIndent(r.Profile, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	if perfettoPath != "" {
+		f, err := os.Create(perfettoPath)
+		if err != nil {
+			return err
+		}
+		werr := r.WritePerfetto(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		return werr
+	}
+	return nil
 }
 
 func writeCSV(dir, name string, i int, t *bench.Table) error {

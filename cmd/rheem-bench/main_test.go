@@ -63,6 +63,54 @@ func TestTraceDumpEmitsValidJSONLines(t *testing.T) {
 	}
 }
 
+// TestProfileDumpEmitsProfileAndPerfetto pins the -profile mode: the
+// demo job's analyzed profile comes out as JSON with a critical path
+// obeying the wall-clock invariant, and -perfetto writes a parseable
+// Chrome-trace-event document.
+func TestProfileDumpEmitsProfileAndPerfetto(t *testing.T) {
+	perfettoFile := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if err := profileDump(&buf, perfettoFile); err != nil {
+		t.Fatal(err)
+	}
+	var prof struct {
+		Schema         int   `json:"schema"`
+		RunID          int64 `json:"run_id"`
+		WallNS         int64 `json:"wall_ns"`
+		CriticalPathNS int64 `json:"critical_path_ns"`
+		CriticalPath   []struct {
+			Name string `json:"name"`
+		} `json:"critical_path"`
+		TopAtoms []struct{} `json:"top_atoms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &prof); err != nil {
+		t.Fatalf("profile output not JSON: %v\n%s", err, buf.String())
+	}
+	if prof.CriticalPathNS <= 0 || prof.CriticalPathNS > prof.WallNS {
+		t.Errorf("critical path %dns vs wall %dns violates the invariant", prof.CriticalPathNS, prof.WallNS)
+	}
+	if len(prof.CriticalPath) == 0 || len(prof.TopAtoms) == 0 {
+		t.Errorf("profile missing path/top atoms:\n%s", buf.String())
+	}
+
+	raw, err := os.ReadFile(perfettoFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pf struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &pf); err != nil {
+		t.Fatalf("perfetto output not JSON: %v\n%s", err, raw)
+	}
+	if pf.DisplayTimeUnit != "ms" || len(pf.TraceEvents) == 0 {
+		t.Errorf("perfetto document malformed: unit %q, %d events", pf.DisplayTimeUnit, len(pf.TraceEvents))
+	}
+}
+
 // TestScrapeValidates exercises the -scrape mode CI leans on: a real
 // monitoring server's endpoints must pass, and a lying endpoint — 200
 // with garbage — must fail rather than slip through.

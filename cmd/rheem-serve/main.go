@@ -10,10 +10,16 @@
 //	            [-drain-timeout DUR] [-deadline DUR] [-atom-timeout DUR]
 //	            [-tenant-concurrent N] [-tenant-queued N]
 //	            [-tenant-rate R] [-catalog-scale N]
+//	            [-profile-history N] [-profile-dir DIR]
 //
 // Endpoints: POST /jobs, GET /jobs, GET /jobs/{id},
 // GET /jobs/{id}/result, DELETE /jobs/{id}, GET /tenants, GET /healthz,
-// plus /metrics, /runs and /debug/pprof from the telemetry hub.
+// plus /metrics, /runs, /runs/{id}/profile, /runs/{id}/trace.json and
+// /debug/pprof from the telemetry hub.
+//
+// The flight recorder keeps a bounded history of completed-run
+// profiles (-profile-history, negative disables); -profile-dir
+// persists them so the history survives a restart.
 //
 // Shutdown: the first SIGTERM/SIGINT starts a graceful drain — stop
 // admitting (503), let queued and running jobs finish (force-cancelled
@@ -33,6 +39,8 @@ import (
 	"time"
 
 	"rheem/internal/service"
+	"rheem/internal/storage"
+	"rheem/internal/storage/csvstore"
 )
 
 // onListen, when non-nil, receives the bound address (tests).
@@ -61,8 +69,22 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 	tenantQueued := fs.Int("tenant-queued", 0, "per-tenant queued-job quota (0 = default 16)")
 	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant submissions/sec rate limit (0 = unlimited)")
 	catalogScale := fs.Int("catalog-scale", 0, "rows in the SQL catalog tables (0 = full size)")
+	profileHistory := fs.Int("profile-history", 0, "completed-run profiles the flight recorder retains (0 = default 64, negative disables)")
+	profileDir := fs.String("profile-dir", "", "directory persisting flight-recorder profiles across restarts (empty = memory only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var profiles *storage.Manager
+	if *profileDir != "" {
+		st, err := csvstore.New(*profileDir)
+		if err != nil {
+			return fmt.Errorf("profile store: %w", err)
+		}
+		profiles = storage.NewManager(0, nil)
+		if err := profiles.Register(st); err != nil {
+			return fmt.Errorf("profile store: %w", err)
+		}
 	}
 
 	svc, err := service.New(service.Config{
@@ -78,6 +100,8 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 		DefaultDeadline:    *deadline,
 		DefaultAtomTimeout: *atomTimeout,
 		CatalogScale:       *catalogScale,
+		ProfileHistory:     *profileHistory,
+		ProfileStore:       profiles,
 	})
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -183,4 +184,101 @@ func TestServeBadFlags(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}, &out, &out, make(chan os.Signal)); err == nil {
 		t.Fatal("bad flag accepted")
 	}
+}
+
+// TestServeProfileSurvivesRestart boots the server with a profile
+// directory, runs a job, captures its profile and Perfetto export over
+// HTTP, restarts the process loop on the same directory, and verifies
+// both documents come back byte-identical.
+func TestServeProfileSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	fetch := func(base, path string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+	stop := func(sig chan os.Signal, done chan error) {
+		t.Helper()
+		sig <- syscall.SIGTERM
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("server did not exit after SIGTERM")
+		}
+	}
+
+	addr, sig, done, _ := startServe(t, "-profile-dir", dir)
+	base := "http://" + addr
+	body := `{"tenant":"acme","spec":{"kind":"workload","workload":"wordcount","n":300,"seed":7}}`
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, payload)
+	}
+	var acked struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(payload, &acked); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poll until terminal AND annotated with the service phases — the
+	// annotation lands just after the job turns terminal.
+	var runID int64
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st struct {
+			State string `json:"state"`
+			Err   string `json:"error"`
+			RunID int64  `json:"run_id"`
+		}
+		json.Unmarshal(fetch(base, "/jobs/"+acked.ID), &st)
+		if st.State == "succeeded" {
+			runID = st.RunID
+			var prof struct {
+				Phases []struct{} `json:"phases"`
+			}
+			json.Unmarshal(fetch(base, fmt.Sprintf("/runs/%d/profile", runID)), &prof)
+			if len(prof.Phases) >= 3 {
+				break
+			}
+		} else if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("job ended %s (%s)", st.State, st.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished annotated (state %s)", acked.ID, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	profPath := fmt.Sprintf("/runs/%d/profile", runID)
+	tracePath := fmt.Sprintf("/runs/%d/trace.json", runID)
+	wantProf := fetch(base, profPath)
+	wantTrace := fetch(base, tracePath)
+	stop(sig, done)
+
+	addr2, sig2, done2, _ := startServe(t, "-profile-dir", dir)
+	base2 := "http://" + addr2
+	if got := fetch(base2, profPath); !bytes.Equal(wantProf, got) {
+		t.Errorf("profile changed across restart:\nbefore: %s\nafter:  %s", wantProf, got)
+	}
+	if got := fetch(base2, tracePath); !bytes.Equal(wantTrace, got) {
+		t.Errorf("Perfetto export changed across restart:\nbefore: %s\nafter:  %s", wantTrace, got)
+	}
+	stop(sig2, done2)
 }

@@ -108,6 +108,9 @@ func RunFanOutTraced(reg *engine.Registry, hub *metrics.Hub, branches, recs int,
 	opts.Tracer = tracer
 	res, err := executor.Run(ep, reg, opts)
 	run.End(err)
+	if rec := hub.FlightRecorder(); rec != nil {
+		rec.Record(run.ID(), "fanout", run.Started(), run.Ended(), err, tracer.Snapshot())
+	}
 	return res, err
 }
 

@@ -68,6 +68,13 @@ type Measure struct {
 type Scenario struct {
 	Name string
 	Area string
+	// NoisePct is this scenario's rep-to-rep spread budget in percent;
+	// 0 inherits the run-wide Options.NoisePct. Scenarios whose wall
+	// time is dominated by scheduler wakeups or host contention (the
+	// sub-millisecond columnar chains, the multi-tenant service load)
+	// carry elevated budgets so shared CI runners don't flag them on
+	// every run.
+	NoisePct float64
 	// Run executes one repetition at the given scale, feeding its
 	// telemetry (atom-latency spans for the p99 column) into hub.
 	Run func(s Scale, hub *metrics.Hub) (Measure, error)
@@ -87,10 +94,15 @@ func Scenarios() []Scenario {
 		{Name: "fanout-par4", Area: AreaParallel, Run: fanoutScenario(4)},
 		{Name: "wide-unsharded", Area: AreaSharding, Run: wideScenario(1)},
 		{Name: "wide-shard4", Area: AreaSharding, Run: wideScenario(4)},
-		{Name: "serve-tenants1", Area: AreaService, Run: serviceScenario(1)},
-		{Name: "serve-tenants4", Area: AreaService, Run: serviceScenario(4)},
-		{Name: "colchain-row", Area: AreaColumnar, Run: columnarScenario(false)},
-		{Name: "colchain-batch", Area: AreaColumnar, Run: columnarScenario(true)},
+		// The service cells run a whole admission/dispatch/drain cycle, so
+		// their walls absorb queue-timing jitter beyond the flat budget.
+		{Name: "serve-tenants1", Area: AreaService, NoisePct: 40, Run: serviceScenario(1)},
+		{Name: "serve-tenants4", Area: AreaService, NoisePct: 40, Run: serviceScenario(4)},
+		// The columnar chains finish in microseconds at the short tier;
+		// one scheduler wakeup is tens of percent of a rep on a shared
+		// runner.
+		{Name: "colchain-row", Area: AreaColumnar, NoisePct: 60, Run: columnarScenario(false)},
+		{Name: "colchain-batch", Area: AreaColumnar, NoisePct: 60, Run: columnarScenario(true)},
 	}
 }
 

@@ -32,6 +32,7 @@ func goldenFile() *File {
 				Records:   5_000, RecordsPerSec: 3_333_333.3333333335,
 				AllocsPerOp: 9_000, P99LatencyNS: 480_000,
 				SpreadPct: 6.666666666666667, Noisy: false,
+				NoiseBudgetPct: DefaultNoisePct,
 			},
 			{
 				Name: "sensor-multiplatform", Reps: 3, Warmup: 1,
@@ -40,6 +41,7 @@ func goldenFile() *File {
 				Records:   32_000, RecordsPerSec: 53_333_333.33333333,
 				AllocsPerOp: 6_800, P99LatencyNS: 2_400_000,
 				SpreadPct: 216.66666666666666, Noisy: true,
+				NoiseBudgetPct: DefaultNoisePct,
 			},
 		},
 	}

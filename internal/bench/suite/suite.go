@@ -92,9 +92,14 @@ type Result struct {
 	P99LatencyNS int64 `json:"p99_latency_ns"`
 
 	// SpreadPct is (max-min)/min over RepWallNS, in percent; Noisy
-	// marks scenarios whose spread exceeded the run's noise tolerance.
-	SpreadPct float64 `json:"spread_pct"`
-	Noisy     bool    `json:"noisy"`
+	// marks scenarios whose spread exceeded the noise budget the run
+	// applied to this scenario — NoiseBudgetPct, which is the
+	// scenario's own budget when it declares one and the run-wide
+	// tolerance otherwise. (Absent in pre-budget result files; decodes
+	// as 0.)
+	SpreadPct      float64 `json:"spread_pct"`
+	Noisy          bool    `json:"noisy"`
+	NoiseBudgetPct float64 `json:"noise_budget_pct,omitempty"`
 }
 
 // File is one BENCH_<area>.json result set.
@@ -233,7 +238,8 @@ type Options struct {
 	// Commit is recorded in the environment metadata (may be empty).
 	Commit string
 	// NoisePct flags scenarios whose rep-to-rep wall spread exceeds
-	// this percentage; 0 means DefaultNoisePct.
+	// this percentage; 0 means DefaultNoisePct. A scenario declaring
+	// its own Scenario.NoisePct budget overrides this run-wide value.
 	NoisePct float64
 	// Areas, when non-empty, restricts the run to these areas. A name
 	// matching no scenario is an error — a typo must not silently
@@ -348,7 +354,11 @@ func runScenario(sc Scenario, scale Scale, opts Options) (Result, error) {
 		res.P99LatencyNS = int64(p99 * 1e9)
 	}
 	res.SpreadPct = spreadPct(res.RepWallNS)
-	res.Noisy = res.SpreadPct > opts.NoisePct
+	res.NoiseBudgetPct = opts.NoisePct
+	if sc.NoisePct > 0 {
+		res.NoiseBudgetPct = sc.NoisePct
+	}
+	res.Noisy = res.SpreadPct > res.NoiseBudgetPct
 	return res, nil
 }
 

@@ -3,6 +3,9 @@ package suite
 import (
 	"bytes"
 	"testing"
+	"time"
+
+	"rheem/internal/core/metrics"
 )
 
 // TestSuiteDeterminism is the shape contract behind checked-in
@@ -161,5 +164,60 @@ func TestRunAreasFilter(t *testing.T) {
 	}
 	if _, err := Run(Options{Tier: TierShort, Quick: true, Areas: []string{"shardnig"}}); err == nil {
 		t.Error("unknown area accepted")
+	}
+}
+
+// TestPerScenarioNoiseBudget pins the budget override: a scenario
+// declaring its own NoisePct is judged against it instead of the
+// run-wide tolerance, and the applied budget is persisted with the
+// result either way.
+func TestPerScenarioNoiseBudget(t *testing.T) {
+	// Walls are reported by the scenario itself, so the spread is
+	// scripted: warmup, then 100ms and 140ms — a 40% spread.
+	mkRun := func() func(Scale, *metrics.Hub) (Measure, error) {
+		walls := []time.Duration{time.Millisecond, 100 * time.Millisecond, 140 * time.Millisecond}
+		i := 0
+		return func(Scale, *metrics.Hub) (Measure, error) {
+			w := walls[i%len(walls)]
+			i++
+			return Measure{Wall: w, Sim: w, Records: 1}, nil
+		}
+	}
+	opts := Options{NoisePct: DefaultNoisePct}
+	scale := Scale{Tier: TierShort, Quick: true} // 2 reps, 1 warmup
+
+	flat, err := runScenario(Scenario{Name: "flat", Area: "x", Run: mkRun()}, scale, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flat.Noisy || flat.NoiseBudgetPct != DefaultNoisePct {
+		t.Errorf("flat budget: noisy=%v budget=%v, want noisy under the default %v",
+			flat.Noisy, flat.NoiseBudgetPct, DefaultNoisePct)
+	}
+
+	own, err := runScenario(Scenario{Name: "own", Area: "x", NoisePct: 50, Run: mkRun()}, scale, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if own.Noisy || own.NoiseBudgetPct != 50 {
+		t.Errorf("scenario budget: noisy=%v budget=%v, want quiet under 50", own.Noisy, own.NoiseBudgetPct)
+	}
+	if flat.SpreadPct != own.SpreadPct {
+		t.Errorf("spread differs between runs: %v vs %v", flat.SpreadPct, own.SpreadPct)
+	}
+}
+
+// TestMatrixNoiseBudgets pins which cells carry elevated budgets: the
+// sub-millisecond columnar chains and the queue-timing-bound service
+// cells, and nothing else.
+func TestMatrixNoiseBudgets(t *testing.T) {
+	want := map[string]float64{
+		"serve-tenants1": 40, "serve-tenants4": 40,
+		"colchain-row": 60, "colchain-batch": 60,
+	}
+	for _, sc := range Scenarios() {
+		if got := want[sc.Name]; sc.NoisePct != got {
+			t.Errorf("%s: noise budget %v, want %v", sc.Name, sc.NoisePct, got)
+		}
 	}
 }

@@ -391,10 +391,12 @@ func runComputeAtom(atom *engine.TaskAtom, ep *optimizer.ExecutionPlan, reg *eng
 		if vec != nil && vec.SupportsBatch(op) {
 			want = channel.Batch
 		}
+		external := false
 		for slot, in := range op.Inputs {
 			if atom.Contains(in.ID) {
 				continue
 			}
+			external = true
 			st.mu.Lock()
 			src := channels[in.ID]
 			st.mu.Unlock()
@@ -418,6 +420,14 @@ func runComputeAtom(atom *engine.TaskAtom, ep *optimizer.ExecutionPlan, reg *eng
 				inputs[op.ID] = map[int]*channel.Channel{}
 			}
 			inputs[op.ID][slot] = conv
+		}
+		// Record the format choice per consumer with external inputs —
+		// the span-level evidence of columnar (batch) adoption.
+		if external {
+			if sp.InFormats == nil {
+				sp.InFormats = map[string]int{}
+			}
+			sp.InFormats[string(want)]++
 		}
 	}
 	sp.ConvTime = moveMetrics.Sim

@@ -9,9 +9,11 @@ package metrics
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"rheem/internal/core/channel"
 	"rheem/internal/core/engine"
+	"rheem/internal/core/profile"
 	"rheem/internal/core/trace"
 )
 
@@ -20,6 +22,9 @@ type Hub struct {
 	reg  *Registry
 	runs *RunTracker
 	col  *Collector
+	// rec is the optional run flight recorder: completed runs are folded
+	// into per-run profiles the monitoring server exposes.
+	rec atomic.Pointer[profile.Recorder]
 }
 
 // NewHub returns a hub with a fresh registry, run tracker and
@@ -33,6 +38,14 @@ func NewHub() *Hub {
 
 // Registry returns the hub's metrics registry.
 func (h *Hub) Registry() *Registry { return h.reg }
+
+// SetFlightRecorder attaches a run flight recorder: the Context records
+// every Execute's trace into it, and the monitoring server serves
+// /runs/{id}/profile and /runs/{id}/trace.json from it.
+func (h *Hub) SetFlightRecorder(rec *profile.Recorder) { h.rec.Store(rec) }
+
+// FlightRecorder returns the attached recorder, nil if none.
+func (h *Hub) FlightRecorder() *profile.Recorder { return h.rec.Load() }
 
 // Runs returns the hub's run tracker.
 func (h *Hub) Runs() *RunTracker { return h.runs }
@@ -154,13 +167,14 @@ type Collector struct {
 	shardLatency *HistogramVec // platform
 	shards       *CounterVec   // platform
 	atoms        *CounterVec   // platform, status
-	recordsIn   *CounterVec   // platform
-	recordsOut  *CounterVec   // platform
-	retries     *CounterVec   // platform
-	failovers   *Counter
-	replans     *Counter
-	runsTotal   *Counter
-	audits      *CounterVec // flagged
+	recordsIn    *CounterVec   // platform
+	recordsOut   *CounterVec   // platform
+	informats    *CounterVec   // platform, format
+	retries      *CounterVec   // platform
+	failovers    *Counter
+	replans      *Counter
+	runsTotal    *Counter
+	audits       *CounterVec // flagged
 }
 
 // newCollector registers the collector's instruments on the registry.
@@ -186,6 +200,9 @@ func newCollector(reg *Registry) *Collector {
 			"Records consumed from input channels by successful atoms.", "platform"),
 		recordsOut: reg.CounterVec("rheem_records_out_total",
 			"Records produced to output channels by successful atoms.", "platform"),
+		informats: reg.CounterVec("rheem_consumer_format_total",
+			"Consumer operators by the channel format the executor delivered their external inputs in — the row-vs-batch adoption signal.",
+			"platform", "format"),
 		retries: reg.CounterVec("rheem_retries_total",
 			"Atom execution attempts retried after transient failures.", "platform"),
 		failovers: reg.CounterVec("rheem_failovers_total",
@@ -260,6 +277,9 @@ func (c *Collector) Consumer(run *Run) trace.Consumer {
 			if !sp.Failed() {
 				c.recordsIn.With(platform).Add(e.Metrics.InRecords)
 				c.recordsOut.With(platform).Add(e.Metrics.OutRecords)
+			}
+			for f, n := range sp.InFormats {
+				c.informats.With(platform, f).Add(int64(n))
 			}
 			records := int64(0)
 			if !sp.Failed() {

@@ -95,6 +95,20 @@ type RunStatus struct {
 // ID returns the run's tracker-assigned identity.
 func (r *Run) ID() int64 { return r.id }
 
+// Started returns when the run began.
+func (r *Run) Started() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.startedAt
+}
+
+// Ended returns when the run finished — zero while still in flight.
+func (r *Run) Ended() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.endedAt
+}
+
 // setTotal records the scheduled atom count of the (possibly
 // replacement) plan.
 func (r *Run) setTotal(n int) {
@@ -270,6 +284,17 @@ func (t *RunTracker) SetDoneHistory(n int) {
 	t.mu.Lock()
 	t.history = n
 	t.trimDoneLocked()
+	t.mu.Unlock()
+}
+
+// SeedID advances the tracker's ID counter to at least n, so runs
+// begun after a restart never collide with run IDs a previous process
+// persisted (the flight recorder's rehydrated profile history).
+func (t *RunTracker) SeedID(n int64) {
+	t.mu.Lock()
+	if n > t.nextID {
+		t.nextID = n
+	}
 	t.mu.Unlock()
 }
 

@@ -6,12 +6,16 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
+
+	"rheem/internal/core/profile"
 )
 
 // Server serves a Hub's telemetry over HTTP.
@@ -37,9 +41,11 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "rheem monitoring endpoints:")
-		fmt.Fprintln(w, "  /metrics      Prometheus text exposition")
-		fmt.Fprintln(w, "  /runs         live per-run progress (JSON)")
-		fmt.Fprintln(w, "  /debug/pprof  Go runtime profiles")
+		fmt.Fprintln(w, "  /metrics               Prometheus text exposition")
+		fmt.Fprintln(w, "  /runs                  live per-run progress (JSON)")
+		fmt.Fprintln(w, "  /runs/{id}/profile     flight-recorder profile of a completed run (JSON)")
+		fmt.Fprintln(w, "  /runs/{id}/trace.json  Chrome-trace-event export (load in ui.perfetto.dev)")
+		fmt.Fprintln(w, "  /debug/pprof           Go runtime profiles")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -55,12 +61,56 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("GET /runs/{id}/profile", func(w http.ResponseWriter, r *http.Request) {
+		rec, ok := s.recordFor(w, r)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		b, err := json.MarshalIndent(rec.Profile, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(b, '\n'))
+	})
+	mux.HandleFunc("GET /runs/{id}/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		rec, ok := s.recordFor(w, r)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := rec.WritePerfetto(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// recordFor resolves the {id} path value against the hub's flight
+// recorder, writing the 404/400 itself when it cannot.
+func (s *Server) recordFor(w http.ResponseWriter, r *http.Request) (*profile.Record, bool) {
+	fr := s.hub.FlightRecorder()
+	if fr == nil {
+		http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+		return nil, false
+	}
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad run id", http.StatusBadRequest)
+		return nil, false
+	}
+	rec, ok := fr.Get(id)
+	if !ok {
+		http.Error(w, "no profile recorded for run "+r.PathValue("id"), http.StatusNotFound)
+		return nil, false
+	}
+	return rec, true
 }
 
 // Start binds addr (":0" picks a free port) and serves in the

@@ -1,0 +1,257 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rheem/internal/core/trace"
+	"rheem/internal/data"
+	"rheem/internal/storage"
+)
+
+// DefaultHistory is how many completed-run records a recorder keeps
+// when the caller does not say.
+const DefaultHistory = 64
+
+// datasetPrefix names persisted records in the storage layer:
+// "runprofile-<runID>".
+const datasetPrefix = "runprofile-"
+
+// recordSchema is the one-column storage schema a persisted record is
+// written under — the record's JSON as a single string quantum.
+var recordSchema = data.MustSchema(data.Field{Name: "json", Type: data.KindString})
+
+// Record is one completed run as the flight recorder keeps it: the raw
+// spans and audit trail plus the profile built from them. Spans lose
+// their Atom pointers when persisted, so the profile travels with them
+// instead of being recomputed.
+type Record struct {
+	Schema  int               `json:"schema"`
+	RunID   int64             `json:"run_id"`
+	Name    string            `json:"name"`
+	Spans   []*trace.Span     `json:"spans"`
+	Audits  []trace.CardAudit `json:"audits,omitempty"`
+	Profile *Profile          `json:"profile"`
+}
+
+// Recorder keeps a bounded history of completed-run records, optionally
+// persisting each through the storage layer so the history survives a
+// process restart. All methods are safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	history int
+	store   *storage.Manager
+	recs    map[int64]*Record
+	order   []int64 // insertion order, oldest first
+}
+
+// NewRecorder returns a recorder keeping up to history records
+// (0 → DefaultHistory). A nil store keeps records in memory only.
+func NewRecorder(history int, store *storage.Manager) *Recorder {
+	if history <= 0 {
+		history = DefaultHistory
+	}
+	return &Recorder{history: history, store: store, recs: map[int64]*Record{}}
+}
+
+// History returns the bound on retained records.
+func (r *Recorder) History() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.history
+}
+
+// SetHistory rebounds the record history (negative clamps to zero) and
+// evicts immediately if the new bound is tighter — the same semantics
+// as the run tracker's SetDoneHistory.
+func (r *Recorder) SetHistory(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.history = n
+	r.trimLocked()
+}
+
+// Record folds a completed run into the history: builds its profile,
+// evicts past the history bound and persists the record if a store is
+// configured. Returns the stored record.
+func (r *Recorder) Record(runID int64, name string, started, ended time.Time, runErr error, tr *trace.Trace) *Record {
+	errStr := ""
+	if runErr != nil {
+		errStr = runErr.Error()
+	}
+	var spans []*trace.Span
+	var audits []trace.CardAudit
+	if tr != nil {
+		spans, audits = tr.Spans, tr.Audits
+	}
+	rec := &Record{
+		Schema:  Schema,
+		RunID:   runID,
+		Name:    name,
+		Spans:   spans,
+		Audits:  audits,
+		Profile: Build(runID, name, started, ended, errStr, spans),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.recs[runID]; !dup {
+		r.order = append(r.order, runID)
+	}
+	r.recs[runID] = rec
+	r.trimLocked()
+	if r.recs[runID] == rec { // not evicted by a zero history bound
+		r.persistLocked(rec)
+	}
+	return rec
+}
+
+// Annotate appends spans to an already-recorded run — the job service
+// uses it to attach the admission/queue/dispatch phases after the job
+// reaches its terminal state — then rebuilds the profile and
+// re-persists. Spans with ID 0 are assigned IDs continuing past the
+// record's highest. Unknown runs (evicted, or never recorded) return an
+// error. Annotate installs a replacement record rather than mutating in
+// place: a Record returned by Get is immutable, so concurrent readers
+// (the monitoring endpoints) never observe a half-updated profile.
+func (r *Recorder) Annotate(runID int64, spans ...*trace.Span) error {
+	if len(spans) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.recs[runID]
+	if !ok {
+		return fmt.Errorf("profile: no record for run %d", runID)
+	}
+	maxID := 0
+	for _, sp := range old.Spans {
+		if sp.ID > maxID {
+			maxID = sp.ID
+		}
+	}
+	rec := *old
+	rec.Spans = append(append([]*trace.Span(nil), old.Spans...), spans...)
+	for _, sp := range spans {
+		if sp.ID == 0 {
+			maxID++
+			sp.ID = maxID
+		}
+	}
+	p := old.Profile
+	rec.Profile = Build(rec.RunID, rec.Name, p.StartedAt, p.EndedAt, p.Err, rec.Spans)
+	r.recs[runID] = &rec
+	r.persistLocked(&rec)
+	return nil
+}
+
+// Get returns the record for a run, if still retained.
+func (r *Recorder) Get(runID int64) (*Record, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.recs[runID]
+	return rec, ok
+}
+
+// Runs lists retained run IDs, ascending.
+func (r *Recorder) Runs() []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]int64(nil), r.order...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LoadPersisted rehydrates the history from the storage layer after a
+// restart: adopts datasets written by a previous process, decodes every
+// runprofile-* record, and returns the highest run ID seen so the run
+// tracker can seed its counter past it. Records beyond the history
+// bound are evicted oldest-first, exactly as if they had just been
+// recorded.
+func (r *Recorder) LoadPersisted() (maxRunID int64, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.store == nil {
+		return 0, nil
+	}
+	r.store.Adopt()
+	var ids []int64
+	for _, ds := range r.store.Datasets() {
+		id, ok := strings.CutPrefix(ds, datasetPrefix)
+		if !ok {
+			continue
+		}
+		n, perr := strconv.ParseInt(id, 10, 64)
+		if perr != nil {
+			continue
+		}
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		_, recs, gerr := r.store.Get(datasetPrefix + strconv.FormatInt(id, 10))
+		if gerr != nil {
+			return 0, fmt.Errorf("profile: loading run %d: %w", id, gerr)
+		}
+		if len(recs) != 1 {
+			return 0, fmt.Errorf("profile: run %d dataset has %d quanta, want 1", id, len(recs))
+		}
+		var rec Record
+		if uerr := json.Unmarshal([]byte(recs[0].Field(0).Str()), &rec); uerr != nil {
+			return 0, fmt.Errorf("profile: decoding run %d: %w", id, uerr)
+		}
+		if _, dup := r.recs[id]; !dup {
+			r.order = append(r.order, id)
+		}
+		r.recs[id] = &rec
+		if id > maxRunID {
+			maxRunID = id
+		}
+	}
+	r.trimLocked()
+	return maxRunID, nil
+}
+
+// trimLocked evicts the oldest records past the history bound,
+// deleting their persisted datasets.
+func (r *Recorder) trimLocked() {
+	excess := len(r.order) - r.history
+	if excess <= 0 {
+		return
+	}
+	for _, id := range r.order[:excess] {
+		delete(r.recs, id)
+		if r.store != nil {
+			// Best-effort: the dataset may predate persistence or be gone.
+			_ = r.store.Delete(datasetPrefix + strconv.FormatInt(id, 10))
+		}
+	}
+	copy(r.order, r.order[excess:])
+	r.order = r.order[:len(r.order)-excess]
+}
+
+// persistLocked writes one record through the storage manager as a
+// single-quantum dataset holding the record's JSON.
+func (r *Recorder) persistLocked(rec *Record) {
+	if r.store == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	// Best-effort: a full store must not fail the run that produced the
+	// profile; the in-memory record still serves until eviction.
+	_, _ = r.store.Put(storage.PutRequest{
+		Dataset: datasetPrefix + strconv.FormatInt(rec.RunID, 10),
+		Schema:  recordSchema,
+		Records: []data.Record{data.NewRecord(data.Str(string(b)))},
+	})
+}

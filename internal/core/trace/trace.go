@@ -39,6 +39,22 @@ const (
 	KindShard = "shard"
 )
 
+// Service-layer span kinds, emitted by the job service rather than the
+// executor: the phases of a job's life around its engine run. They are
+// correlated with the run's atom spans by run ID (the flight recorder's
+// Annotate) and by the Job/Tenant span fields, so a job's path from
+// POST /jobs to its result reads as one trace tree.
+const (
+	// KindAdmission covers submission to the admission ack.
+	KindAdmission = "admission"
+	// KindQueue covers the admission ack to dispatch — pending-queue
+	// residency under the service's quotas and round-robin.
+	KindQueue = "queue"
+	// KindDispatch covers dispatch to the job's terminal state: the
+	// engine run plus result digesting.
+	KindDispatch = "dispatch"
+)
+
 // Attempt is one execution attempt of an atom. A span holds every
 // attempt, so per-attempt latency and the error that triggered each
 // retry stay visible after the run.
@@ -77,6 +93,12 @@ type Span struct {
 	// the number of shards the execution split into, and on a KindShard
 	// span the parent's total shard count. 0 means unsharded.
 	Shards int `json:"shards,omitempty"`
+	// Job and Tenant tag service-layer spans (admission, queue,
+	// dispatch) with the job they belong to — the correlation key that
+	// joins a job's service-side phases to its engine run's atom spans.
+	// Empty on executor-emitted spans.
+	Job    string `json:"job,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
 
 	StartedAt time.Time `json:"started_at"`
 	EndedAt   time.Time `json:"ended_at"`
@@ -92,6 +114,12 @@ type Span struct {
 	ConvTime  time.Duration `json:"conv_ns"`
 	ConvBytes int64         `json:"conv_bytes"`
 	ConvSteps int           `json:"conv_steps"`
+
+	// InFormats counts the atom's consumer operators by the channel
+	// format the executor delivered their external inputs in
+	// ("collection", "batch", "table", ...) — the runtime record of the
+	// per-consumer row-vs-batch format choice.
+	InFormats map[string]int `json:"in_formats,omitempty"`
 
 	// EstCost is the optimizer's estimated cost total for the atom's
 	// operators — compare against Metrics.Sim for estimator error.
@@ -387,7 +415,11 @@ func (tr *Trace) Platforms() []engine.PlatformID {
 // JSONSchema is the version stamped into every WriteJSON line, so
 // downstream tooling can detect format changes. Bump it whenever a
 // line's shape changes incompatibly.
-const JSONSchema = 1
+//
+// v2 added the service-layer span kinds (admission/queue/dispatch),
+// the job/tenant correlation fields, and in_formats (the executor's
+// per-consumer channel format choice).
+const JSONSchema = 2
 
 // WriteJSON dumps the trace as JSON lines — one object per span, then
 // one per audit record, each tagged with "schema" and "type" fields.

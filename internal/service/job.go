@@ -36,11 +36,16 @@ type Job struct {
 	buildPlan func() (*plan.Plan, error)
 
 	state           string
+	acked           time.Time // admission ack (end of Submit)
 	started         time.Time
 	ended           time.Time
 	err             string
 	cancelRequested bool
 	cancel          func()
+	// runID keys the job's engine run in the telemetry hub's run
+	// tracker and the flight recorder; 0 if the job never reached the
+	// executor (cancelled while queued, plan build failed).
+	runID int64
 
 	records   []data.Record
 	digest    string
@@ -75,6 +80,10 @@ type JobStatus struct {
 	// Platforms lists the platforms the final execution plan used.
 	Platforms []string `json:"platforms,omitempty"`
 	Failovers int      `json:"failovers,omitempty"`
+	// RunID keys the job's engine run into the monitoring endpoints
+	// /runs/{id}/profile and /runs/{id}/trace.json; 0 if the job never
+	// reached the executor.
+	RunID int64 `json:"run_id,omitempty"`
 }
 
 // terminal reports whether the state is final.
@@ -92,6 +101,7 @@ func (j *Job) statusLocked() JobStatus {
 		ID: j.id, Tenant: j.tenant, Name: j.name, State: j.state,
 		Submitted: j.submitted, Started: j.started, Ended: j.ended,
 		Err: j.err, Digest: j.digest, Failovers: j.failovers,
+		RunID: j.runID,
 	}
 	if j.state == StateSucceeded {
 		st.Records = len(j.records)

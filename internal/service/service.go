@@ -23,7 +23,10 @@ import (
 	"rheem/internal/core/metrics"
 	"rheem/internal/core/optimizer"
 	"rheem/internal/core/plan"
+	"rheem/internal/core/profile"
+	"rheem/internal/core/trace"
 	"rheem/internal/data"
+	"rheem/internal/storage"
 )
 
 // ShedError reports a submission rejected by admission control. The
@@ -82,6 +85,14 @@ type Config struct {
 	// (default 128).
 	JobHistory int
 	RunHistory int
+	// ProfileHistory bounds the flight recorder's completed-run profile
+	// history (0 selects profile.DefaultHistory; negative disables the
+	// recorder entirely).
+	ProfileHistory int
+	// ProfileStore, when set, persists recorded profiles so they
+	// survive a service restart; the recorder rehydrates from it in New
+	// and seeds run IDs past the persisted maximum.
+	ProfileStore *storage.Manager
 
 	// FailureThreshold consecutive job failures attributed to a platform
 	// open that tenant's breaker for it (default 3); Cooldown is how
@@ -148,6 +159,7 @@ type Service struct {
 	hub       *metrics.Hub
 	cat       *rheemql.Catalog
 	pool      *executor.Pool
+	rec       *profile.Recorder // nil when ProfileHistory < 0
 	platforms []engine.PlatformID
 
 	baseCtx    context.Context
@@ -208,12 +220,29 @@ func New(cfg Config) (*Service, error) {
 		}
 	}
 	hub.Runs().SetDoneHistory(cfg.RunHistory)
+	// The flight recorder sees every engine run; with a store it
+	// rehydrates the persisted profile history and advances the run-ID
+	// counter past it, so post-restart runs never collide with the
+	// profiles a previous process left behind.
+	var rec *profile.Recorder
+	if cfg.ProfileHistory >= 0 {
+		rec = profile.NewRecorder(cfg.ProfileHistory, cfg.ProfileStore)
+		if cfg.ProfileStore != nil {
+			maxID, err := rec.LoadPersisted()
+			if err != nil {
+				return nil, fmt.Errorf("service: loading persisted profiles: %w", err)
+			}
+			hub.Runs().SeedID(maxID)
+		}
+		hub.SetFlightRecorder(rec)
+	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:        cfg,
 		rctx:       rctx,
 		hub:        hub,
 		cat:        cat,
+		rec:        rec,
 		pool:       executor.NewPool(cfg.PoolSize),
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
@@ -243,6 +272,10 @@ func (s *Service) Engine() *rheem.Context { return s.rctx }
 // SchedulerPool returns the shared scheduler pool every job draws atom
 // slots from. Tests hold its slots to freeze execution deterministically.
 func (s *Service) SchedulerPool() *executor.Pool { return s.pool }
+
+// FlightRecorder returns the service's run-profile recorder, nil when
+// Config.ProfileHistory disabled it.
+func (s *Service) FlightRecorder() *profile.Recorder { return s.rec }
 
 var latencyBounds = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
 
@@ -353,6 +386,7 @@ func (s *Service) Submit(req Request) (JobStatus, error) {
 	s.gQueued.Store(int64(s.queued))
 	s.jobs[id] = j
 	s.mAccepted.With(tn.name).Inc()
+	j.acked = s.now() // the admission span's end, the queue span's start
 	s.cond.Signal()
 	return j.statusLocked(), nil
 }
@@ -465,6 +499,7 @@ func (s *Service) runJob(j *Job, tn *tenant) {
 		digest    string
 		platforms []engine.PlatformID
 		failovers int
+		runID     int64
 	)
 	p, err := j.buildPlan()
 	if err == nil {
@@ -489,6 +524,7 @@ func (s *Service) runJob(j *Job, tn *tenant) {
 		if rep != nil {
 			failovers = rep.Failovers
 			platforms = planPlatforms(rep.Plan)
+			runID = rep.RunID
 		}
 		if err == nil {
 			digest, err = Digest(recs)
@@ -519,9 +555,50 @@ func (s *Service) runJob(j *Job, tn *tenant) {
 		tn.reportOutcomeLocked(platforms, state == StateFailed,
 			s.cfg.FailureThreshold, s.cfg.Cooldown, s.now())
 	}
+	j.runID = runID
 	s.jobDoneLocked(j, tn, state, err, recs, digest, platforms, failovers)
 	s.mu.Unlock()
 	s.cond.Broadcast()
+	s.annotateRun(j)
+}
+
+// annotateRun appends the service-layer lifecycle spans — admission,
+// queue residency, dispatch-to-terminal — to the job's recorded run
+// profile, correlated by run ID and tagged with the job and tenant, so
+// a job's path from submission to result reads as one trace. Called
+// once the job is terminal, outside s.mu (Annotate re-persists the
+// record through the profile store).
+func (s *Service) annotateRun(j *Job) {
+	if s.rec == nil {
+		return
+	}
+	s.mu.Lock()
+	runID := j.runID
+	planName := fmt.Sprintf("%s/%s#%s", j.tenant, j.name, j.id)
+	id, tenant := j.id, j.tenant
+	submitted, acked, started, ended := j.submitted, j.acked, j.started, j.ended
+	s.mu.Unlock()
+	if runID == 0 {
+		return // never reached the executor; nothing was recorded
+	}
+	mk := func(kind string, from, to time.Time) *trace.Span {
+		wall := to.Sub(from)
+		if wall < 0 {
+			wall = 0
+		}
+		return &trace.Span{
+			Kind: kind, Name: kind, Plan: planName, Iteration: -1, Shard: -1,
+			Job: id, Tenant: tenant,
+			StartedAt: from, EndedAt: to, Wall: wall,
+		}
+	}
+	// Best effort: the run may already have been evicted from the
+	// recorder's bounded history by newer jobs.
+	_ = s.rec.Annotate(runID,
+		mk(trace.KindAdmission, submitted, acked),
+		mk(trace.KindQueue, acked, started),
+		mk(trace.KindDispatch, started, ended),
+	)
 }
 
 // jobDoneLocked moves a started job to its terminal state and releases

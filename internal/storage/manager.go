@@ -163,6 +163,41 @@ func (m *Manager) place(req PutRequest, bytes int64) (Placement, Store, error) {
 	return Placement{Store: best.id, Estimated: best.cost, Why: why}, best.store, nil
 }
 
+// Adopt scans the registered stores for datasets persisted by an
+// earlier process and adopts them into the placement map, so a
+// restarted service can Get/Delete data it wrote in a previous life.
+// Datasets already placed keep their owner; on a name collision across
+// stores the earlier-registered store wins. Returns the adopted names,
+// sorted.
+func (m *Manager) Adopt() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var adopted []string
+	for _, id := range m.order {
+		for _, name := range m.stores[id].List() {
+			if _, placed := m.where[name]; placed {
+				continue
+			}
+			m.where[name] = id
+			adopted = append(adopted, name)
+		}
+	}
+	sort.Strings(adopted)
+	return adopted
+}
+
+// Datasets lists every placed dataset name, sorted.
+func (m *Manager) Datasets() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.where))
+	for name := range m.where {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Get reads a dataset, serving repeat reads from the hot buffer.
 func (m *Manager) Get(dataset string) (*data.Schema, []data.Record, error) {
 	if schema, recs, ok := m.hot.Get(dataset); ok {

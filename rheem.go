@@ -40,6 +40,7 @@ import (
 	"rheem/internal/core/optimizer"
 	"rheem/internal/core/physical"
 	"rheem/internal/core/plan"
+	"rheem/internal/core/profile"
 	"rheem/internal/core/trace"
 	"rheem/internal/data"
 	"rheem/internal/platform/javaengine"
@@ -80,6 +81,7 @@ type ContextOption func(*ctxOptions)
 type ctxOptions struct {
 	metricsAddr string
 	hub         *metrics.Hub
+	recorder    *profile.Recorder
 }
 
 // WithMetricsAddr starts the context's embedded monitoring server on
@@ -95,6 +97,16 @@ func WithMetricsAddr(addr string) ContextOption {
 // contexts (an experiment harness's, say) share one monitoring server.
 func WithTelemetryHub(h *metrics.Hub) ContextOption {
 	return func(o *ctxOptions) { o.hub = h }
+}
+
+// WithFlightRecorder attaches a run flight recorder to the context's
+// hub: every Execute's span trace is folded into a per-run Profile
+// (critical path, queue/compute/conversion/retry attribution, Perfetto
+// export) kept in the recorder's bounded history and served by the
+// monitoring endpoints /runs/{id}/profile and /runs/{id}/trace.json,
+// keyed by Report.RunID.
+func WithFlightRecorder(rec *profile.Recorder) ContextOption {
+	return func(o *ctxOptions) { o.recorder = rec }
 }
 
 // Context owns the platform registry and is the entry point for
@@ -145,6 +157,9 @@ func NewContext(cfg Config, opts ...ContextOption) (*Context, error) {
 	// conversion traffic — comes straight from the live registries.
 	c.hub.BindEngine(c.reg)
 	c.hub.BindChannels(c.reg.Channels())
+	if co.recorder != nil {
+		c.hub.SetFlightRecorder(co.recorder)
+	}
 	if co.metricsAddr != "" {
 		if _, err := c.ServeMetrics(co.metricsAddr); err != nil {
 			return nil, err
@@ -379,6 +394,10 @@ type Report struct {
 	// /metrics endpoint serves (cumulative across the hub's runs); nil
 	// unless the run was started WithTracing.
 	Telemetry *metrics.Snapshot
+	// RunID is the telemetry hub's identity for this execution — the
+	// key into /runs, /runs/{id}/profile and /runs/{id}/trace.json.
+	// Set whenever the run reached the executor, on failure too.
+	RunID int64
 }
 
 // Execute optimizes and runs a logical plan, returning the sink's
@@ -402,8 +421,13 @@ func (c *Context) Execute(p *plan.Plan, opts ...RunOption) ([]data.Record, *Repo
 	rc.exec.Tracer = tracer
 	res, err := executor.Run(ep, c.reg, rc.exec)
 	run.End(err)
+	// The flight recorder sees every run, failed ones included — the
+	// tracer's snapshot has whatever spans completed before the error.
+	if rec := c.hub.FlightRecorder(); rec != nil {
+		rec.Record(run.ID(), p.Name(), run.Started(), run.Ended(), err, tracer.Snapshot())
+	}
 	if err != nil {
-		return nil, &Report{Plan: ep}, err
+		return nil, &Report{Plan: ep, RunID: run.ID()}, err
 	}
 	finalPlan := res.FinalPlan
 	if finalPlan == nil {
@@ -416,6 +440,7 @@ func (c *Context) Execute(p *plan.Plan, opts ...RunOption) ([]data.Record, *Repo
 		Reoptimized:    res.Reoptimized,
 		Failovers:      res.Failovers,
 		PlatformHealth: res.PlatformHealth,
+		RunID:          run.ID(),
 	}
 	if rc.tracing {
 		rep.Trace = res.Trace

@@ -1,6 +1,10 @@
 package rheem_test
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"sort"
 	"strings"
 	"testing"
@@ -10,6 +14,7 @@ import (
 	"rheem/internal/core/executor"
 	"rheem/internal/core/fault"
 	"rheem/internal/core/plan"
+	"rheem/internal/core/profile"
 	"rheem/internal/data"
 	"rheem/internal/data/datagen"
 	"rheem/internal/platform/javaengine"
@@ -561,4 +566,105 @@ func mustCollect(t *testing.T, q *rheem.DataQuanta, opts ...rheem.RunOption) []d
 		t.Fatal(err)
 	}
 	return recs
+}
+
+// TestFlightRecorderEndToEnd wires a recorder through the public API:
+// Execute records a profile keyed by Report.RunID, the critical path
+// respects the wall-clock invariant, and the monitoring server serves
+// the profile and its Perfetto export over HTTP.
+func TestFlightRecorderEndToEnd(t *testing.T) {
+	rec := profile.NewRecorder(4, nil)
+	ctx, err := rheem.NewContext(rheem.Config{
+		Spark: sparksim.Config{JobOverhead: 1e6, TaskOverhead: 1e5},
+	}, rheem.WithFlightRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Repeat loop forces atom boundaries (loops are their own
+	// atoms), so downstream consumers take external inputs and the
+	// recorder sees their channel-format choices.
+	words := datagen.Words(500, 2)
+	_, rep, err := ctx.NewJob("recorded").ReadCollection("words", words).
+		Map(func(r data.Record) (data.Record, error) {
+			return r.Append(data.Int(1)), nil
+		}).
+		Repeat(2, func(_ *rheem.LoopBody, q *rheem.DataQuanta) *rheem.DataQuanta {
+			return q.Map(func(r data.Record) (data.Record, error) { return r, nil })
+		}).
+		ReduceByKey(plan.FieldKey(0), plan.SumField(1)).
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RunID == 0 {
+		t.Fatal("report has no run ID")
+	}
+	r, ok := rec.Get(rep.RunID)
+	if !ok {
+		t.Fatalf("no record for run %d", rep.RunID)
+	}
+	p := r.Profile
+	if p.Atoms == 0 || p.Spans != len(r.Spans) {
+		t.Errorf("profile shape: %+v", p)
+	}
+	if p.CriticalPathNS <= 0 || p.CriticalPathNS > p.WallNS {
+		t.Errorf("critical path %dns vs wall %dns violates the invariant", p.CriticalPathNS, p.WallNS)
+	}
+	if len(p.CriticalPath) == 0 || len(p.TopAtoms) == 0 {
+		t.Errorf("profile missing path/top atoms: %+v", p)
+	}
+	if p.Total.ComputeNS <= 0 {
+		t.Errorf("attribution has no compute time: %+v", p.Total)
+	}
+	if len(p.Formats) == 0 {
+		t.Error("profile recorded no consumer formats")
+	}
+
+	// A second run must get its own record, and both served over HTTP.
+	_, rep2, err := ctx.NewJob("recorded-2").ReadCollection("words", words).
+		Map(func(r data.Record) (data.Record, error) { return r, nil }).
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.RunID == rep.RunID {
+		t.Error("second run reused the run ID")
+	}
+	addr, err := ctx.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	for _, path := range []string{
+		fmt.Sprintf("/runs/%d/profile", rep.RunID),
+		fmt.Sprintf("/runs/%d/trace.json", rep.RunID),
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, body)
+		}
+		var parsed map[string]any
+		if err := json.Unmarshal(body, &parsed); err != nil {
+			t.Errorf("GET %s not JSON: %v", path, err)
+		}
+		if strings.HasSuffix(path, "trace.json") {
+			evs, _ := parsed["traceEvents"].([]any)
+			if len(evs) == 0 {
+				t.Errorf("trace.json has no events: %s", body)
+			}
+		}
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/runs/%d/profile", addr, rep.RunID+999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown run = %d, want 404", resp.StatusCode)
+	}
 }
