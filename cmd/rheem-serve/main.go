@@ -11,15 +11,23 @@
 //	            [-tenant-concurrent N] [-tenant-queued N]
 //	            [-tenant-rate R] [-catalog-scale N]
 //	            [-profile-history N] [-profile-dir DIR]
+//	            [-calibration] [-calibration-dir DIR]
 //
 // Endpoints: POST /jobs, GET /jobs, GET /jobs/{id},
 // GET /jobs/{id}/result, DELETE /jobs/{id}, GET /tenants, GET /healthz,
-// plus /metrics, /runs, /runs/{id}/profile, /runs/{id}/trace.json and
-// /debug/pprof from the telemetry hub.
+// plus /metrics, /runs, /runs/{id}/profile, /runs/{id}/trace.json,
+// /calibration and /debug/pprof from the telemetry hub.
 //
 // The flight recorder keeps a bounded history of completed-run
 // profiles (-profile-history, negative disables); -profile-dir
 // persists them so the history survives a restart.
+//
+// Calibration (on by default, -calibration=false disables) folds every
+// finished job's estimate-vs-actual residuals into a cost calibrator
+// shared across all tenants, so the optimizer's platform choices
+// improve with the service's live traffic; -calibration-dir persists
+// the learned state across restarts. Inspect it at GET /calibration
+// and via the rheem_calibration_* metrics.
 //
 // Shutdown: the first SIGTERM/SIGINT starts a graceful drain — stop
 // admitting (503), let queued and running jobs finish (force-cancelled
@@ -71,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 	catalogScale := fs.Int("catalog-scale", 0, "rows in the SQL catalog tables (0 = full size)")
 	profileHistory := fs.Int("profile-history", 0, "completed-run profiles the flight recorder retains (0 = default 64, negative disables)")
 	profileDir := fs.String("profile-dir", "", "directory persisting flight-recorder profiles across restarts (empty = memory only)")
+	calibration := fs.Bool("calibration", true, "learn cost corrections from finished jobs (shared across tenants)")
+	calibrationDir := fs.String("calibration-dir", "", "directory persisting learned calibration across restarts (empty = memory only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +94,17 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 		profiles = storage.NewManager(0, nil)
 		if err := profiles.Register(st); err != nil {
 			return fmt.Errorf("profile store: %w", err)
+		}
+	}
+	var calibrations *storage.Manager
+	if *calibrationDir != "" {
+		st, err := csvstore.New(*calibrationDir)
+		if err != nil {
+			return fmt.Errorf("calibration store: %w", err)
+		}
+		calibrations = storage.NewManager(0, nil)
+		if err := calibrations.Register(st); err != nil {
+			return fmt.Errorf("calibration store: %w", err)
 		}
 	}
 
@@ -102,6 +123,8 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 		CatalogScale:       *catalogScale,
 		ProfileHistory:     *profileHistory,
 		ProfileStore:       profiles,
+		Calibration:        *calibration,
+		CalibrationStore:   calibrations,
 	})
 	if err != nil {
 		return err

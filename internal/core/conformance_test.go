@@ -18,7 +18,9 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
+	"rheem/internal/core/cost"
 	"rheem/internal/core/engine"
 	"rheem/internal/core/executor"
 	"rheem/internal/core/optimizer"
@@ -93,6 +95,15 @@ type confCase struct {
 // toggles the java engine's vectorized batch path.
 func runConformance(t *testing.T, c confCase, target engine.PlatformID, shards int, columnar bool) string {
 	t.Helper()
+	return runConformanceCal(t, c, target, shards, columnar, nil)
+}
+
+// runConformanceCal is runConformance with a cost calibrator threaded
+// into both the optimizer and the executor (mid-run re-planning), the
+// way rheem.Execute wires one — the calibration differential suite's
+// entry point.
+func runConformanceCal(t *testing.T, c confCase, target engine.PlatformID, shards int, columnar bool, cal *cost.Calibrator) string {
+	t.Helper()
 	reg := confRegistry(t, columnar)
 	feeder := javaengine.ID
 	if target == javaengine.ID {
@@ -116,7 +127,7 @@ func runConformance(t *testing.T, c confCase, target engine.PlatformID, shards i
 		t.Fatal(err)
 	}
 
-	opts := optimizer.Options{DisableRules: true, Shards: shards}
+	opts := optimizer.Options{DisableRules: true, Shards: shards, Calibration: cal}
 	if c.loop {
 		opts.FixedPlatform = target
 	} else {
@@ -134,7 +145,7 @@ func runConformance(t *testing.T, c confCase, target engine.PlatformID, shards i
 	if err != nil {
 		t.Fatalf("%s on %s: optimize: %v", c.name, target, err)
 	}
-	res, err := executor.Run(ep, reg, executor.Options{Shards: shards})
+	res, err := executor.Run(ep, reg, executor.Options{Shards: shards, Calibration: cal})
 	if err != nil {
 		t.Fatalf("%s on %s (shards=%d): %v", c.name, target, shards, err)
 	}
@@ -376,5 +387,80 @@ func TestConformanceCoversAllSharedKinds(t *testing.T) {
 			t.Errorf("operator kind %s is mapped on %d platforms but missing from the conformance battery",
 				kind, len(platforms))
 		}
+	}
+}
+
+// warmedConfCalibrator builds a calibrator carrying extreme,
+// deliberately-adversarial corrections: every operator kind on every
+// platform gets a large cost bias (alternating direction per platform,
+// so the learned factors disagree wildly between platforms), and every
+// kind gets a cardinality factor pushed to the clamp. Enough samples
+// per cell clear the min-sample guard, so all of it is applied.
+func warmedConfCalibrator(t *testing.T) *cost.Calibrator {
+	t.Helper()
+	cal := cost.NewCalibrator(cost.CalibratorConfig{})
+	var atoms []cost.AtomObs
+	var cards []cost.CardObs
+	for k := plan.KindSource; k <= plan.KindSink; k++ {
+		kind := k.String()
+		for i, pl := range confPlatforms {
+			est, act := time.Millisecond, 200*time.Millisecond
+			if i%2 == 1 {
+				est, act = 200*time.Millisecond, time.Millisecond
+			}
+			for j := 0; j < 5; j++ {
+				atoms = append(atoms, cost.AtomObs{
+					Kind: kind, Platform: string(pl), Estimated: est, Actual: act,
+				})
+			}
+		}
+		for j := 0; j < 5; j++ {
+			cards = append(cards, cost.CardObs{Kind: kind, Estimated: 10, Actual: 100_000})
+		}
+	}
+	cal.Fold(atoms, cards)
+	snap := cal.Snapshot()
+	if len(snap.Cost) == 0 || len(snap.Card) == 0 {
+		t.Fatal("synthetic warm-up produced no cells")
+	}
+	for _, c := range snap.Cost {
+		if !c.Applied {
+			t.Fatalf("cell %s/%s still guarded after warm-up", c.Kind, c.Platform)
+		}
+	}
+	return cal
+}
+
+// TestConformanceCalibrationDifferential is the calibration safety
+// suite: results are a semantics contract, calibration is a cost
+// lever. For every battery case on every platform, outputs with
+// calibration off (nil), on-but-empty, and warmed with extreme hostile
+// factors must be byte-identical — at shards=1 and shards=4, since
+// calibrated cardinalities also feed the sharding decision.
+func TestConformanceCalibrationDifferential(t *testing.T) {
+	warm := warmedConfCalibrator(t)
+	empty := cost.NewCalibrator(cost.CalibratorConfig{})
+	variants := []struct {
+		name string
+		cal  *cost.Calibrator
+	}{{"empty", empty}, {"warmed", warm}}
+	for _, c := range conformanceBattery() {
+		t.Run(c.name, func(t *testing.T) {
+			for _, target := range confPlatforms {
+				ref := runConformance(t, c, target, 1, false)
+				for _, v := range variants {
+					for _, shards := range []int{1, 4} {
+						got := runConformanceCal(t, c, target, shards, false, v.cal)
+						if got != ref {
+							t.Errorf("%s on %s: calibration=%s shards=%d changed the output",
+								c.name, target, v.name, shards)
+						}
+					}
+				}
+			}
+		})
+	}
+	if warm.Folds() != 1 {
+		t.Errorf("differential runs folded into the calibrator (folds=%d, want 1): the executor must never feed it", warm.Folds())
 	}
 }

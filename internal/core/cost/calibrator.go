@@ -1,0 +1,587 @@
+// The cost calibrator closes the optimizer's audit loop (RHEEMix-style
+// cost learning): completed runs report, per operator kind and
+// platform, what the cost model *predicted* and what execution
+// *measured*, and the calibrator folds those residuals into
+// multiplicative correction factors the optimizer applies to every
+// subsequent plan. Factors always correct the RAW (uncalibrated) model
+// output — the executor records raw estimates in its spans and audits
+// precisely so the learning target stays fixed; learning against
+// already-corrected estimates would feed the correction back into
+// itself and diverge.
+//
+// Each cell keeps an exponentially decayed geometric mean of observed
+// actual/estimated ratios: per observation, weight w ← w·λ + 1 and
+// sumLog ← sumLog·λ + log(ratio), so the factor exp(sumLog/w) tracks
+// recent traffic and old mistakes fade. A min-sample guard keeps the
+// factor at exactly 1 until a cell has seen enough evidence, and hard
+// clamps on both the per-observation ratio and the resulting factor
+// guarantee a factor is always a positive, finite multiplier — the
+// calibrator can re-rank platforms, but it can never price one at zero
+// or below.
+package cost
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Calibrator defaults; CalibratorConfig overrides them per instance.
+const (
+	// DefaultDecay is the per-observation retention λ: each new
+	// observation multiplies the accumulated weight by λ before adding
+	// its own, so the effective memory is ~1/(1−λ) observations.
+	DefaultDecay = 0.9
+	// DefaultMinSamples is how many observations a cell needs before
+	// its factor applies; below it the multiplier is exactly 1.
+	DefaultMinSamples = 3
+	// DefaultMinFactor / DefaultMaxFactor clamp the correction range: a
+	// learned factor never scales a cost by more than 16× in either
+	// direction, so one pathological run cannot zero a platform out.
+	DefaultMinFactor = 1.0 / 16
+	DefaultMaxFactor = 16.0
+	// ratioClamp bounds a single observation's actual/estimated ratio
+	// before it enters the decayed log-sum, so a wild outlier (a stalled
+	// host, a zero-cost estimate) cannot dominate the geometric mean.
+	ratioClamp = 1024.0
+)
+
+// CalibratorConfig tunes a Calibrator. Zero fields select defaults.
+type CalibratorConfig struct {
+	// Decay is the per-observation retention λ in (0, 1).
+	Decay float64
+	// MinSamples is the min-sample guard (observations before a cell's
+	// factor applies). Negative means 1 (apply immediately).
+	MinSamples int
+	// MinFactor/MaxFactor clamp learned factors; both must be positive
+	// with MinFactor ≤ MaxFactor.
+	MinFactor float64
+	MaxFactor float64
+}
+
+func (c CalibratorConfig) withDefaults() CalibratorConfig {
+	if c.Decay <= 0 || c.Decay >= 1 {
+		c.Decay = DefaultDecay
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = DefaultMinSamples
+	}
+	if c.MinSamples < 1 {
+		c.MinSamples = 1
+	}
+	if c.MinFactor <= 0 || math.IsInf(c.MinFactor, 0) || math.IsNaN(c.MinFactor) {
+		c.MinFactor = DefaultMinFactor
+	}
+	if c.MaxFactor <= 0 || math.IsInf(c.MaxFactor, 0) || math.IsNaN(c.MaxFactor) {
+		c.MaxFactor = DefaultMaxFactor
+	}
+	if c.MinFactor > c.MaxFactor {
+		c.MinFactor, c.MaxFactor = c.MaxFactor, c.MinFactor
+	}
+	return c
+}
+
+// AtomObs is one time observation from a completed run: for operators
+// of one kind executed on one platform, the raw model estimate and the
+// measured runtime attributed to them.
+type AtomObs struct {
+	Kind      string
+	Platform  string
+	Estimated time.Duration // raw (uncalibrated) model estimate
+	Actual    time.Duration // measured execution time
+}
+
+// CardObs is one cardinality observation: an operator kind's raw
+// rule-derived output-cardinality estimate versus the observed count.
+type CardObs struct {
+	Kind      string
+	Estimated int64 // raw (uncalibrated) rule-derived estimate
+	Actual    int64 // observed output cardinality
+}
+
+// cellKey identifies one cost-correction cell.
+type cellKey struct {
+	Kind     string
+	Platform string
+}
+
+// cell is the decayed-geometric-mean state of one correction factor.
+type cell struct {
+	w      float64 // decayed observation weight
+	sumLog float64 // decayed sum of log(ratio)
+	n      int64   // lifetime observation count (min-sample guard)
+}
+
+func (ce *cell) observe(ratio, decay float64) {
+	if !(ratio > 0) || math.IsInf(ratio, 0) || math.IsNaN(ratio) {
+		return
+	}
+	if ratio > ratioClamp {
+		ratio = ratioClamp
+	}
+	if ratio < 1/ratioClamp {
+		ratio = 1 / ratioClamp
+	}
+	ce.w = ce.w*decay + 1
+	ce.sumLog = ce.sumLog*decay + math.Log(ratio)
+	ce.n++
+}
+
+func (ce *cell) factor(cfg CalibratorConfig) float64 {
+	if ce == nil || ce.n < int64(cfg.MinSamples) || ce.w <= 0 {
+		return 1
+	}
+	f := math.Exp(ce.sumLog / ce.w)
+	if math.IsNaN(f) || f < cfg.MinFactor {
+		return cfg.MinFactor
+	}
+	if f > cfg.MaxFactor {
+		return cfg.MaxFactor
+	}
+	return f
+}
+
+// Calibrator learns per-(operator kind, platform) cost corrections and
+// per-kind cardinality corrections from completed runs. All methods
+// are safe for concurrent use — the optimizer reads factors while runs
+// fold — and every method tolerates a nil receiver (factor 1, no-op
+// fold), so call sites need no nil guards.
+type Calibrator struct {
+	mu    sync.RWMutex
+	cfg   CalibratorConfig
+	cost  map[cellKey]*cell
+	card  map[string]*cell
+	folds int64 // Fold batches applied (restart-surviving via the codec)
+}
+
+// NewCalibrator returns an empty calibrator (every factor 1).
+func NewCalibrator(cfg CalibratorConfig) *Calibrator {
+	return &Calibrator{
+		cfg:  cfg.withDefaults(),
+		cost: map[cellKey]*cell{},
+		card: map[string]*cell{},
+	}
+}
+
+// Config returns the effective (default-filled) configuration.
+func (c *Calibrator) Config() CalibratorConfig {
+	if c == nil {
+		return CalibratorConfig{}.withDefaults()
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.cfg
+}
+
+// Fold absorbs one completed run's observations. Observations with a
+// non-positive estimate or actual carry no signal and are skipped —
+// in particular a zero actual (an operator that produced nothing in no
+// measurable time) can never drive a factor toward zero.
+func (c *Calibrator) Fold(atoms []AtomObs, cards []CardObs) {
+	if c == nil || (len(atoms) == 0 && len(cards) == 0) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, o := range atoms {
+		if o.Kind == "" || o.Platform == "" || o.Estimated <= 0 || o.Actual <= 0 {
+			continue
+		}
+		k := cellKey{Kind: o.Kind, Platform: o.Platform}
+		ce := c.cost[k]
+		if ce == nil {
+			ce = &cell{}
+			c.cost[k] = ce
+		}
+		ce.observe(float64(o.Actual)/float64(o.Estimated), c.cfg.Decay)
+	}
+	for _, o := range cards {
+		if o.Kind == "" || o.Estimated <= 0 || o.Actual <= 0 {
+			continue
+		}
+		ce := c.card[o.Kind]
+		if ce == nil {
+			ce = &cell{}
+			c.card[o.Kind] = ce
+		}
+		ce.observe(float64(o.Actual)/float64(o.Estimated), c.cfg.Decay)
+	}
+	c.folds++
+}
+
+// CostFactor returns the multiplier for an operator kind's cost on a
+// platform: a positive, finite value, exactly 1 until the cell clears
+// the min-sample guard. Safe on a nil calibrator.
+func (c *Calibrator) CostFactor(kind, platform string) float64 {
+	if c == nil {
+		return 1
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.cost[cellKey{Kind: kind, Platform: platform}].factor(c.cfg)
+}
+
+// CardFactor returns the multiplier for an operator kind's estimated
+// output cardinality (cardinalities are platform-independent, so card
+// cells key on kind alone). Safe on a nil calibrator.
+func (c *Calibrator) CardFactor(kind string) float64 {
+	if c == nil {
+		return 1
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.card[kind].factor(c.cfg)
+}
+
+// Folds returns how many Fold batches the calibrator has absorbed
+// (including folds rehydrated through Decode).
+func (c *Calibrator) Folds() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.folds
+}
+
+// CalibrationCell is one learned factor in a snapshot.
+type CalibrationCell struct {
+	Kind     string  `json:"kind"`
+	Platform string  `json:"platform,omitempty"` // empty on card cells
+	Factor   float64 `json:"factor"`
+	Samples  int64   `json:"samples"`
+	// Applied reports whether the cell has cleared the min-sample guard
+	// (false means the optimizer still sees factor 1 from it).
+	Applied bool `json:"applied"`
+}
+
+// CalibrationSnapshot is the debug view served by GET /calibration.
+type CalibrationSnapshot struct {
+	Decay      float64           `json:"decay"`
+	MinSamples int               `json:"min_samples"`
+	MinFactor  float64           `json:"min_factor"`
+	MaxFactor  float64           `json:"max_factor"`
+	Folds      int64             `json:"folds"`
+	Cost       []CalibrationCell `json:"cost"`
+	Card       []CalibrationCell `json:"card"`
+}
+
+// Snapshot exports the calibrator's state, cells sorted by key. Safe
+// on a nil calibrator (returns nil).
+func (c *Calibrator) Snapshot() *CalibrationSnapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := &CalibrationSnapshot{
+		Decay:      c.cfg.Decay,
+		MinSamples: c.cfg.MinSamples,
+		MinFactor:  c.cfg.MinFactor,
+		MaxFactor:  c.cfg.MaxFactor,
+		Folds:      c.folds,
+		Cost:       make([]CalibrationCell, 0, len(c.cost)),
+		Card:       make([]CalibrationCell, 0, len(c.card)),
+	}
+	for k, ce := range c.cost {
+		s.Cost = append(s.Cost, CalibrationCell{
+			Kind: k.Kind, Platform: k.Platform,
+			Factor: ce.factor(c.cfg), Samples: ce.n,
+			Applied: ce.n >= int64(c.cfg.MinSamples),
+		})
+	}
+	for k, ce := range c.card {
+		s.Card = append(s.Card, CalibrationCell{
+			Kind:   k,
+			Factor: ce.factor(c.cfg), Samples: ce.n,
+			Applied: ce.n >= int64(c.cfg.MinSamples),
+		})
+	}
+	sortCells(s.Cost)
+	sortCells(s.Card)
+	return s
+}
+
+func sortCells(cells []CalibrationCell) {
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Kind != cells[j].Kind {
+			return cells[i].Kind < cells[j].Kind
+		}
+		return cells[i].Platform < cells[j].Platform
+	})
+}
+
+// --- persisted codec ----------------------------------------------------
+//
+// Binary, versioned, deterministic (cells sorted by key on encode) and
+// decode-hardened: length prefixes are attacker-controlled until the
+// payload behind them has been read, so preallocation is capped and
+// every float is validated — a corrupt or hostile store can fail the
+// load, but it can never install a NaN factor or a multi-gigabyte
+// allocation. Decode→Encode is a fixpoint (enforced by
+// FuzzCalibrationRoundTrip).
+
+// calMagic and calVersion head every encoded calibration state.
+var calMagic = []byte("RHCAL")
+
+const calVersion = 1
+
+// codec caps, mirroring data.ReadBinary's preallocation discipline.
+const (
+	calMaxString   = 1 << 10 // operator kinds and platform IDs are short
+	calMaxPrealloc = 1 << 12 // cells preallocated before payload is seen
+)
+
+// Encode serialises the calibrator's full state.
+func (c *Calibrator) Encode() []byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var buf bytes.Buffer
+	buf.Write(calMagic)
+	buf.WriteByte(calVersion)
+	putF := func(f float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		buf.Write(b[:])
+	}
+	putV := func(v uint64) {
+		var b [binary.MaxVarintLen64]byte
+		buf.Write(b[:binary.PutUvarint(b[:], v)])
+	}
+	putS := func(s string) {
+		putV(uint64(len(s)))
+		buf.WriteString(s)
+	}
+	putF(c.cfg.Decay)
+	putV(uint64(c.cfg.MinSamples))
+	putF(c.cfg.MinFactor)
+	putF(c.cfg.MaxFactor)
+	putV(uint64(c.folds))
+
+	costKeys := make([]cellKey, 0, len(c.cost))
+	for k := range c.cost {
+		costKeys = append(costKeys, k)
+	}
+	sort.Slice(costKeys, func(i, j int) bool {
+		if costKeys[i].Kind != costKeys[j].Kind {
+			return costKeys[i].Kind < costKeys[j].Kind
+		}
+		return costKeys[i].Platform < costKeys[j].Platform
+	})
+	putV(uint64(len(costKeys)))
+	for _, k := range costKeys {
+		ce := c.cost[k]
+		putS(k.Kind)
+		putS(k.Platform)
+		putF(ce.w)
+		putF(ce.sumLog)
+		putV(uint64(ce.n))
+	}
+
+	cardKeys := make([]string, 0, len(c.card))
+	for k := range c.card {
+		cardKeys = append(cardKeys, k)
+	}
+	sort.Strings(cardKeys)
+	putV(uint64(len(cardKeys)))
+	for _, k := range cardKeys {
+		ce := c.card[k]
+		putS(k)
+		putF(ce.w)
+		putF(ce.sumLog)
+		putV(uint64(ce.n))
+	}
+	return buf.Bytes()
+}
+
+// calReader decodes the calibration wire format with validation.
+type calReader struct {
+	r *bytes.Reader
+}
+
+func (d *calReader) f64() (float64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(d.r, b[:]); err != nil {
+		return 0, err
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("cost: calibration decode: non-finite float")
+	}
+	return f, nil
+}
+
+func (d *calReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(d.r)
+}
+
+func (d *calReader) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > calMaxString {
+		return "", fmt.Errorf("cost: calibration decode: string length %d exceeds cap", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (d *calReader) cell() (cell, error) {
+	w, err := d.f64()
+	if err != nil {
+		return cell{}, err
+	}
+	sumLog, err := d.f64()
+	if err != nil {
+		return cell{}, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return cell{}, err
+	}
+	if w < 0 || n > math.MaxInt64 {
+		return cell{}, fmt.Errorf("cost: calibration decode: invalid cell state")
+	}
+	return cell{w: w, sumLog: sumLog, n: int64(n)}, nil
+}
+
+func calPrealloc(n uint64) int {
+	if n > calMaxPrealloc {
+		return calMaxPrealloc
+	}
+	return int(n)
+}
+
+// DecodeCalibrator parses state written by Encode into a fresh
+// calibrator. The embedded configuration is re-validated through the
+// same defaulting as NewCalibrator, so a decoded calibrator upholds
+// every factor invariant the original did.
+func DecodeCalibrator(b []byte) (*Calibrator, error) {
+	if len(b) < len(calMagic)+1 || !bytes.Equal(b[:len(calMagic)], calMagic) {
+		return nil, fmt.Errorf("cost: calibration decode: bad magic")
+	}
+	if v := b[len(calMagic)]; v != calVersion {
+		return nil, fmt.Errorf("cost: calibration decode: unsupported version %d", v)
+	}
+	d := &calReader{r: bytes.NewReader(b[len(calMagic)+1:])}
+	var cfg CalibratorConfig
+	var err error
+	if cfg.Decay, err = d.f64(); err != nil {
+		return nil, err
+	}
+	minSamples, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if minSamples > math.MaxInt32 {
+		return nil, fmt.Errorf("cost: calibration decode: min_samples %d out of range", minSamples)
+	}
+	cfg.MinSamples = int(minSamples)
+	if cfg.MinFactor, err = d.f64(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxFactor, err = d.f64(); err != nil {
+		return nil, err
+	}
+	if cfg != cfg.withDefaults() {
+		return nil, fmt.Errorf("cost: calibration decode: config outside valid range")
+	}
+	folds, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if folds > math.MaxInt64 {
+		return nil, fmt.Errorf("cost: calibration decode: folds out of range")
+	}
+
+	cal := NewCalibrator(cfg)
+	cal.folds = int64(folds)
+
+	nCost, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	costKeys := make([]cellKey, 0, calPrealloc(nCost))
+	for i := uint64(0); i < nCost; i++ {
+		var k cellKey
+		if k.Kind, err = d.str(); err != nil {
+			return nil, err
+		}
+		if k.Platform, err = d.str(); err != nil {
+			return nil, err
+		}
+		ce, err := d.cell()
+		if err != nil {
+			return nil, err
+		}
+		// Strictly ascending keys make Decode∘Encode a fixpoint and
+		// reject duplicate cells in one check.
+		if len(costKeys) > 0 {
+			prev := costKeys[len(costKeys)-1]
+			if k.Kind < prev.Kind || (k.Kind == prev.Kind && k.Platform <= prev.Platform) {
+				return nil, fmt.Errorf("cost: calibration decode: cost cells out of order")
+			}
+		}
+		costKeys = append(costKeys, k)
+		cal.cost[k] = &ce
+	}
+
+	nCard, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	cardKeys := make([]string, 0, calPrealloc(nCard))
+	for i := uint64(0); i < nCard; i++ {
+		k, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		ce, err := d.cell()
+		if err != nil {
+			return nil, err
+		}
+		if len(cardKeys) > 0 && k <= cardKeys[len(cardKeys)-1] {
+			return nil, fmt.Errorf("cost: calibration decode: card cells out of order")
+		}
+		cardKeys = append(cardKeys, k)
+		cal.card[k] = &ce
+	}
+	if d.r.Len() != 0 {
+		return nil, fmt.Errorf("cost: calibration decode: %d trailing bytes", d.r.Len())
+	}
+	return cal, nil
+}
+
+// Replace swaps this calibrator's state for the decoded one's — how a
+// restarted service rehydrates a live (already-shared) calibrator from
+// its persisted snapshot without re-plumbing pointers.
+func (c *Calibrator) Replace(from *Calibrator) {
+	if c == nil || from == nil || c == from {
+		return
+	}
+	from.mu.RLock()
+	cfg, folds := from.cfg, from.folds
+	costM := make(map[cellKey]*cell, len(from.cost))
+	for k, ce := range from.cost {
+		cp := *ce
+		costM[k] = &cp
+	}
+	cardM := make(map[string]*cell, len(from.card))
+	for k, ce := range from.card {
+		cp := *ce
+		cardM[k] = &cp
+	}
+	from.mu.RUnlock()
+	c.mu.Lock()
+	c.cfg, c.folds, c.cost, c.card = cfg, folds, costM, cardM
+	c.mu.Unlock()
+}

@@ -1,0 +1,54 @@
+package cost
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzCalibrationRoundTrip hardens the persisted calibration codec the
+// same way FuzzCodecRoundTrip hardens data.ReadBinary: arbitrary bytes
+// must either be rejected with an error or decode into a calibrator
+// whose re-encoding is a byte-exact fixpoint (decode→encode→decode
+// stable), with preallocation capped so a hostile length prefix cannot
+// force a huge allocation, and every decoded factor still safe.
+func FuzzCalibrationRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("RHCAL"))
+	f.Add([]byte("RHCAL\x01"))
+	empty := NewCalibrator(CalibratorConfig{})
+	f.Add(empty.Encode())
+	warm := NewCalibrator(CalibratorConfig{Decay: 0.5, MinSamples: 1})
+	warm.Fold(
+		[]AtomObs{
+			{Kind: "Map", Platform: "java", Estimated: time.Second, Actual: 2 * time.Second},
+			{Kind: "Join", Platform: "sparksim", Estimated: time.Minute, Actual: time.Second},
+		},
+		[]CardObs{{Kind: "Filter", Estimated: 100, Actual: 42}},
+	)
+	f.Add(warm.Encode())
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		cal, err := DecodeCalibrator(in)
+		if err != nil {
+			return
+		}
+		enc := cal.Encode()
+		cal2, err := DecodeCalibrator(enc)
+		if err != nil {
+			t.Fatalf("re-decode of valid encoding failed: %v", err)
+		}
+		if !bytes.Equal(enc, cal2.Encode()) {
+			t.Fatal("decode→encode→decode is not a fixpoint")
+		}
+		// Whatever decoded, the factor invariants must hold: a cell is
+		// either still guarded (exactly 1) or inside the clamp range.
+		cfg := cal.Config()
+		for _, c := range append(cal.Snapshot().Cost, cal.Snapshot().Card...) {
+			inRange := c.Factor >= cfg.MinFactor && c.Factor <= cfg.MaxFactor
+			if !(c.Factor > 0) || (c.Factor != 1 && !inRange) {
+				t.Fatalf("decoded cell %q/%q has unsafe factor %v", c.Kind, c.Platform, c.Factor)
+			}
+		}
+	})
+}

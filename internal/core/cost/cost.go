@@ -110,6 +110,7 @@ type Estimates struct {
 	RecBytes int64 // assumed average record footprint
 
 	overrides map[int]int64
+	cal       *Calibrator
 }
 
 // Bytes estimates the byte volume flowing out of op.
@@ -137,8 +138,18 @@ func Estimate(p *physical.Plan) *Estimates {
 // from the corrected value. This is the statistics-feedback half of
 // adaptive re-optimization.
 func EstimateWith(p *physical.Plan, overrides map[int]int64) *Estimates {
+	return EstimateCalibrated(p, overrides, nil)
+}
+
+// EstimateCalibrated is EstimateWith with a calibrator: each rule-
+// derived cardinality is scaled by the calibrator's learned per-kind
+// correction before flowing downstream. Observed overrides are applied
+// after (and never scaled — they are measurements, not estimates). A
+// nil calibrator degrades to the uncalibrated rules.
+func EstimateCalibrated(p *physical.Plan, overrides map[int]int64, cal *Calibrator) *Estimates {
 	est := &Estimates{Cards: make(map[int]int64, len(p.Ops)), RecBytes: DefaultRecBytes}
 	est.overrides = overrides
+	est.cal = cal
 	estimateInto(p, est, -1)
 	return est
 }
@@ -214,6 +225,18 @@ func estimateInto(p *physical.Plan, est *Estimates, loopInputCard int64) {
 		}
 		if card < 0 {
 			card = 0
+		}
+		// Calibration scales the rule-derived estimate only; sources keep
+		// their hints (their observed ratio is ~1 anyway) and overrides
+		// below stay untouched — they are measurements.
+		if est.cal != nil && card > 0 {
+			switch lop.Kind() {
+			case plan.KindSource, plan.KindLoopInput, plan.KindRepeat, plan.KindDoWhile:
+				// Loop cards come from their body's (already calibrated)
+				// sink estimate; scaling again would double-correct.
+			default:
+				card = int64(float64(card) * est.cal.CardFactor(lop.Kind().String()))
+			}
 		}
 		if ov, ok := est.overrides[op.ID]; ok {
 			card = ov

@@ -377,6 +377,27 @@ func (r *Registry) CloneMappings(from, to PlatformID) error {
 	return nil
 }
 
+// RewriteCosts replaces the cost model of every mapping a platform
+// declares with wrap(old), returning how many mappings were rewritten.
+// MappingFor returns the first exact match, so appending a new mapping
+// cannot override an existing one — in-place rewrite is the supported
+// way to perturb or instrument a platform's declared costs (the
+// calibration replay experiment injects a deliberate mis-estimate this
+// way and watches the calibrator correct it).
+func (r *Registry) RewriteCosts(p PlatformID, wrap func(cost.Model) cost.Model) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for i := range r.mappings {
+		if r.mappings[i].Platform != p {
+			continue
+		}
+		r.mappings[i].Cost = wrap(r.mappings[i].Cost)
+		n++
+	}
+	return n
+}
+
 // DescribeMappings renders the declarative mapping table — one line
 // per (platform, operator kind, algorithm) with its context hint. The
 // paper envisions mappings as first-class declarative data the

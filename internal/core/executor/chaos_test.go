@@ -6,7 +6,9 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
+	"rheem/internal/core/cost"
 	"rheem/internal/core/engine"
 	"rheem/internal/core/fault"
 	"rheem/internal/core/optimizer"
@@ -256,5 +258,103 @@ func TestFailoverDisabledPropagatesError(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "failed after") {
 		t.Errorf("error lacks the attempt accounting: %v", err)
+	}
+}
+
+// warmedChaosCalibrator returns a calibrator with large applied
+// corrections, in clashing directions, for every operator kind on
+// every platform the chaos suite schedules on — including the doomed
+// chaos platform itself, so the mid-run failover re-plan consults
+// learned factors too.
+func warmedChaosCalibrator(t *testing.T) *cost.Calibrator {
+	t.Helper()
+	cal := cost.NewCalibrator(cost.CalibratorConfig{})
+	var atoms []cost.AtomObs
+	var cards []cost.CardObs
+	for k := plan.KindSource; k <= plan.KindSink; k++ {
+		kind := k.String()
+		for i, pl := range []engine.PlatformID{javaengine.ID, sparksim.ID, "chaos"} {
+			est, act := time.Millisecond, 100*time.Millisecond
+			if i%2 == 1 {
+				est, act = 100*time.Millisecond, time.Millisecond
+			}
+			for j := 0; j < 4; j++ {
+				atoms = append(atoms, cost.AtomObs{
+					Kind: kind, Platform: string(pl), Estimated: est, Actual: act,
+				})
+			}
+		}
+		for j := 0; j < 4; j++ {
+			cards = append(cards, cost.CardObs{Kind: kind, Estimated: 100, Actual: 3})
+		}
+	}
+	cal.Fold(atoms, cards)
+	return cal
+}
+
+// TestChaosFailoverWithWarmedCalibrator extends the acceptance chaos
+// test to the learning loop: a warmed calibrator biases every cost the
+// failover re-planner consults, and the run must still produce records
+// byte-identical to the fault-free, calibration-free baseline.
+// Calibration may change which survivor the re-plan picks — never what
+// the run computes.
+func TestChaosFailoverWithWarmedCalibrator(t *testing.T) {
+	pp, fa := faultPlan(t, []engine.PlatformID{"chaos", "chaos"})
+	cal := warmedChaosCalibrator(t)
+
+	// Baseline: healthy platform, no calibration anywhere.
+	cleanReg, _ := chaosRegistry(t, fault.Options{})
+	cleanEP, err := optimizer.Optimize(pp, cleanReg, optimizer.Options{DisableRules: true, ForcedAssignments: fa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(cleanEP, cleanReg, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortedRecordBytes(t, clean.Records)
+
+	// Warmed but fault-free: calibration alone must not move results.
+	calmReg, _ := chaosRegistry(t, fault.Options{})
+	calmEP, err := optimizer.Optimize(pp, calmReg, optimizer.Options{DisableRules: true, ForcedAssignments: fa, Calibration: cal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm, err := Run(calmEP, calmReg, Options{Parallelism: 2, Calibration: cal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sortedRecordBytes(t, calm.Records); strings.Join(got, "\x00") != strings.Join(want, "\x00") {
+		t.Fatal("warmed calibrator changed fault-free results")
+	}
+
+	// Warmed AND dying mid-run: the failover re-plan runs through the
+	// calibrated cost model and must still land on identical records.
+	reg, p := chaosRegistry(t, fault.Options{Schedules: []fault.Schedule{fault.FailAfterN(1, nil)}})
+	ep, err := optimizer.Optimize(pp, reg, optimizer.Options{DisableRules: true, ForcedAssignments: fa, Calibration: cal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ep, reg, Options{Parallelism: 2, Failover: true, RetryBackoff: -1, Calibration: cal})
+	if err != nil {
+		t.Fatalf("chaos run with warmed calibrator failed despite failover: %v", err)
+	}
+	if p.Stats().Injected == 0 {
+		t.Fatal("fixture injected no failures")
+	}
+	if res.Failovers < 1 {
+		t.Errorf("Failovers = %d, want >= 1", res.Failovers)
+	}
+	got := sortedRecordBytes(t, res.Records)
+	if len(got) != len(want) {
+		t.Fatalf("chaos+calibration run produced %d records, baseline %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs between chaos+calibration and clean baseline", i)
+		}
+	}
+	if folds := cal.Folds(); folds != 1 {
+		t.Errorf("executor runs folded into the calibrator (folds=%d, want only the warm-up's 1)", folds)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"rheem/internal/core/channel"
+	"rheem/internal/core/cost"
 	"rheem/internal/core/engine"
 	"rheem/internal/core/optimizer"
 	"rheem/internal/core/physical"
@@ -141,6 +142,11 @@ type Options struct {
 	// trail. Monitor is implemented as one consumer of this stream, so
 	// a run with both sees identical event ordering.
 	Tracer *trace.Tracer
+	// Calibration propagates the learned cost-correction factors into
+	// mid-run re-planning: adaptive re-optimization and cross-platform
+	// failover re-run the optimizer, and without this the replacement
+	// plan would be priced uncalibrated. Nil is fine.
+	Calibration *cost.Calibrator
 }
 
 func (o *Options) defaults() {
@@ -306,6 +312,27 @@ func atomEstCost(ep *optimizer.ExecutionPlan, atom *engine.TaskAtom) time.Durati
 	return total
 }
 
+// atomKindEst splits a compute atom's RAW estimated cost by operator
+// kind — the span-level attribution the cost calibrator folds measured
+// time against. Raw, so calibration corrections never enter their own
+// learning target. Nil for loop atoms (their body atoms carry the
+// attribution) and for plans with no raw costs.
+func atomKindEst(ep *optimizer.ExecutionPlan, atom *engine.TaskAtom) map[string]int64 {
+	if atom.Kind != engine.AtomCompute || len(ep.RawOpCosts) == 0 {
+		return nil
+	}
+	m := make(map[string]int64, len(atom.Ops))
+	for _, op := range atom.Ops {
+		if c, ok := ep.RawOpCosts[op.ID]; ok {
+			m[op.Kind().String()] += int64(c.Total())
+		}
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}
+
 // atomDone reports whether every output the atom owes the rest of the
 // plan is already available.
 func atomDone(atom *engine.TaskAtom, channels map[int]*channel.Channel) bool {
@@ -358,6 +385,7 @@ func reoptimize(ep *optimizer.ExecutionPlan, reg *engine.Registry, opts *Options
 		ForcedAssignments: forced,
 		Frozen:            frozen,
 		ExcludePlatforms:  excluded,
+		Calibration:       opts.Calibration,
 	})
 }
 
@@ -372,7 +400,8 @@ func runComputeAtom(atom *engine.TaskAtom, ep *optimizer.ExecutionPlan, reg *eng
 	sp := st.tr.Begin(&trace.Span{
 		Kind: trace.KindAtom, AtomID: atom.ID, Name: atom.String(),
 		Platform: atom.Platform, Plan: ep.Physical.Name, Iteration: iter,
-		Shard: -1, EstCost: atomEstCost(ep, atom), Atom: atom,
+		Shard: -1, EstCost: atomEstCost(ep, atom),
+		KindEst: atomKindEst(ep, atom), Atom: atom,
 	}, readyAt)
 	platform, ok := reg.Platform(atom.Platform)
 	if !ok {
@@ -551,10 +580,15 @@ func auditCardsLocked(atom *engine.TaskAtom, ep *optimizer.ExecutionPlan, exits 
 		}
 		factor := float64(hi) / float64(lo)
 		flagged := opts.AuditFactor > 1 && factor > opts.AuditFactor
+		rawEstimate := estimate
+		if ep.RawEstimates != nil {
+			rawEstimate = ep.RawEstimates.Cards[ex.ID]
+		}
 		audits = append(audits, trace.CardAudit{
 			OpID: ex.ID, OpName: ex.Name(), Platform: atom.Platform,
 			Estimated: estimate, Actual: actual, ErrFactor: factor,
 			Flagged: flagged, EstCost: ep.OpCosts[ex.ID].Total(),
+			OpKind: ex.Kind().String(), RawEstimated: rawEstimate,
 		})
 		if flagged {
 			st.res.Mismatches = append(st.res.Mismatches, CardMismatch{

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"rheem/internal/core/channel"
+	"rheem/internal/core/cost"
 	"rheem/internal/core/engine"
 	"rheem/internal/core/profile"
 	"rheem/internal/core/trace"
@@ -25,6 +26,11 @@ type Hub struct {
 	// rec is the optional run flight recorder: completed runs are folded
 	// into per-run profiles the monitoring server exposes.
 	rec atomic.Pointer[profile.Recorder]
+	// cal is the optional shared cost calibrator: every Execute on a
+	// Context bound to this hub folds its completed run into it, and
+	// every optimization reads its correction factors — the cross-run
+	// learning loop.
+	cal atomic.Pointer[cost.Calibrator]
 }
 
 // NewHub returns a hub with a fresh registry, run tracker and
@@ -46,6 +52,76 @@ func (h *Hub) SetFlightRecorder(rec *profile.Recorder) { h.rec.Store(rec) }
 
 // FlightRecorder returns the attached recorder, nil if none.
 func (h *Hub) FlightRecorder() *profile.Recorder { return h.rec.Load() }
+
+// SetCalibrator attaches a shared cost calibrator and exports its
+// state as rheem_calibration_* metrics: fold count, cell count, and
+// the learned per-(kind, platform) cost factors and per-kind
+// cardinality factors (applied cells only — guarded cells are
+// factor-1 noise a dashboard doesn't need).
+func (h *Hub) SetCalibrator(cal *cost.Calibrator) {
+	h.cal.Store(cal)
+	h.reg.SetFunc("rheem_calibration_folds_total",
+		"Completed runs folded into the shared cost calibrator.",
+		typeCounter, nil, func() []Sample {
+			return []Sample{{Value: float64(h.cal.Load().Folds())}}
+		})
+	h.reg.SetFunc("rheem_calibration_cells",
+		"Correction cells the calibrator tracks, by kind (cost or card).",
+		typeGauge, []string{"kind"}, func() []Sample {
+			s := h.cal.Load().Snapshot()
+			if s == nil {
+				return nil
+			}
+			return []Sample{
+				{Labels: []Label{{Name: "kind", Value: "cost"}}, Value: float64(len(s.Cost))},
+				{Labels: []Label{{Name: "kind", Value: "card"}}, Value: float64(len(s.Card))},
+			}
+		})
+	h.reg.SetFunc("rheem_calibration_factor",
+		"Learned cost-correction factor per (operator kind, platform); only cells past the min-sample guard.",
+		typeGauge, []string{"kind", "platform"}, func() []Sample {
+			s := h.cal.Load().Snapshot()
+			if s == nil {
+				return nil
+			}
+			out := make([]Sample, 0, len(s.Cost))
+			for _, c := range s.Cost {
+				if !c.Applied {
+					continue
+				}
+				out = append(out, Sample{
+					Labels: []Label{
+						{Name: "kind", Value: c.Kind},
+						{Name: "platform", Value: c.Platform},
+					},
+					Value: c.Factor,
+				})
+			}
+			return out
+		})
+	h.reg.SetFunc("rheem_calibration_card_factor",
+		"Learned cardinality-correction factor per operator kind; only cells past the min-sample guard.",
+		typeGauge, []string{"kind"}, func() []Sample {
+			s := h.cal.Load().Snapshot()
+			if s == nil {
+				return nil
+			}
+			out := make([]Sample, 0, len(s.Card))
+			for _, c := range s.Card {
+				if !c.Applied {
+					continue
+				}
+				out = append(out, Sample{
+					Labels: []Label{{Name: "kind", Value: c.Kind}},
+					Value:  c.Factor,
+				})
+			}
+			return out
+		})
+}
+
+// Calibrator returns the attached shared calibrator, nil if none.
+func (h *Hub) Calibrator() *cost.Calibrator { return h.cal.Load() }
 
 // Runs returns the hub's run tracker.
 func (h *Hub) Runs() *RunTracker { return h.runs }

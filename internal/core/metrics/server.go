@@ -45,6 +45,7 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "  /runs                  live per-run progress (JSON)")
 		fmt.Fprintln(w, "  /runs/{id}/profile     flight-recorder profile of a completed run (JSON)")
 		fmt.Fprintln(w, "  /runs/{id}/trace.json  Chrome-trace-event export (load in ui.perfetto.dev)")
+		fmt.Fprintln(w, "  /calibration           learned cost-correction factors (JSON)")
 		fmt.Fprintln(w, "  /debug/pprof           Go runtime profiles")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -83,6 +84,20 @@ func (s *Server) Handler() http.Handler {
 		if err := rec.WritePerfetto(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("GET /calibration", func(w http.ResponseWriter, r *http.Request) {
+		cal := s.hub.Calibrator()
+		if cal == nil {
+			http.Error(w, "calibration not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		b, err := json.MarshalIndent(cal.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(b, '\n'))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

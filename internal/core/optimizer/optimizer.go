@@ -45,6 +45,14 @@ type Options struct {
 	// DoWhileIterGuess is the iteration count assumed for DoWhile
 	// loops when costing (default 10).
 	DoWhileIterGuess int
+	// Calibration supplies learned per-(kind, platform) cost correction
+	// factors and per-kind cardinality corrections folded from completed
+	// runs (cost.Calibrator). The DP multiplies each candidate's model
+	// cost by its factor, so platform choices improve with traffic. Nil
+	// (or a cold calibrator) leaves every cost untouched. Because
+	// ShardDiscount and failover re-planning run through the same DP,
+	// both inherit calibrated costs automatically.
+	Calibration *cost.Calibrator
 	// Shards is the executor's intra-atom shard fan-out (≤1 = off). The
 	// DP discounts the compute cost of shardable operator kinds on
 	// non-distributed platforms by cost.ShardDiscount — distributed
@@ -93,6 +101,16 @@ type ExecutionPlan struct {
 	// multiplied by the expected iterations). The executor's audit
 	// trail compares these predictions against measured runtimes.
 	OpCosts map[int]cost.Cost
+	// RawOpCosts / RawEstimates / RawEstimated are the same predictions
+	// with calibration stripped: raw model costs on raw rule-derived
+	// cardinalities. The executor records these in its spans and audits
+	// so the calibrator always learns against the fixed, uncalibrated
+	// model — learning against already-corrected estimates would feed
+	// the correction back into itself. Without calibration they alias
+	// the calibrated fields.
+	RawOpCosts   map[int]cost.Cost
+	RawEstimates *cost.Estimates
+	RawEstimated cost.Cost
 }
 
 // String renders the execution plan as its atom sequence.
@@ -143,26 +161,33 @@ func Optimize(p *physical.Plan, reg *engine.Registry, opts Options) (*ExecutionP
 			return nil, err
 		}
 	}
-	est := cost.EstimateWith(p, opts.CardOverrides)
-	return optimizeWith(p, reg, opts, est)
+	est := cost.EstimateCalibrated(p, opts.CardOverrides, opts.Calibration)
+	rawEst := est
+	if opts.Calibration != nil {
+		rawEst = cost.EstimateWith(p, opts.CardOverrides)
+	}
+	return optimizeWith(p, reg, opts, est, rawEst)
 }
 
-func optimizeWith(p *physical.Plan, reg *engine.Registry, opts Options, est *cost.Estimates) (*ExecutionPlan, error) {
+func optimizeWith(p *physical.Plan, reg *engine.Registry, opts Options, est, rawEst *cost.Estimates) (*ExecutionPlan, error) {
 	ep := &ExecutionPlan{
-		Physical:   p,
-		Assignment: make(map[int]engine.PlatformID, len(p.Ops)),
-		LoopBodies: make(map[int]*ExecutionPlan),
-		Estimates:  est,
-		OpCosts:    make(map[int]cost.Cost, len(p.Ops)),
+		Physical:     p,
+		Assignment:   make(map[int]engine.PlatformID, len(p.Ops)),
+		LoopBodies:   make(map[int]*ExecutionPlan),
+		Estimates:    est,
+		RawEstimates: rawEst,
+		OpCosts:      make(map[int]cost.Cost, len(p.Ops)),
+		RawOpCosts:   make(map[int]cost.Cost, len(p.Ops)),
 	}
 	// Optimize loop bodies first: a loop's cost and platform derive
 	// from its body.
 	loopCost := make(map[int]cost.Cost)
+	rawLoopCost := make(map[int]cost.Cost)
 	loopPlatform := make(map[int]engine.PlatformID)
 	for _, op := range p.Ops {
 		switch op.Kind() {
 		case plan.KindRepeat, plan.KindDoWhile:
-			body, err := optimizeWith(op.Body, reg, opts, est)
+			body, err := optimizeWith(op.Body, reg, opts, est, rawEst)
 			if err != nil {
 				return nil, fmt.Errorf("optimizer: loop body of %s: %w", op.Name(), err)
 			}
@@ -175,11 +200,12 @@ func optimizeWith(p *physical.Plan, reg *engine.Registry, opts Options, est *cos
 			}
 			ep.LoopBodies[op.ID] = body
 			loopCost[op.ID] = body.Estimated.Times(float64(iters))
+			rawLoopCost[op.ID] = body.RawEstimated.Times(float64(iters))
 			loopPlatform[op.ID] = body.Assignment[op.Body.SinkOp.ID]
 		}
 	}
 
-	if err := assignPlatforms(p, reg, opts, est, ep, loopCost, loopPlatform); err != nil {
+	if err := assignPlatforms(p, reg, opts, est, ep, loopCost, rawLoopCost, loopPlatform); err != nil {
 		return nil, err
 	}
 	atoms, err := splitAtoms(p, ep.Assignment, opts.Frozen)
@@ -242,7 +268,7 @@ func designatedRoots(p *physical.Plan) map[int]bool {
 
 // assignPlatforms runs the DP over (operator, platform) states and
 // backtracks the cheapest assignment into ep.
-func assignPlatforms(p *physical.Plan, reg *engine.Registry, opts Options, est *cost.Estimates, ep *ExecutionPlan, loopCost map[int]cost.Cost, loopPlatform map[int]engine.PlatformID) error {
+func assignPlatforms(p *physical.Plan, reg *engine.Registry, opts Options, est *cost.Estimates, ep *ExecutionPlan, loopCost, rawLoopCost map[int]cost.Cost, loopPlatform map[int]engine.PlatformID) error {
 	platforms := reg.Platforms()
 	if len(platforms) == 0 {
 		return fmt.Errorf("optimizer: no platforms registered")
@@ -326,6 +352,12 @@ func assignPlatforms(p *physical.Plan, reg *engine.Registry, opts Options, est *
 				if shardDiscounts(opts, platform.Profile(), op.Kind()) {
 					oc = cost.ShardDiscount(oc, opts.Shards)
 				}
+				// Learned correction: scale the model's estimate by the
+				// observed actual/estimated ratio for this (kind,
+				// platform). CostFactor is 1 on a nil or cold calibrator.
+				if f := opts.Calibration.CostFactor(op.Kind().String(), string(pl)); f != 1 {
+					oc = oc.Times(f)
+				}
 				opTotal := oc.CPU + oc.IO + oc.Net
 				if newAtom {
 					opTotal += oc.Startup
@@ -360,7 +392,7 @@ func assignPlatforms(p *physical.Plan, reg *engine.Registry, opts Options, est *
 	backtrack(p.SinkOp, bestPl, dp, ep)
 	// Re-walk the chosen assignment to report the full cost vector
 	// (the DP optimises the scalar total only).
-	ep.Estimated = vectorCost(p, reg, opts, est, ep, loopCost, roots)
+	ep.Estimated, ep.RawEstimated = vectorCost(p, reg, opts, ep, loopCost, rawLoopCost, roots)
 	return nil
 }
 
@@ -453,23 +485,37 @@ func backtrack(op *physical.Operator, pl engine.PlatformID, dp map[int]map[engin
 
 // vectorCost re-walks the chosen assignment summing full cost vectors
 // (the DP optimises the scalar total only), retaining each operator's
-// cost in ep.OpCosts for the executor's estimate-vs-actual audit.
-func vectorCost(p *physical.Plan, reg *engine.Registry, opts Options, est *cost.Estimates, ep *ExecutionPlan, loopCost map[int]cost.Cost, roots map[int]bool) cost.Cost {
-	var total cost.Cost
+// cost in ep.OpCosts for the executor's estimate-vs-actual audit. It
+// fills the raw (uncalibrated) twin in the same walk: raw model costs
+// on raw cardinalities, which is what the calibrator learns against.
+func vectorCost(p *physical.Plan, reg *engine.Registry, opts Options, ep *ExecutionPlan, loopCost, rawLoopCost map[int]cost.Cost, roots map[int]bool) (total, rawTotal cost.Cost) {
+	est, rawEst := ep.Estimates, ep.RawEstimates
 	for _, op := range p.Ops {
 		pl := ep.Assignment[op.ID]
 		if lc, isLoop := loopCost[op.ID]; isLoop {
 			ep.OpCosts[op.ID] = lc
+			ep.RawOpCosts[op.ID] = rawLoopCost[op.ID]
 			total = total.Plus(lc)
+			rawTotal = rawTotal.Plus(rawLoopCost[op.ID])
 		} else {
 			inCards := make([]int64, len(op.Inputs))
+			rawIn := make([]int64, len(op.Inputs))
 			for i, in := range op.Inputs {
 				inCards[i] = est.Cards[in.ID]
+				rawIn[i] = rawEst.Cards[in.ID]
 			}
 			if m, ok := reg.MappingFor(pl, op.Kind(), op.Algo); ok {
 				oc := m.Cost(op, inCards, est.Cards[op.ID])
+				raw := oc
+				if rawEst != est {
+					raw = m.Cost(op, rawIn, rawEst.Cards[op.ID])
+				}
 				if pf, pok := reg.Platform(pl); pok && shardDiscounts(opts, pf.Profile(), op.Kind()) {
 					oc = cost.ShardDiscount(oc, opts.Shards)
+					raw = cost.ShardDiscount(raw, opts.Shards)
+				}
+				if f := opts.Calibration.CostFactor(op.Kind().String(), string(pl)); f != 1 {
+					oc = oc.Times(f)
 				}
 				newAtom := len(op.Inputs) == 0 && roots[op.ID]
 				for _, in := range op.Inputs {
@@ -479,9 +525,12 @@ func vectorCost(p *physical.Plan, reg *engine.Registry, opts Options, est *cost.
 				}
 				if !newAtom {
 					oc.Startup = 0
+					raw.Startup = 0
 				}
 				ep.OpCosts[op.ID] = oc
+				ep.RawOpCosts[op.ID] = raw
 				total = total.Plus(oc)
+				rawTotal = rawTotal.Plus(raw)
 			}
 		}
 		for _, in := range op.Inputs {
@@ -493,8 +542,9 @@ func vectorCost(p *physical.Plan, reg *engine.Registry, opts Options, est *cost.
 			to, _ := reg.Platform(pl)
 			if mc, ok := moveCost(reg, from, to, op, est.Bytes(in.ID)); ok {
 				total = total.Plus(cost.Cost{Net: mc})
+				rawTotal = rawTotal.Plus(cost.Cost{Net: mc})
 			}
 		}
 	}
-	return total
+	return total, rawTotal
 }

@@ -124,6 +124,12 @@ type Span struct {
 	// EstCost is the optimizer's estimated cost total for the atom's
 	// operators — compare against Metrics.Sim for estimator error.
 	EstCost time.Duration `json:"est_cost_ns"`
+	// KindEst splits the atom's RAW (uncalibrated) estimated cost by
+	// operator kind, in nanoseconds. The cost calibrator folds measured
+	// atom time against these — raw, so the learning target never moves
+	// as calibration itself kicks in. Empty on spans the optimizer did
+	// not cost (loops, service phases).
+	KindEst map[string]int64 `json:"kind_est_ns,omitempty"`
 
 	Attempts []Attempt `json:"attempts,omitempty"`
 	// Retries counts attempts that were retried (len(Attempts)-1 for
@@ -159,6 +165,13 @@ type CardAudit struct {
 	ErrFactor float64       `json:"err_factor"`
 	Flagged   bool          `json:"flagged"`
 	EstCost   time.Duration `json:"est_cost_ns"`
+	// OpKind is the operator's logical kind — the cardinality
+	// calibrator's cell key.
+	OpKind string `json:"op_kind,omitempty"`
+	// RawEstimated is the uncalibrated rule-derived estimate (equal to
+	// Estimated when calibration is off): what the calibrator learns
+	// against, so its own corrections never feed back into the target.
+	RawEstimated int64 `json:"raw_estimated,omitempty"`
 }
 
 // EventKind classifies span-stream events.
@@ -419,7 +432,11 @@ func (tr *Trace) Platforms() []engine.PlatformID {
 // v2 added the service-layer span kinds (admission/queue/dispatch),
 // the job/tenant correlation fields, and in_formats (the executor's
 // per-consumer channel format choice).
-const JSONSchema = 2
+//
+// v3 added the cost-calibration feedback fields: kind_est_ns on spans
+// (raw per-kind estimated cost split) and op_kind / raw_estimated on
+// audit records.
+const JSONSchema = 3
 
 // WriteJSON dumps the trace as JSON lines — one object per span, then
 // one per audit record, each tagged with "schema" and "type" fields.

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"rheem/internal/core/cost"
+)
+
+// TestCalibrationSharedAcrossTenants pins the multi-tenant learning
+// loop: with Config.Calibration on, every tenant's finished jobs fold
+// into ONE calibrator — tenant B's plans benefit from tenant A's
+// traffic. The test runs jobs from two tenants and checks the shared
+// calibrator saw all of them and learned applied factors.
+func TestCalibrationSharedAcrossTenants(t *testing.T) {
+	s := newTestService(t, Config{Calibration: true})
+	cal := s.Calibrator()
+	if cal == nil {
+		t.Fatal("Config.Calibration should install a calibrator")
+	}
+	if got := s.hub.Calibrator(); got != cal {
+		t.Fatal("service calibrator not registered on the telemetry hub")
+	}
+
+	const perTenant = 4
+	for i := 0; i < perTenant; i++ {
+		for _, tenant := range []string{"acme", "globex"} {
+			st, err := s.Submit(wordcountReq(tenant, 300, uint64(10+i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if final := waitTerminal(t, s, st.ID); final.State != StateSucceeded {
+				t.Fatalf("%s job %s: %s (%s)", tenant, st.ID, final.State, final.Err)
+			}
+		}
+	}
+
+	// Execute folds before the job turns terminal, so by now every
+	// job's residuals are in.
+	if folds := cal.Folds(); folds < 2*perTenant {
+		t.Fatalf("shared calibrator folded %d times, want >= %d", folds, 2*perTenant)
+	}
+	snap := cal.Snapshot()
+	if len(snap.Cost) == 0 {
+		t.Fatal("no cost cells learned from live traffic")
+	}
+	applied := 0
+	for _, c := range snap.Cost {
+		if c.Kind == "" || c.Platform == "" {
+			t.Errorf("cost cell missing identity: %+v", c)
+		}
+		if !(c.Factor > 0) {
+			t.Errorf("cell %s/%s has unsafe factor %v", c.Kind, c.Platform, c.Factor)
+		}
+		if c.Applied {
+			applied++
+		}
+	}
+	if applied == 0 {
+		t.Errorf("no cell past the min-sample guard after %d folds: %+v", cal.Folds(), snap.Cost)
+	}
+
+	// Default config leaves calibration off: no calibrator anywhere.
+	off := newTestService(t, Config{})
+	if off.Calibrator() != nil || off.hub.Calibrator() != nil {
+		t.Fatal("calibration must be opt-in")
+	}
+}
+
+// TestCalibrationPersistenceAcrossRestart: state learned by one
+// service process is rehydrated by a fresh process pointed at the same
+// store — warm plans from the first request after a restart.
+func TestCalibrationPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := newTestService(t, Config{Calibration: true, CalibrationStore: profileStore(t, dir)})
+	for i := 0; i < 4; i++ {
+		st, err := s1.Submit(wordcountReq("acme", 300, uint64(20+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final := waitTerminal(t, s1, st.ID); final.State != StateSucceeded {
+			t.Fatalf("job %s: %s (%s)", st.ID, final.State, final.Err)
+		}
+	}
+	wantFolds := s1.Calibrator().Folds()
+	if wantFolds < 4 {
+		t.Fatalf("folded %d times, want >= 4", wantFolds)
+	}
+
+	// saveCalibration lands after the job turns terminal (same
+	// goroutine as annotateRun) — poll the store until the persisted
+	// state caught up with the in-memory fold count.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		probe := cost.NewCalibrator(cost.CalibratorConfig{})
+		if err := loadCalibration(s1.cfg.CalibrationStore, probe); err == nil && probe.Folds() >= wantFolds {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("persisted calibration never reached %d folds", wantFolds)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wantState := s1.Calibrator().Encode()
+	s1.Kill()
+	s1.Close()
+
+	s2 := newTestService(t, Config{Calibration: true, CalibrationStore: profileStore(t, dir)})
+	if got := s2.Calibrator().Folds(); got != wantFolds {
+		t.Fatalf("restarted service rehydrated %d folds, want %d", got, wantFolds)
+	}
+	if got := s2.Calibrator().Encode(); string(got) != string(wantState) {
+		t.Fatalf("rehydrated state differs from persisted state:\nwant %x\ngot  %x", wantState, got)
+	}
+
+	// The warm service keeps learning on top of the rehydrated state.
+	st, err := s2.Submit(wordcountReq("acme", 300, uint64(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitTerminal(t, s2, st.ID); final.State != StateSucceeded {
+		t.Fatalf("post-restart job: %s (%s)", final.State, final.Err)
+	}
+	if got := s2.Calibrator().Folds(); got <= wantFolds {
+		t.Fatalf("warm service stopped learning: folds %d, want > %d", got, wantFolds)
+	}
+}

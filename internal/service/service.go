@@ -18,6 +18,7 @@ import (
 
 	"rheem"
 	"rheem/internal/apps/rheemql"
+	"rheem/internal/core/cost"
 	"rheem/internal/core/engine"
 	"rheem/internal/core/executor"
 	"rheem/internal/core/metrics"
@@ -94,6 +95,19 @@ type Config struct {
 	// and seeds run IDs past the persisted maximum.
 	ProfileStore *storage.Manager
 
+	// Calibration enables the shared cost calibrator: every tenant's
+	// finished jobs fold their estimate-vs-actual residuals into one
+	// calibrator on the hub, and every job's plan is priced with the
+	// learned corrections — the service's live traffic warms the
+	// optimizer. Inspect it at GET /calibration.
+	Calibration bool
+	// CalibrationConfig tunes the calibrator (zero value = defaults).
+	CalibrationConfig cost.CalibratorConfig
+	// CalibrationStore, when set (and Calibration is on), persists the
+	// calibrator's state after every finished job and rehydrates it in
+	// New, so learning survives restarts.
+	CalibrationStore *storage.Manager
+
 	// FailureThreshold consecutive job failures attributed to a platform
 	// open that tenant's breaker for it (default 3); Cooldown is how
 	// long it stays open before a half-open probe (default 30s).
@@ -160,6 +174,7 @@ type Service struct {
 	cat       *rheemql.Catalog
 	pool      *executor.Pool
 	rec       *profile.Recorder // nil when ProfileHistory < 0
+	cal       *cost.Calibrator  // nil unless Config.Calibration
 	platforms []engine.PlatformID
 
 	baseCtx    context.Context
@@ -236,6 +251,19 @@ func New(cfg Config) (*Service, error) {
 		}
 		hub.SetFlightRecorder(rec)
 	}
+	// The shared calibrator, rehydrated from its store before the
+	// dispatcher starts so the very first job is priced with whatever a
+	// previous process learned.
+	var cal *cost.Calibrator
+	if cfg.Calibration {
+		cal = cost.NewCalibrator(cfg.CalibrationConfig)
+		if cfg.CalibrationStore != nil {
+			if err := loadCalibration(cfg.CalibrationStore, cal); err != nil {
+				return nil, fmt.Errorf("service: loading calibration: %w", err)
+			}
+		}
+		hub.SetCalibrator(cal)
+	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:        cfg,
@@ -243,6 +271,7 @@ func New(cfg Config) (*Service, error) {
 		hub:        hub,
 		cat:        cat,
 		rec:        rec,
+		cal:        cal,
 		pool:       executor.NewPool(cfg.PoolSize),
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
@@ -276,6 +305,10 @@ func (s *Service) SchedulerPool() *executor.Pool { return s.pool }
 // FlightRecorder returns the service's run-profile recorder, nil when
 // Config.ProfileHistory disabled it.
 func (s *Service) FlightRecorder() *profile.Recorder { return s.rec }
+
+// Calibrator returns the shared cost calibrator, nil unless
+// Config.Calibration enabled it.
+func (s *Service) Calibrator() *cost.Calibrator { return s.cal }
 
 var latencyBounds = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
 
@@ -560,6 +593,10 @@ func (s *Service) runJob(j *Job, tn *tenant) {
 	s.mu.Unlock()
 	s.cond.Broadcast()
 	s.annotateRun(j)
+	// The engine run already folded into the calibrator (rheem.Execute
+	// does it on the shared hub); what's left is persisting the newly
+	// warmed state.
+	s.saveCalibration()
 }
 
 // annotateRun appends the service-layer lifecycle spans — admission,

@@ -34,6 +34,7 @@ import (
 	"runtime"
 	"time"
 
+	"rheem/internal/core/cost"
 	"rheem/internal/core/engine"
 	"rheem/internal/core/executor"
 	"rheem/internal/core/metrics"
@@ -82,6 +83,7 @@ type ctxOptions struct {
 	metricsAddr string
 	hub         *metrics.Hub
 	recorder    *profile.Recorder
+	calibrator  *cost.Calibrator
 }
 
 // WithMetricsAddr starts the context's embedded monitoring server on
@@ -107,6 +109,25 @@ func WithTelemetryHub(h *metrics.Hub) ContextOption {
 // keyed by Report.RunID.
 func WithFlightRecorder(rec *profile.Recorder) ContextOption {
 	return func(o *ctxOptions) { o.recorder = rec }
+}
+
+// WithCalibration attaches a cost calibrator to the context's hub,
+// closing the optimizer's audit loop: every Execute folds its
+// completed run's estimate-vs-actual cost and cardinality residuals
+// into the calibrator, and every optimization (first plan, adaptive
+// re-optimization, failover re-plan) multiplies its model costs by the
+// learned per-(operator kind, platform) correction factors — so
+// platform choices improve with traffic instead of relying on
+// hand-set constants. Pass a calibrator rehydrated from storage to
+// keep learning across restarts, or share one calibrator between
+// contexts (via a shared hub or the same calibrator value) to pool
+// their traffic. Inspect it at GET /calibration and through the
+// rheem_calibration_* metrics.
+//
+//	cal := cost.NewCalibrator(cost.CalibratorConfig{})
+//	ctx, _ := rheem.NewContext(rheem.Config{}, rheem.WithCalibration(cal))
+func WithCalibration(cal *cost.Calibrator) ContextOption {
+	return func(o *ctxOptions) { o.calibrator = cal }
 }
 
 // Context owns the platform registry and is the entry point for
@@ -159,6 +180,9 @@ func NewContext(cfg Config, opts ...ContextOption) (*Context, error) {
 	c.hub.BindChannels(c.reg.Channels())
 	if co.recorder != nil {
 		c.hub.SetFlightRecorder(co.recorder)
+	}
+	if co.calibrator != nil {
+		c.hub.SetCalibrator(co.calibrator)
 	}
 	if co.metricsAddr != "" {
 		if _, err := c.ServeMetrics(co.metricsAddr); err != nil {
@@ -413,6 +437,11 @@ func (c *Context) Execute(p *plan.Plan, opts ...RunOption) ([]data.Record, *Repo
 	if err != nil {
 		return nil, nil, err
 	}
+	// The hub's shared calibrator (if any) corrects this plan's costs
+	// and re-plans mid-run with the same corrections.
+	cal := c.hub.Calibrator()
+	rc.opt.Calibration = cal
+	rc.exec.Calibration = cal
 	ep, err := optimizer.Optimize(phys, c.reg, rc.opt)
 	if err != nil {
 		return nil, nil, err
@@ -423,8 +452,14 @@ func (c *Context) Execute(p *plan.Plan, opts ...RunOption) ([]data.Record, *Repo
 	run.End(err)
 	// The flight recorder sees every run, failed ones included — the
 	// tracer's snapshot has whatever spans completed before the error.
+	// The calibrator likewise folds whatever finished: completed spans
+	// of a failed run are still evidence about the cost model.
+	snap := tracer.Snapshot()
 	if rec := c.hub.FlightRecorder(); rec != nil {
-		rec.Record(run.ID(), p.Name(), run.Started(), run.Ended(), err, tracer.Snapshot())
+		rec.Record(run.ID(), p.Name(), run.Started(), run.Ended(), err, snap)
+	}
+	if cal != nil {
+		cal.Fold(profile.Observations(snap.Spans, snap.Audits))
 	}
 	if err != nil {
 		return nil, &Report{Plan: ep, RunID: run.ID()}, err
@@ -461,6 +496,7 @@ func (c *Context) Explain(p *plan.Plan, opts ...RunOption) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	rc.opt.Calibration = c.hub.Calibrator()
 	ep, err := optimizer.Optimize(phys, c.reg, rc.opt)
 	if err != nil {
 		return "", err
